@@ -1,0 +1,99 @@
+//! TL2 engine micro-benchmarks: the raw cost of the transactional
+//! machinery on native threads (no simulator in the loop).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use gstm_core::{Stm, StmConfig, TVar, ThreadId, TxId};
+
+fn bench_commit_paths(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tl2");
+    let stm = Stm::new(StmConfig::new(1));
+    let t = ThreadId::new(0);
+
+    let v = TVar::new(0i64);
+    g.bench_function("rmw_1var", |b| {
+        b.iter(|| {
+            stm.run(t, TxId::new(0), |tx| {
+                let x = tx.read(&v)?;
+                tx.write(&v, x + 1)
+            })
+        })
+    });
+
+    let vars: Vec<TVar<i64>> = (0..32).map(|_| TVar::new(0)).collect();
+    g.bench_function("read_only_32vars", |b| {
+        b.iter(|| {
+            stm.run(t, TxId::new(1), |tx| {
+                let mut s = 0i64;
+                for v in &vars {
+                    s += tx.read(v)?;
+                }
+                Ok(s)
+            })
+        })
+    });
+
+    g.bench_function("write_heavy_16vars", |b| {
+        b.iter(|| {
+            stm.run(t, TxId::new(2), |tx| {
+                for (i, v) in vars.iter().take(16).enumerate() {
+                    tx.write(v, i as i64)?;
+                }
+                Ok(())
+            })
+        })
+    });
+
+    g.bench_function("tvar_create", |b| {
+        b.iter_batched(|| (), |()| TVar::new(0u64), BatchSize::SmallInput)
+    });
+    g.finish();
+}
+
+fn bench_model_ops(c: &mut Criterion) {
+    use gstm_core::Participant;
+    use gstm_model::{GuidedModel, Tsa, TsaBuilder, Tts};
+
+    fn p(t: u16, x: u16) -> Participant {
+        Participant::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    // A synthetic automaton with 1k states, 8 threads × 4 sites.
+    fn build_tsa() -> Tsa {
+        let mut b = TsaBuilder::new();
+        let mut run = Vec::new();
+        for i in 0..8000u32 {
+            let t = (i % 8) as u16;
+            let x = ((i / 8) % 4) as u16;
+            if i % 7 == 0 {
+                run.push(Tts::new(vec![p((t + 1) % 8, x)], p(t, x)));
+            } else {
+                run.push(Tts::solo(p(t, x)));
+            }
+        }
+        b.add_run(&run);
+        b.build()
+    }
+
+    let mut g = c.benchmark_group("model");
+    g.bench_function("build_8k_transitions", |b| b.iter(build_tsa));
+
+    let tsa = build_tsa();
+    g.bench_function("compile_guided_model", |b| {
+        b.iter(|| GuidedModel::compile(tsa.clone(), 4.0))
+    });
+
+    let model = GuidedModel::compile(tsa.clone(), 4.0);
+    let state = tsa.lookup(&Tts::solo(p(0, 0))).expect("state exists");
+    g.bench_function("admission_check", |b| {
+        b.iter(|| model.admits(state, p(3, 2)))
+    });
+
+    g.bench_function("serialize_binary", |b| {
+        b.iter(|| gstm_model::serialize::to_bytes(&tsa))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_commit_paths, bench_model_ops);
+criterion_main!(benches);

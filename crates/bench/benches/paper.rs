@@ -1,0 +1,83 @@
+//! One bench per paper table/figure: each measures the *generating
+//! computation* of that artifact at a reduced scale, so `cargo bench`
+//! exercises every experiment path. The full-scale regeneration lives in
+//! `cargo run -p gstm-experiments --release -- all`.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use gstm_guide::{run_workload, train, PolicyChoice, RunOptions};
+use gstm_model::analyze;
+use gstm_stamp::{benchmark, InputSize};
+use gstm_synquake::{Quest, SynQuake};
+
+const THREADS: usize = 4;
+
+fn tiny_opts(seed: u64) -> RunOptions {
+    RunOptions::new(THREADS, seed)
+}
+
+/// Tables I & III & Figure 3: profile + model generation + analysis.
+fn bench_model_generation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1_table3_fig3");
+    g.sample_size(10);
+    for name in ["kmeans", "ssca2"] {
+        let w = benchmark(name, InputSize::Small).expect("known");
+        g.bench_function(format!("train_{name}"), |b| {
+            b.iter(|| {
+                let trained = train(w.as_ref(), &tiny_opts(0), &[1, 2], 4.0);
+                analyze(&trained.tsa, 4.0).guidance_metric
+            })
+        });
+    }
+    g.finish();
+}
+
+/// Figures 4–10 / Table IV: default and guided measurement runs per app.
+fn bench_measurement_runs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig4_to_fig10_table4");
+    g.sample_size(10);
+    for name in gstm_stamp::BENCHMARK_NAMES {
+        let w = benchmark(name, InputSize::Small).expect("known");
+        g.bench_function(format!("default_{name}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_workload(w.as_ref(), &tiny_opts(seed)).total_commits()
+            })
+        });
+    }
+    let kmeans = benchmark("kmeans", InputSize::Small).expect("known");
+    let trained = train(kmeans.as_ref(), &tiny_opts(0), &[1, 2, 3], 4.0);
+    g.bench_function("guided_kmeans", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            let opts = tiny_opts(seed)
+                .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
+            run_workload(kmeans.as_ref(), &opts).total_commits()
+        })
+    });
+    g.finish();
+}
+
+/// Table V & Figures 11–12: the SynQuake server loop.
+fn bench_synquake(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table5_fig11_fig12");
+    g.sample_size(10);
+    for quest in [Quest::WorstCase4, Quest::Quadrants4] {
+        let w = SynQuake { players: 128, frames: 4, quest };
+        g.bench_function(format!("frames_{quest}"), |b| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                run_workload(&w, &tiny_opts(seed)).makespan
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_model_generation, bench_measurement_runs, bench_synquake);
+criterion_main!(benches);

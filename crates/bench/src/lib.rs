@@ -1,0 +1,1 @@
+//! GSTM criterion benches (see `benches/`).

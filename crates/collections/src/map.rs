@@ -1,0 +1,286 @@
+//! Bucketized transactional hash map and set.
+
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+use gstm_core::{Abort, TVar, Txn};
+
+/// A transactional hash map: a fixed array of buckets, each an independent
+/// [`TVar`] holding its entry list.
+///
+/// Conflict granularity is the bucket, mirroring STAMP's `hashtable` (used
+/// by genome's segment table and intruder's fragment map): operations on
+/// different buckets commute; growing the map is not supported (STAMP sizes
+/// its tables up front too).
+///
+/// ```
+/// use gstm_core::{Stm, StmConfig, ThreadId, TxId};
+/// use gstm_collections::THashMap;
+///
+/// let stm = Stm::new(StmConfig::new(1));
+/// let map: THashMap<u64, &'static str> = THashMap::new(16);
+/// stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+///     map.insert(tx, 7, "seven")?;
+///     Ok(())
+/// });
+/// let got = stm.run(ThreadId::new(0), TxId::new(1), |tx| map.get(tx, &7));
+/// assert_eq!(got, Some("seven"));
+/// ```
+#[derive(Clone)]
+pub struct THashMap<K, V> {
+    buckets: Vec<TVar<Vec<(K, V)>>>,
+}
+
+impl<K, V> std::fmt::Debug for THashMap<K, V> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "THashMap({} buckets)", self.buckets.len())
+    }
+}
+
+impl<K, V> THashMap<K, V>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+{
+    /// Creates a map with `buckets` independent buckets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero.
+    pub fn new(buckets: usize) -> Self {
+        assert!(buckets > 0, "a map needs at least one bucket");
+        THashMap { buckets: (0..buckets).map(|_| TVar::new(Vec::new())).collect() }
+    }
+
+    /// Number of buckets (conflict granularity).
+    pub fn bucket_count(&self) -> usize {
+        self.buckets.len()
+    }
+
+    fn bucket_of(&self, key: &K) -> &TVar<Vec<(K, V)>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.buckets[(h.finish() as usize) % self.buckets.len()]
+    }
+
+    /// Transactionally inserts, returning the previous value if any.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn insert(&self, tx: &mut Txn<'_>, key: K, value: V) -> Result<Option<V>, Abort> {
+        let var = self.bucket_of(&key);
+        let mut entries = tx.read(var)?;
+        let old = match entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, value)),
+            None => {
+                entries.push((key, value));
+                None
+            }
+        };
+        tx.write(var, entries)?;
+        Ok(old)
+    }
+
+    /// Transactionally looks a key up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn get(&self, tx: &mut Txn<'_>, key: &K) -> Result<Option<V>, Abort> {
+        let entries = tx.read(self.bucket_of(key))?;
+        Ok(entries.iter().find(|(k, _)| k == key).map(|(_, v)| v.clone()))
+    }
+
+    /// Transactionally checks membership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn contains_key(&self, tx: &mut Txn<'_>, key: &K) -> Result<bool, Abort> {
+        Ok(self.get(tx, key)?.is_some())
+    }
+
+    /// Transactionally removes a key, returning its value if present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn remove(&self, tx: &mut Txn<'_>, key: &K) -> Result<Option<V>, Abort> {
+        let var = self.bucket_of(key);
+        let mut entries = tx.read(var)?;
+        match entries.iter().position(|(k, _)| k == key) {
+            Some(i) => {
+                let (_, v) = entries.swap_remove(i);
+                tx.write(var, entries)?;
+                Ok(Some(v))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Read-modify-write on one key: inserts `default()` when absent, then
+    /// applies `f`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn upsert(
+        &self,
+        tx: &mut Txn<'_>,
+        key: K,
+        default: impl FnOnce() -> V,
+        f: impl FnOnce(&mut V),
+    ) -> Result<(), Abort> {
+        let var = self.bucket_of(&key);
+        let mut entries = tx.read(var)?;
+        match entries.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, v)) => f(v),
+            None => {
+                let mut v = default();
+                f(&mut v);
+                entries.push((key, v));
+            }
+        }
+        tx.write(var, entries)
+    }
+
+    /// Non-transactional snapshot of all entries (teardown only).
+    pub fn snapshot_unlogged(&self) -> Vec<(K, V)> {
+        self.buckets.iter().flat_map(|b| (*b.load_unlogged()).clone()).collect()
+    }
+
+    /// Non-transactional entry count (teardown only).
+    pub fn len_unlogged(&self) -> usize {
+        self.buckets.iter().map(|b| b.load_unlogged().len()).sum()
+    }
+}
+
+/// A transactional hash set over [`THashMap`].
+#[derive(Clone)]
+pub struct TSet<K> {
+    map: THashMap<K, ()>,
+}
+
+impl<K> std::fmt::Debug for TSet<K> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TSet({} buckets)", self.map.buckets.len())
+    }
+}
+
+impl<K> TSet<K>
+where
+    K: Clone + Eq + Hash + Send + Sync + 'static,
+{
+    /// Creates a set with the given bucket count.
+    pub fn new(buckets: usize) -> Self {
+        TSet { map: THashMap::new(buckets) }
+    }
+
+    /// Transactionally inserts; returns whether the key was new.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn insert(&self, tx: &mut Txn<'_>, key: K) -> Result<bool, Abort> {
+        Ok(self.map.insert(tx, key, ())?.is_none())
+    }
+
+    /// Transactionally checks membership.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn contains(&self, tx: &mut Txn<'_>, key: &K) -> Result<bool, Abort> {
+        self.map.contains_key(tx, key)
+    }
+
+    /// Transactionally removes; returns whether the key was present.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts.
+    pub fn remove(&self, tx: &mut Txn<'_>, key: &K) -> Result<bool, Abort> {
+        Ok(self.map.remove(tx, key)?.is_some())
+    }
+
+    /// Non-transactional element snapshot (teardown only).
+    pub fn snapshot_unlogged(&self) -> Vec<K> {
+        self.map.snapshot_unlogged().into_iter().map(|(k, _)| k).collect()
+    }
+
+    /// Non-transactional element count (teardown only).
+    pub fn len_unlogged(&self) -> usize {
+        self.map.len_unlogged()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{Stm, StmConfig, ThreadId, TxId};
+
+    fn with_tx<R>(f: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>) -> R {
+        let stm = Stm::new(StmConfig::new(1));
+        stm.run(ThreadId::new(0), TxId::new(0), f)
+    }
+
+    #[test]
+    fn insert_get_remove_round_trip() {
+        let map: THashMap<u32, String> = THashMap::new(8);
+        let got = with_tx(|tx| {
+            assert_eq!(map.insert(tx, 1, "one".into())?, None);
+            assert_eq!(map.insert(tx, 1, "uno".into())?, Some("one".into()));
+            assert_eq!(map.get(tx, &1)?, Some("uno".into()));
+            assert_eq!(map.remove(tx, &1)?, Some("uno".into()));
+            map.get(tx, &1)
+        });
+        assert_eq!(got, None);
+    }
+
+    #[test]
+    fn many_keys_spread_over_buckets() {
+        let map: THashMap<u64, u64> = THashMap::new(4);
+        with_tx(|tx| {
+            for k in 0..100 {
+                map.insert(tx, k, k * 2)?;
+            }
+            Ok(())
+        });
+        assert_eq!(map.len_unlogged(), 100);
+        let mut snap = map.snapshot_unlogged();
+        snap.sort_unstable();
+        assert_eq!(snap[10], (10, 20));
+    }
+
+    #[test]
+    fn upsert_creates_then_mutates() {
+        let map: THashMap<u8, Vec<u8>> = THashMap::new(4);
+        with_tx(|tx| {
+            map.upsert(tx, 1, Vec::new, |v| v.push(10))?;
+            map.upsert(tx, 1, Vec::new, |v| v.push(20))?;
+            Ok(())
+        });
+        assert_eq!(map.snapshot_unlogged(), vec![(1, vec![10, 20])]);
+    }
+
+    #[test]
+    fn set_semantics() {
+        let set: TSet<&'static str> = TSet::new(4);
+        let fresh = with_tx(|tx| {
+            assert!(set.insert(tx, "a")?);
+            assert!(!set.insert(tx, "a")?);
+            assert!(set.contains(tx, &"a")?);
+            assert!(set.remove(tx, &"a")?);
+            set.contains(tx, &"a")
+        });
+        assert!(!fresh);
+        assert_eq!(set.len_unlogged(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bucket")]
+    fn zero_buckets_rejected() {
+        let _: THashMap<u8, u8> = THashMap::new(0);
+    }
+}

@@ -1,0 +1,145 @@
+//! STM configuration: detection/resolution modes and tuning knobs.
+
+use crate::gate::CostModel;
+
+/// When conflicts are detected (§II of the paper).
+///
+/// TL2 is lazy ([`Detection::CommitTime`]): writes are buffered and locks
+/// taken only during the commit protocol, which "reduces the total number
+/// of retries and aborts". [`Detection::EncounterTime`] acquires the stripe
+/// lock at the first write, aborting competitors earlier — the paper argues
+/// results on lazy detection imply the eager case.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Detection {
+    /// Lazy, commit-time locking (TL2; the paper's primary configuration).
+    #[default]
+    CommitTime,
+    /// Eager, encounter-time locking.
+    EncounterTime,
+}
+
+/// How a committer treats concurrent readers of its write set (LibTM's
+/// conflict-resolution choice, §VIII).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum Resolution {
+    /// Readers discover staleness themselves (invisible readers; TL2).
+    #[default]
+    SelfAbort,
+    /// Committer dooms registered readers of its write stripes
+    /// (LibTM "abort-readers", used for SynQuake in the paper).
+    AbortReaders,
+    /// Committer waits for registered readers to drain, aborting itself
+    /// after a bounded wait (LibTM "wait-for-readers").
+    WaitForReaders,
+}
+
+impl Resolution {
+    /// Whether this resolution requires visible-reader registries.
+    pub fn needs_visible_readers(self) -> bool {
+        !matches!(self, Resolution::SelfAbort)
+    }
+}
+
+/// Configuration of an [`crate::Stm`] instance.
+///
+/// ```
+/// use gstm_core::{StmConfig, Detection, Resolution};
+/// let cfg = StmConfig::new(8)
+///     .with_detection(Detection::CommitTime)
+///     .with_resolution(Resolution::SelfAbort);
+/// assert_eq!(cfg.max_threads, 8);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StmConfig {
+    /// Number of worker threads (thread ids must be `< max_threads`).
+    /// The paper pins one thread per core: 8 or 16.
+    pub max_threads: usize,
+    /// Lock table size: `1 << log2_stripes` stripes.
+    pub log2_stripes: u32,
+    /// Conflict detection time.
+    pub detection: Detection,
+    /// Conflict resolution against readers.
+    pub resolution: Resolution,
+    /// Tick costs charged through the gate.
+    pub costs: CostModel,
+    /// `WaitForReaders` patience (polls) before self-aborting.
+    pub reader_wait_limit: u32,
+}
+
+impl StmConfig {
+    /// Configuration with defaults for `max_threads` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` is 0 or exceeds `u16::MAX`.
+    pub fn new(max_threads: usize) -> Self {
+        assert!(max_threads > 0 && max_threads <= u16::MAX as usize);
+        StmConfig {
+            max_threads,
+            log2_stripes: 14,
+            detection: Detection::default(),
+            resolution: Resolution::default(),
+            costs: CostModel::default(),
+            reader_wait_limit: 32,
+        }
+    }
+
+    /// Sets the detection mode.
+    pub fn with_detection(mut self, d: Detection) -> Self {
+        self.detection = d;
+        self
+    }
+
+    /// Sets the resolution mode.
+    pub fn with_resolution(mut self, r: Resolution) -> Self {
+        self.resolution = r;
+        self
+    }
+
+    /// Sets the lock-table size (`1 << log2_stripes` stripes).
+    pub fn with_log2_stripes(mut self, n: u32) -> Self {
+        self.log2_stripes = n;
+        self
+    }
+
+    /// Sets the tick cost model.
+    pub fn with_costs(mut self, c: CostModel) -> Self {
+        self.costs = c;
+        self
+    }
+
+    /// The LibTM configuration the paper uses for SynQuake:
+    /// fully-optimistic detection with abort-readers resolution.
+    pub fn libtm(max_threads: usize) -> Self {
+        StmConfig::new(max_threads)
+            .with_detection(Detection::CommitTime)
+            .with_resolution(Resolution::AbortReaders)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_primary_config() {
+        let c = StmConfig::new(8);
+        assert_eq!(c.detection, Detection::CommitTime);
+        assert_eq!(c.resolution, Resolution::SelfAbort);
+        assert!(!c.resolution.needs_visible_readers());
+    }
+
+    #[test]
+    fn libtm_preset() {
+        let c = StmConfig::libtm(16);
+        assert_eq!(c.resolution, Resolution::AbortReaders);
+        assert!(c.resolution.needs_visible_readers());
+        assert_eq!(c.max_threads, 16);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_threads_rejected() {
+        let _ = StmConfig::new(0);
+    }
+}

@@ -1,0 +1,213 @@
+//! The [`Gate`] abstraction: where the STM meets the machine.
+//!
+//! Every externally observable step a transactional thread takes — beginning
+//! a transaction, each shared read or write, commit-time locking, abort
+//! penalties, guidance hold-polls, and application compute declared via
+//! [`crate::Txn::work`] — passes through a [`Gate`] with a cost in abstract
+//! *ticks*.
+//!
+//! This is the seam that lets the **same TL2 engine** run in two worlds:
+//!
+//! * [`RealGate`] — native threads and wall-clock time, used for regular
+//!   library usage, examples and stress tests;
+//! * `SimGate` (in the `gstm-sim` crate) — a deterministic discrete-event
+//!   scheduler modelling the paper's 8- and 16-core machines, where `pass`
+//!   blocks the OS thread until the virtual-time scheduler grants the step.
+//!
+//! The paper ran on real 8/16-core x86 boxes; our build host has a single
+//! core, so the simulator substitutes for the hardware (see DESIGN.md §2).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use crate::ids::ThreadId;
+
+/// Abstract cost unit charged through a [`Gate`].
+pub type Ticks = u64;
+
+/// Cost model for STM-internal steps, in [`Ticks`].
+///
+/// Costs only matter in simulation (they advance virtual thread clocks and
+/// therefore determine overlap, conflicts and measured execution time); the
+/// [`RealGate`] ignores them. Defaults are loosely calibrated to TL2's
+/// relative overheads: reads/writes are cheap, per-entry commit work and the
+/// abort penalty (log unwinding) dominate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CostModel {
+    /// Starting a transaction (reading the global version clock).
+    pub begin: Ticks,
+    /// One transactional read (lock-word sample + value copy + re-sample).
+    pub read: Ticks,
+    /// One transactional write (redo-log append).
+    pub write: Ticks,
+    /// Per write-set entry work at commit (lock acquire + write-back).
+    pub commit_entry: Ticks,
+    /// Per read-set entry validation work at commit.
+    pub validate_entry: Ticks,
+    /// Fixed cost of an abort (log teardown).
+    pub abort: Ticks,
+    /// One admission-policy hold poll (guided execution's retry spin — a
+    /// hash-map lookup in §VI's implementation, so it is cheap).
+    pub poll: Ticks,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            begin: 2,
+            read: 1,
+            write: 1,
+            commit_entry: 3,
+            validate_entry: 1,
+            abort: 10,
+            poll: 1,
+        }
+    }
+}
+
+/// The machine boundary crossed by every transactional step.
+///
+/// Implementations must be cheap and reentrant: the engine calls
+/// [`Gate::pass`] extremely frequently. `pass` may block (the simulator's
+/// does); it must eventually return.
+pub trait Gate: Send + Sync {
+    /// Charges `cost` ticks to `thread` and (in simulation) waits for the
+    /// scheduler to grant the step.
+    fn pass(&self, thread: ThreadId, cost: Ticks);
+
+    /// Current time: virtual ticks in simulation, monotonic nanoseconds in
+    /// real mode.
+    fn now(&self) -> u64;
+
+    /// Total time charged to `thread` so far: virtual ticks in simulation,
+    /// or an implementation-defined approximation in real mode.
+    fn thread_time(&self, thread: ThreadId) -> u64;
+}
+
+/// Native-execution gate: wall-clock time, optional yield injection.
+///
+/// On machines with fewer cores than worker threads (like this repo's CI
+/// host) transactions rarely overlap, so conflicts become rare. Setting
+/// `yield_every` to a small `n` makes the gate call
+/// [`std::thread::yield_now`] every `n` passes, forcing interleaving and
+/// restoring contention — useful for tests that need aborts to happen on any
+/// machine.
+///
+/// ```
+/// use gstm_core::{RealGate, Gate, ThreadId};
+/// let gate = RealGate::new(0);
+/// gate.pass(ThreadId::new(0), 5);
+/// assert!(gate.thread_time(ThreadId::new(0)) >= 5);
+/// ```
+#[derive(Debug)]
+pub struct RealGate {
+    epoch: Instant,
+    yield_every: u32,
+    counters: Vec<AtomicU64>,
+    charged: Vec<AtomicU64>,
+}
+
+/// Maximum thread count a [`RealGate`] tracks per-thread state for.
+const MAX_TRACKED_THREADS: usize = 256;
+
+impl RealGate {
+    /// Creates a real gate. `yield_every == 0` disables yield injection.
+    pub fn new(yield_every: u32) -> Self {
+        RealGate {
+            epoch: Instant::now(),
+            yield_every,
+            counters: (0..MAX_TRACKED_THREADS).map(|_| AtomicU64::new(0)).collect(),
+            charged: (0..MAX_TRACKED_THREADS).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
+impl Default for RealGate {
+    fn default() -> Self {
+        RealGate::new(0)
+    }
+}
+
+impl Gate for RealGate {
+    fn pass(&self, thread: ThreadId, cost: Ticks) {
+        let i = thread.index() % MAX_TRACKED_THREADS;
+        self.charged[i].fetch_add(cost, Ordering::Relaxed);
+        if self.yield_every > 0 {
+            let n = self.counters[i].fetch_add(1, Ordering::Relaxed);
+            if n.is_multiple_of(self.yield_every as u64) {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    fn thread_time(&self, thread: ThreadId) -> u64 {
+        self.charged[thread.index() % MAX_TRACKED_THREADS].load(Ordering::Relaxed)
+    }
+}
+
+/// Gate that does nothing and reports zero time; for unit tests of engine
+/// logic where timing is irrelevant.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct NullGate;
+
+impl Gate for NullGate {
+    fn pass(&self, _thread: ThreadId, _cost: Ticks) {}
+
+    fn now(&self) -> u64 {
+        0
+    }
+
+    fn thread_time(&self, _thread: ThreadId) -> u64 {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_gate_accumulates_charges() {
+        let g = RealGate::new(0);
+        let t = ThreadId::new(1);
+        g.pass(t, 3);
+        g.pass(t, 4);
+        assert_eq!(g.thread_time(t), 7);
+        assert_eq!(g.thread_time(ThreadId::new(2)), 0);
+    }
+
+    #[test]
+    fn real_gate_now_is_monotone() {
+        let g = RealGate::default();
+        let a = g.now();
+        let b = g.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn null_gate_is_inert() {
+        let g = NullGate;
+        g.pass(ThreadId::new(0), 100);
+        assert_eq!(g.now(), 0);
+        assert_eq!(g.thread_time(ThreadId::new(0)), 0);
+    }
+
+    #[test]
+    fn yield_injection_does_not_panic() {
+        let g = RealGate::new(1);
+        for _ in 0..10 {
+            g.pass(ThreadId::new(0), 1);
+        }
+    }
+
+    #[test]
+    fn default_cost_model_is_nonzero() {
+        let c = CostModel::default();
+        assert!(c.begin > 0 && c.read > 0 && c.write > 0);
+        assert!(c.abort > c.read, "aborts should dominate single reads");
+    }
+}

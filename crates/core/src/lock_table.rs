@@ -1,0 +1,356 @@
+//! Striped versioned write-locks — TL2's `lock table` — plus the two
+//! extensions this reproduction needs:
+//!
+//! * a **last-writer stamp** per stripe, recording which `(thread, tx)`
+//!   commit last bumped the stripe's version. This is what lets an aborting
+//!   reader *attribute* its conflict to a specific commit, which in turn
+//!   feeds the thread-transactional-state tuples of the paper's model;
+//! * optional **visible reader registries** per stripe, used by the
+//!   LibTM-style `AbortReaders` / `WaitForReaders` conflict resolutions that
+//!   SynQuake runs with (paper §VIII).
+//!
+//! [`VarId`]s hash into stripes exactly like TL2 hashes memory addresses into
+//! its versioned-lock array; distinct variables may share a stripe, giving
+//! the same (rare) false conflicts a word-based STM has.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
+
+/// Number of low bits used for the owner + lock flag in a lock word.
+const VERSION_SHIFT: u32 = 17;
+const LOCKED_BIT: u64 = 1;
+const OWNER_SHIFT: u32 = 1;
+const OWNER_MASK: u64 = 0xFFFF << OWNER_SHIFT;
+
+/// Decoded snapshot of one stripe's lock word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LockWord {
+    /// Stripe version (monotone, set from committers' `wv`).
+    pub version: u64,
+    /// Whether the stripe is currently write-locked.
+    pub locked: bool,
+    /// Owner thread if locked.
+    pub owner: Option<ThreadId>,
+}
+
+impl LockWord {
+    fn decode(raw: u64) -> Self {
+        let locked = raw & LOCKED_BIT != 0;
+        LockWord {
+            version: raw >> VERSION_SHIFT,
+            locked,
+            owner: locked.then(|| ThreadId::new(((raw & OWNER_MASK) >> OWNER_SHIFT) as u16)),
+        }
+    }
+
+    fn encode_unlocked(version: u64) -> u64 {
+        version << VERSION_SHIFT
+    }
+
+    fn encode_locked(version: u64, owner: ThreadId) -> u64 {
+        (version << VERSION_SHIFT) | ((owner.raw() as u64) << OWNER_SHIFT) | LOCKED_BIT
+    }
+}
+
+/// One stripe's visible-reader registry: `(thread raw id, nesting count)`
+/// entries behind a short lock.
+type ReaderRegistry = Mutex<Vec<(u16, u32)>>;
+
+/// Index of a stripe within the table.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct StripeIndex(pub u32);
+
+/// The striped lock table.
+#[derive(Debug)]
+pub struct LockTable {
+    words: Vec<AtomicU64>,
+    stamps: Vec<AtomicU64>,
+    /// Visible-reader registries; entries are `(thread raw id, nesting count)`.
+    readers: Option<Vec<ReaderRegistry>>,
+    mask: u64,
+}
+
+impl LockTable {
+    /// Creates a table with `1 << log2_stripes` stripes. `visible_readers`
+    /// enables the per-stripe reader registries (needed only for the LibTM
+    /// resolutions).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_stripes` is 0 or greater than 24.
+    pub fn new(log2_stripes: u32, visible_readers: bool) -> Self {
+        assert!((1..=24).contains(&log2_stripes), "log2_stripes must be in 1..=24");
+        let n = 1usize << log2_stripes;
+        LockTable {
+            words: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            stamps: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            readers: visible_readers.then(|| (0..n).map(|_| Mutex::new(Vec::new())).collect()),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    /// Number of stripes.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// A lock table is never empty.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Maps a variable to its stripe (Fibonacci hashing of the id).
+    pub fn stripe_of(&self, var: VarId) -> StripeIndex {
+        let h = var.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        StripeIndex(((h >> 24) & self.mask) as u32)
+    }
+
+    /// Loads and decodes a stripe's lock word.
+    pub fn load(&self, s: StripeIndex) -> LockWord {
+        LockWord::decode(self.words[s.0 as usize].load(Ordering::SeqCst))
+    }
+
+    /// Attempts to write-lock a stripe for `owner`. Returns the pre-lock
+    /// version on success; `Err(observed)` if the stripe was already locked
+    /// (by anyone, including `owner` — callers dedup stripes first).
+    pub fn try_lock(&self, s: StripeIndex, owner: ThreadId) -> Result<u64, LockWord> {
+        let w = &self.words[s.0 as usize];
+        let cur = w.load(Ordering::SeqCst);
+        if cur & LOCKED_BIT != 0 {
+            return Err(LockWord::decode(cur));
+        }
+        let version = cur >> VERSION_SHIFT;
+        match w.compare_exchange(
+            cur,
+            LockWord::encode_locked(version, owner),
+            Ordering::SeqCst,
+            Ordering::SeqCst,
+        ) {
+            Ok(_) => Ok(version),
+            Err(observed) => Err(LockWord::decode(observed)),
+        }
+    }
+
+    /// Releases a stripe, publishing `new_version` (a committer's `wv`).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the stripe was not locked by `owner`.
+    pub fn unlock_publish(&self, s: StripeIndex, owner: ThreadId, new_version: u64) {
+        debug_assert_eq!(self.load(s).owner, Some(owner), "unlock by non-owner");
+        let _ = owner;
+        self.words[s.0 as usize].store(LockWord::encode_unlocked(new_version), Ordering::SeqCst);
+    }
+
+    /// Releases a stripe restoring its pre-lock version (abort path).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if the stripe was not locked by `owner`.
+    pub fn unlock_restore(&self, s: StripeIndex, owner: ThreadId, old_version: u64) {
+        debug_assert_eq!(self.load(s).owner, Some(owner), "unlock by non-owner");
+        let _ = owner;
+        self.words[s.0 as usize].store(LockWord::encode_unlocked(old_version), Ordering::SeqCst);
+    }
+
+    /// Records that `who`'s commit `seq` last wrote this stripe.
+    pub fn stamp(&self, s: StripeIndex, who: Participant, seq: CommitSeq) {
+        let enc = (seq.raw() << 32)
+            | ((who.thread.raw() as u64) << 16)
+            | who.tx.raw() as u64;
+        self.stamps[s.0 as usize].store(enc, Ordering::SeqCst);
+    }
+
+    /// Last committer of this stripe, if any commit has written it.
+    ///
+    /// The sequence component is truncated to 32 bits; `None` is returned
+    /// before the first commit.
+    pub fn last_writer(&self, s: StripeIndex) -> Option<(Participant, CommitSeq)> {
+        let raw = self.stamps[s.0 as usize].load(Ordering::SeqCst);
+        if raw == 0 {
+            return None;
+        }
+        let seq = CommitSeq::new(raw >> 32);
+        let thread = ThreadId::new(((raw >> 16) & 0xFFFF) as u16);
+        let tx = TxId::new((raw & 0xFFFF) as u16);
+        Some((Participant::new(thread, tx), seq))
+    }
+
+    /// Registers `thread` as a visible reader of the stripe (no-op when the
+    /// table was built without reader registries). Reentrant: nested reads
+    /// bump a per-thread count.
+    pub fn register_reader(&self, s: StripeIndex, thread: ThreadId) {
+        if let Some(readers) = &self.readers {
+            let mut list = readers[s.0 as usize].lock();
+            if let Some(entry) = list.iter_mut().find(|(t, _)| *t == thread.raw()) {
+                entry.1 += 1;
+            } else {
+                list.push((thread.raw(), 1));
+            }
+        }
+    }
+
+    /// Removes one registration of `thread` from the stripe.
+    pub fn unregister_reader(&self, s: StripeIndex, thread: ThreadId) {
+        if let Some(readers) = &self.readers {
+            let mut list = readers[s.0 as usize].lock();
+            if let Some(pos) = list.iter().position(|(t, _)| *t == thread.raw()) {
+                list[pos].1 -= 1;
+                if list[pos].1 == 0 {
+                    list.swap_remove(pos);
+                }
+            }
+        }
+    }
+
+    /// Visible readers of a stripe, excluding `me`. Empty when registries are
+    /// disabled.
+    pub fn readers_excluding(&self, s: StripeIndex, me: ThreadId) -> Vec<ThreadId> {
+        match &self.readers {
+            Some(readers) => readers[s.0 as usize]
+                .lock()
+                .iter()
+                .filter(|(t, _)| *t != me.raw())
+                .map(|(t, _)| ThreadId::new(*t))
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Whether reader registries are enabled.
+    pub fn tracks_readers(&self) -> bool {
+        self.readers.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(t: u16, x: u16) -> Participant {
+        Participant::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    #[test]
+    fn fresh_stripes_are_unlocked_version_zero() {
+        let lt = LockTable::new(4, false);
+        let w = lt.load(StripeIndex(3));
+        assert_eq!(w, LockWord { version: 0, locked: false, owner: None });
+    }
+
+    #[test]
+    fn lock_publish_cycle() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(1);
+        let owner = ThreadId::new(5);
+        let old = lt.try_lock(s, owner).expect("lock");
+        assert_eq!(old, 0);
+        let w = lt.load(s);
+        assert!(w.locked);
+        assert_eq!(w.owner, Some(owner));
+        assert_eq!(w.version, 0, "version visible while locked");
+        lt.unlock_publish(s, owner, 42);
+        let w = lt.load(s);
+        assert!(!w.locked);
+        assert_eq!(w.version, 42);
+    }
+
+    #[test]
+    fn lock_restore_keeps_version() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(0);
+        let owner = ThreadId::new(1);
+        lt.unlock_publish(s, {
+            lt.try_lock(s, owner).unwrap();
+            owner
+        }, 7);
+        let old = lt.try_lock(s, owner).unwrap();
+        assert_eq!(old, 7);
+        lt.unlock_restore(s, owner, old);
+        assert_eq!(lt.load(s).version, 7);
+    }
+
+    #[test]
+    fn double_lock_fails_and_reports_owner() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(2);
+        lt.try_lock(s, ThreadId::new(1)).unwrap();
+        let err = lt.try_lock(s, ThreadId::new(2)).unwrap_err();
+        assert!(err.locked);
+        assert_eq!(err.owner, Some(ThreadId::new(1)));
+    }
+
+    #[test]
+    fn stamps_round_trip() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(3);
+        assert_eq!(lt.last_writer(s), None);
+        lt.stamp(s, p(6, 0), CommitSeq::new(99));
+        let (who, seq) = lt.last_writer(s).unwrap();
+        assert_eq!(who, p(6, 0));
+        assert_eq!(seq, CommitSeq::new(99));
+    }
+
+    #[test]
+    fn stripe_mapping_is_stable_and_in_range() {
+        let lt = LockTable::new(6, false);
+        for i in 0..1000u64 {
+            let v = VarId::from_raw(i);
+            let s1 = lt.stripe_of(v);
+            let s2 = lt.stripe_of(v);
+            assert_eq!(s1, s2);
+            assert!((s1.0 as usize) < lt.len());
+        }
+    }
+
+    #[test]
+    fn reader_registry_counts_nesting() {
+        let lt = LockTable::new(4, true);
+        let s = StripeIndex(1);
+        let t = ThreadId::new(3);
+        lt.register_reader(s, t);
+        lt.register_reader(s, t);
+        lt.unregister_reader(s, t);
+        assert_eq!(lt.readers_excluding(s, ThreadId::new(0)), vec![t]);
+        lt.unregister_reader(s, t);
+        assert!(lt.readers_excluding(s, ThreadId::new(0)).is_empty());
+    }
+
+    #[test]
+    fn readers_excluding_filters_self() {
+        let lt = LockTable::new(4, true);
+        let s = StripeIndex(0);
+        lt.register_reader(s, ThreadId::new(1));
+        lt.register_reader(s, ThreadId::new(2));
+        let rs = lt.readers_excluding(s, ThreadId::new(1));
+        assert_eq!(rs, vec![ThreadId::new(2)]);
+    }
+
+    #[test]
+    fn registry_disabled_is_noop() {
+        let lt = LockTable::new(4, false);
+        assert!(!lt.tracks_readers());
+        lt.register_reader(StripeIndex(0), ThreadId::new(1));
+        assert!(lt.readers_excluding(StripeIndex(0), ThreadId::new(9)).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_stripes_rejected() {
+        let _ = LockTable::new(0, false);
+    }
+
+    #[test]
+    fn version_survives_lock_round_trip_at_large_values() {
+        let lt = LockTable::new(2, false);
+        let s = StripeIndex(0);
+        let owner = ThreadId::new(0xFFFF);
+        lt.try_lock(s, owner).unwrap();
+        lt.unlock_publish(s, owner, (1 << 46) + 12345);
+        let w = lt.load(s);
+        assert_eq!(w.version, (1 << 46) + 12345);
+        assert!(!w.locked);
+    }
+}

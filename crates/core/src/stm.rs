@@ -1,0 +1,869 @@
+//! The TL2 engine: [`Stm`] and the per-attempt [`Txn`] context.
+//!
+//! The commit protocol follows Dice, Shalev & Shavit's TL2 (§II-A of the
+//! paper): sample the global version clock at begin (`rv`); log reads and
+//! buffer writes; at commit, lock the write set's stripes, increment the
+//! clock (`wv`), validate the read set against `rv`, write back, and release
+//! the locks publishing `wv`. Reads are validated inline (pre/post lock-word
+//! sample), so doomed zombies cannot observe inconsistent snapshots.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::clock::VersionClock;
+use crate::cm::{Aggressive, ContentionManager};
+use crate::config::{Detection, Resolution, StmConfig};
+use crate::error::{Abort, AbortReason, StmError};
+use crate::events::{EventSink, NullSink, TxEvent};
+use crate::gate::{Gate, NullGate, Ticks};
+use crate::ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
+use crate::lock_table::{LockTable, StripeIndex};
+use crate::policy::{AdmissionPolicy, AdmitAll};
+use crate::tvar::{downcast, ErasedValue, TVar, VarCell};
+
+/// Encoding of the per-thread doom word: `1<<63 | seq<<32 | thread<<16 | tx`.
+const DOOM_FLAG: u64 = 1 << 62;
+
+/// Summary of a successful commit, returned by [`Txn`]-internal commit.
+#[derive(Clone, Copy, Debug)]
+pub struct CommitInfo {
+    /// Global commit sequence number.
+    pub seq: CommitSeq,
+    /// Write version published to the written stripes.
+    pub wv: u64,
+    /// Read-set size.
+    pub reads: u32,
+    /// Write-set size.
+    pub writes: u32,
+}
+
+/// A software transactional memory instance.
+///
+/// One `Stm` owns the global version clock, the striped lock table, the
+/// event sink, the admission policy (where guided execution plugs in) and
+/// the contention manager. Worker threads are identified by dense
+/// [`ThreadId`]s below `config.max_threads`.
+///
+/// ```
+/// use std::sync::Arc;
+/// use gstm_core::{Stm, StmConfig, TVar, ThreadId, TxId};
+///
+/// let stm = Stm::new(StmConfig::new(2));
+/// let counter = TVar::new(0i64);
+/// let n = stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+///     let v = tx.read(&counter)?;
+///     tx.write(&counter, v + 1)?;
+///     Ok(v + 1)
+/// });
+/// assert_eq!(n, 1);
+/// ```
+pub struct Stm {
+    config: StmConfig,
+    clock: VersionClock,
+    locks: LockTable,
+    gate: Arc<dyn Gate>,
+    sink: Arc<dyn EventSink>,
+    policy: Arc<dyn AdmissionPolicy>,
+    cm: Arc<dyn ContentionManager>,
+    commit_seq: AtomicU64,
+    doomed: Vec<AtomicU64>,
+}
+
+impl std::fmt::Debug for Stm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Stm")
+            .field("config", &self.config)
+            .field("commits", &self.commit_seq.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl Stm {
+    /// Creates an STM with the default gate (no-op), sink (discard), policy
+    /// (admit all) and contention manager (aggressive) — the paper's
+    /// "default STM".
+    pub fn new(config: StmConfig) -> Self {
+        Stm::with_parts(
+            config,
+            Arc::new(NullGate),
+            Arc::new(NullSink),
+            Arc::new(AdmitAll),
+            Arc::new(Aggressive),
+        )
+    }
+
+    /// Creates an STM on an explicit gate (machine), with the default sink,
+    /// policy and contention manager.
+    pub fn new_on(config: StmConfig, gate: Arc<dyn Gate>) -> Self {
+        Stm::with_parts(config, gate, Arc::new(NullSink), Arc::new(AdmitAll), Arc::new(Aggressive))
+    }
+
+    /// Creates an STM wired to explicit machine, instrumentation and policy
+    /// components.
+    pub fn with_parts(
+        config: StmConfig,
+        gate: Arc<dyn Gate>,
+        sink: Arc<dyn EventSink>,
+        policy: Arc<dyn AdmissionPolicy>,
+        cm: Arc<dyn ContentionManager>,
+    ) -> Self {
+        Stm {
+            locks: LockTable::new(config.log2_stripes, config.resolution.needs_visible_readers()),
+            clock: VersionClock::new(),
+            gate,
+            sink,
+            policy,
+            cm,
+            commit_seq: AtomicU64::new(0),
+            doomed: (0..config.max_threads).map(|_| AtomicU64::new(0)).collect(),
+            config,
+        }
+    }
+
+    /// This instance's configuration.
+    pub fn config(&self) -> &StmConfig {
+        &self.config
+    }
+
+    /// The gate this instance charges time through.
+    pub fn gate(&self) -> &Arc<dyn Gate> {
+        &self.gate
+    }
+
+    /// Number of commits so far.
+    pub fn commit_count(&self) -> u64 {
+        self.commit_seq.load(Ordering::SeqCst)
+    }
+
+    /// Runs `body` as a transaction, retrying until it commits.
+    ///
+    /// `thread` must be `< config.max_threads`; `tx` is the static id of
+    /// this atomic block (the paper's `TM_BEGIN(ID)` argument). The body
+    /// receives a [`Txn`] and must propagate [`Abort`] errors from
+    /// [`Txn::read`]/[`Txn::write`] with `?`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn run<R>(
+        &self,
+        thread: ThreadId,
+        tx: TxId,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>,
+    ) -> R {
+        match self.run_attempts(thread, tx, &mut body, u32::MAX) {
+            Ok(r) => r,
+            Err(_) => unreachable!("unbounded retry cannot exhaust its budget"),
+        }
+    }
+
+    /// Runs `body`, giving up with [`StmError::RetryBudgetExhausted`] after
+    /// `max_attempts` aborted attempts.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the attempt budget is exhausted before a commit.
+    pub fn try_run<R>(
+        &self,
+        thread: ThreadId,
+        tx: TxId,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>,
+        max_attempts: u32,
+    ) -> Result<R, StmError> {
+        self.run_attempts(thread, tx, &mut body, max_attempts)
+    }
+
+    /// Runs a single attempt without retrying.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StmError::Aborted`] if the attempt conflicts.
+    pub fn try_run_once<R>(
+        &self,
+        thread: ThreadId,
+        tx: TxId,
+        mut body: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>,
+    ) -> Result<R, StmError> {
+        self.run_attempts(thread, tx, &mut body, 1).map_err(|e| match e {
+            StmError::RetryBudgetExhausted { .. } => e,
+            aborted => aborted,
+        })
+    }
+
+    fn run_attempts<R>(
+        &self,
+        thread: ThreadId,
+        tx: TxId,
+        body: &mut dyn FnMut(&mut Txn<'_>) -> Result<R, Abort>,
+        max_attempts: u32,
+    ) -> Result<R, StmError> {
+        assert!(
+            thread.index() < self.config.max_threads,
+            "thread {thread} out of range (max_threads = {})",
+            self.config.max_threads
+        );
+        let who = Participant::new(thread, tx);
+        let costs = self.config.costs;
+        let mut attempt: u32 = 0;
+        let mut last_abort: Option<Abort> = None;
+        while attempt < max_attempts {
+            // Admission: guided execution's hold loop lives in the policy.
+            let polls = self.policy.admit(who, &mut || {
+                self.gate.pass(thread, costs.poll);
+                std::thread::yield_now();
+            });
+            if polls > 0 {
+                self.sink.record(&TxEvent::Held { who, polls, at: self.gate.now() });
+            }
+
+            self.doomed[thread.index()].store(0, Ordering::SeqCst);
+            self.cm.on_begin(thread, self.gate.now());
+            self.gate.pass(thread, costs.begin);
+            let rv = self.clock.sample();
+            self.sink.record(&TxEvent::Begin { who, attempt, at: self.gate.now() });
+
+            let mut txn = Txn {
+                stm: self,
+                who,
+                rv,
+                attempt,
+                reads: BTreeMap::new(),
+                writes: Vec::new(),
+                write_index: HashMap::new(),
+                eager_locks: Vec::new(),
+                registered: Vec::new(),
+            };
+            let outcome = match body(&mut txn) {
+                Ok(result) => txn.commit().map(|info| (result, info)),
+                Err(abort) => {
+                    txn.rollback();
+                    Err(abort)
+                }
+            };
+            match outcome {
+                Ok((result, info)) => {
+                    self.cm.on_commit(thread);
+                    self.sink.record(&TxEvent::Commit {
+                        who,
+                        seq: info.seq,
+                        aborts: attempt,
+                        reads: info.reads,
+                        writes: info.writes,
+                        at: self.gate.now(),
+                    });
+                    return Ok(result);
+                }
+                Err(abort) => {
+                    self.sink.record(&TxEvent::Abort {
+                        who,
+                        attempt,
+                        abort: abort.clone(),
+                        at: self.gate.now(),
+                    });
+                    let backoff = self.cm.on_abort(thread, &abort, attempt);
+                    self.gate.pass(thread, costs.abort + backoff);
+                    if backoff > 0 {
+                        std::thread::yield_now();
+                    }
+                    last_abort = Some(abort);
+                    attempt += 1;
+                }
+            }
+        }
+        match (max_attempts, last_abort) {
+            (1, Some(a)) => Err(StmError::Aborted(a)),
+            _ => Err(StmError::RetryBudgetExhausted { attempts: max_attempts }),
+        }
+    }
+
+    /// Marks `victim` doomed on behalf of committing `by` (AbortReaders).
+    fn doom(&self, victim: ThreadId, by: Participant, seq: CommitSeq) {
+        let enc = DOOM_FLAG
+            | ((seq.raw() & 0xFFFF_FFFF) << 24)
+            | ((by.thread.raw() as u64) << 8)
+            | (by.tx.raw() as u64 & 0xFF);
+        self.doomed[victim.index()].store(enc, Ordering::SeqCst);
+    }
+
+    fn check_doomed(&self, thread: ThreadId) -> Result<(), Abort> {
+        let raw = self.doomed[thread.index()].swap(0, Ordering::SeqCst);
+        if raw & DOOM_FLAG == 0 {
+            return Ok(());
+        }
+        let by = Participant::new(
+            ThreadId::new(((raw >> 8) & 0xFFFF) as u16),
+            TxId::new((raw & 0xFF) as u16),
+        );
+        let seq = CommitSeq::new((raw >> 24) & 0xFFFF_FFFF);
+        Err(Abort::caused_by(AbortReason::DoomedByCommitter { by: Some(by) }, by, seq))
+    }
+
+    fn culprit_of(&self, stripe: StripeIndex) -> Option<(Participant, CommitSeq)> {
+        self.locks.last_writer(stripe)
+    }
+}
+
+struct WriteEntry {
+    cell: Arc<VarCell>,
+    stripe: StripeIndex,
+    value: ErasedValue,
+}
+
+/// One transaction attempt: the context handed to the transaction body.
+///
+/// Obtained from [`Stm::run`] and friends; provides transactional
+/// [`read`](Txn::read)/[`write`](Txn::write) plus [`work`](Txn::work) for
+/// declaring application compute to the machine model.
+pub struct Txn<'stm> {
+    stm: &'stm Stm,
+    // (fields below; Debug is implemented manually to avoid dumping the log)
+    who: Participant,
+    rv: u64,
+    attempt: u32,
+    /// stripe → version observed at first read. A `BTreeMap` keeps
+    /// validation order deterministic (required for seeded replay).
+    reads: BTreeMap<u32, u64>,
+    writes: Vec<WriteEntry>,
+    write_index: HashMap<u64, usize>,
+    /// Encounter-time locks held: (stripe, pre-lock version).
+    eager_locks: Vec<(StripeIndex, u64)>,
+    /// Stripes where we registered as a visible reader.
+    registered: Vec<StripeIndex>,
+}
+
+impl std::fmt::Debug for Txn<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Txn")
+            .field("who", &self.who)
+            .field("rv", &self.rv)
+            .field("attempt", &self.attempt)
+            .field("reads", &self.reads.len())
+            .field("writes", &self.writes.len())
+            .finish()
+    }
+}
+
+impl<'stm> Txn<'stm> {
+    /// The executing thread.
+    pub fn thread(&self) -> ThreadId {
+        self.who.thread
+    }
+
+    /// The static transaction-site id.
+    pub fn tx_id(&self) -> TxId {
+        self.who.tx
+    }
+
+    /// Zero-based attempt number (= aborts suffered so far this invocation).
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// The read-version (`rv`) snapshot this attempt runs against.
+    pub fn read_version(&self) -> u64 {
+        self.rv
+    }
+
+    /// Charges `ticks` of application compute to the machine model.
+    ///
+    /// In simulation this advances the thread's virtual clock (making the
+    /// transaction longer and hence more conflict-prone, as real compute
+    /// would); in native mode it is (nearly) free.
+    pub fn work(&mut self, ticks: Ticks) {
+        self.stm.gate.pass(self.who.thread, ticks);
+    }
+
+    /// Transactionally reads `var`, returning a clone of the value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Abort`] if the variable's stripe is locked or its version
+    /// postdates this transaction's snapshot; the caller must propagate the
+    /// error out of the transaction body with `?`.
+    pub fn read<T: Clone + Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<T, Abort> {
+        self.read_arc(var).map(|a| (*a).clone())
+    }
+
+    /// Like [`Txn::read`] but returns the shared snapshot without cloning
+    /// the payload — preferred for large values.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Txn::read`].
+    pub fn read_arc<T: Send + Sync + 'static>(&mut self, var: &TVar<T>) -> Result<Arc<T>, Abort> {
+        let stm = self.stm;
+        stm.gate.pass(self.who.thread, stm.config.costs.read);
+        stm.cm.on_access(self.who.thread);
+        stm.check_doomed(self.who.thread)?;
+
+        // Read-own-writes: serve from the redo log.
+        if let Some(&i) = self.write_index.get(&var.id().raw()) {
+            return Ok(downcast(Arc::clone(&self.writes[i].value)));
+        }
+
+        let stripe = stm.locks.stripe_of(var.id());
+        let pre = stm.locks.load(stripe);
+        let own = pre.owner == Some(self.who.thread);
+        if pre.locked && !own {
+            return Err(self.abort_at(AbortReason::Locked { var: var.id() }, stripe));
+        }
+        if pre.version > self.rv {
+            return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
+        }
+        let value = var.cell().load();
+        let post = stm.locks.load(stripe);
+        if post.version != pre.version || (post.locked && post.owner != Some(self.who.thread)) {
+            return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
+        }
+        if self.reads.insert(stripe.0, pre.version).is_none()
+            && stm.locks.tracks_readers()
+            && !own
+        {
+            stm.locks.register_reader(stripe, self.who.thread);
+            self.registered.push(stripe);
+        }
+        Ok(downcast(value))
+    }
+
+    /// Transactionally writes `value` to `var` (buffered until commit).
+    ///
+    /// # Errors
+    ///
+    /// In encounter-time mode, returns [`Abort`] if the stripe lock cannot
+    /// be acquired or the stripe postdates the snapshot. In commit-time mode
+    /// the write itself cannot fail (conflicts surface at commit).
+    pub fn write<T: Send + Sync + 'static>(&mut self, var: &TVar<T>, value: T) -> Result<(), Abort> {
+        let stm = self.stm;
+        stm.gate.pass(self.who.thread, stm.config.costs.write);
+        stm.cm.on_access(self.who.thread);
+        stm.check_doomed(self.who.thread)?;
+
+        let stripe = stm.locks.stripe_of(var.id());
+        if stm.config.detection == Detection::EncounterTime
+            && !self.eager_locks.iter().any(|(s, _)| *s == stripe)
+        {
+            match stm.locks.try_lock(stripe, self.who.thread) {
+                Ok(old_version) => {
+                    if old_version > self.rv {
+                        stm.locks.unlock_restore(stripe, self.who.thread, old_version);
+                        return Err(
+                            self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe)
+                        );
+                    }
+                    self.eager_locks.push((stripe, old_version));
+                }
+                Err(_) => {
+                    return Err(
+                        self.abort_at(AbortReason::WriteLockBusy { var: var.id() }, stripe)
+                    );
+                }
+            }
+        }
+
+        let erased: ErasedValue = Arc::new(value);
+        match self.write_index.get(&var.id().raw()) {
+            Some(&i) => self.writes[i].value = erased,
+            None => {
+                self.write_index.insert(var.id().raw(), self.writes.len());
+                self.writes.push(WriteEntry { cell: Arc::clone(var.cell()), stripe, value: erased });
+            }
+        }
+        Ok(())
+    }
+
+    /// Reads, transforms and writes back in one step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Abort`] from the underlying read or write.
+    pub fn modify<T: Clone + Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+        f: impl FnOnce(T) -> T,
+    ) -> Result<(), Abort> {
+        let v = self.read(var)?;
+        self.write(var, f(v))
+    }
+
+    fn abort_at(&mut self, reason: AbortReason, stripe: StripeIndex) -> Abort {
+        match self.stm.culprit_of(stripe) {
+            Some((p, seq)) => Abort::caused_by(reason, p, seq),
+            None => Abort::new(reason),
+        }
+    }
+
+    /// Commit protocol (TL2 §II-A). Consumes the attempt.
+    fn commit(mut self) -> Result<CommitInfo, Abort> {
+        let stm = self.stm;
+        let costs = stm.config.costs;
+        let thread = self.who.thread;
+        let n_reads = self.reads.len() as u32;
+        let n_writes = self.writes.len() as u32;
+
+        // A committer may have doomed us while we were between operations;
+        // honor it before publishing anything (AbortReaders resolution).
+        if let Err(abort) = stm.check_doomed(thread) {
+            self.rollback();
+            return Err(abort);
+        }
+
+        // Read-only fast path: every read was validated inline against rv,
+        // so a read-only transaction is already serializable. TL2 commits it
+        // without touching the clock.
+        if self.writes.is_empty() {
+            self.release(None);
+            let seq = CommitSeq::new(stm.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
+            return Ok(CommitInfo { seq, wv: self.rv, reads: n_reads, writes: 0 });
+        }
+
+        // 1. Lock the write set (stripes deduped, sorted for determinism;
+        //    encounter-time locks are already held).
+        let mut stripes: Vec<StripeIndex> = self.writes.iter().map(|w| w.stripe).collect();
+        stripes.sort_unstable();
+        stripes.dedup();
+        let mut acquired: Vec<(StripeIndex, u64)> = Vec::with_capacity(stripes.len());
+        for &s in &stripes {
+            if self.eager_locks.iter().any(|(e, _)| *e == s) {
+                continue;
+            }
+            stm.gate.pass(thread, costs.commit_entry);
+            match stm.locks.try_lock(s, thread) {
+                Ok(old) => acquired.push((s, old)),
+                Err(_) => {
+                    for &(a, old) in &acquired {
+                        stm.locks.unlock_restore(a, thread, old);
+                    }
+                    let var = self.writes.iter().find(|w| w.stripe == s).map(|w| w.cell.id());
+                    let reason = AbortReason::WriteLockBusy {
+                        var: var.unwrap_or(VarId::from_raw(0)),
+                    };
+                    let abort = self.abort_at(reason, s);
+                    self.release(None);
+                    return Err(abort);
+                }
+            }
+        }
+        let mut held: Vec<(StripeIndex, u64)> = std::mem::take(&mut self.eager_locks);
+        held.extend(acquired);
+
+        // 2. Obtain the write version.
+        let wv = stm.clock.tick();
+
+        // 3. Validate the read set (skippable when nobody committed since
+        //    our snapshot — the TL2 rv + 1 == wv optimization).
+        if wv != self.rv + 1 {
+            for &stripe_raw in self.reads.keys() {
+                let s = StripeIndex(stripe_raw);
+                stm.gate.pass(thread, costs.validate_entry);
+                let w = stm.locks.load(s);
+                let locked_by_other = w.locked && w.owner != Some(thread);
+                if locked_by_other || w.version > self.rv {
+                    let abort =
+                        self.abort_at(AbortReason::ValidateFailed { var: VarId::from_raw(0) }, s);
+                    for &(h, old) in &held {
+                        stm.locks.unlock_restore(h, thread, old);
+                    }
+                    self.release(None);
+                    return Err(abort);
+                }
+            }
+        }
+
+        // 4. Resolve against visible readers (LibTM modes).
+        let seq = CommitSeq::new(stm.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
+        match stm.config.resolution {
+            Resolution::SelfAbort => {}
+            Resolution::AbortReaders => {
+                for &(s, _) in &held {
+                    for victim in stm.locks.readers_excluding(s, thread) {
+                        stm.doom(victim, self.who, seq);
+                    }
+                }
+            }
+            Resolution::WaitForReaders => {
+                let mut polls = 0u32;
+                loop {
+                    let busy = held
+                        .iter()
+                        .any(|&(s, _)| !stm.locks.readers_excluding(s, thread).is_empty());
+                    if !busy {
+                        break;
+                    }
+                    if polls >= stm.config.reader_wait_limit {
+                        for &(h, old) in &held {
+                            stm.locks.unlock_restore(h, thread, old);
+                        }
+                        self.release(None);
+                        return Err(Abort::new(AbortReason::ReaderWaitTimeout));
+                    }
+                    polls += 1;
+                    stm.gate.pass(thread, costs.poll);
+                    std::thread::yield_now();
+                }
+            }
+        }
+
+        // 5. Write back the redo log.
+        for w in &self.writes {
+            stm.gate.pass(thread, costs.commit_entry);
+            w.cell.store(Arc::clone(&w.value));
+        }
+
+        // 6. Release, publishing wv and stamping ourselves as last writer.
+        for &(s, _) in &held {
+            stm.locks.stamp(s, self.who, seq);
+            stm.locks.unlock_publish(s, thread, wv);
+        }
+        self.release(None);
+        Ok(CommitInfo { seq, wv, reads: n_reads, writes: n_writes })
+    }
+
+    /// Abort path: release encounter-time locks and reader registrations.
+    fn rollback(mut self) {
+        let thread = self.who.thread;
+        let locks = std::mem::take(&mut self.eager_locks);
+        for (s, old) in locks {
+            self.stm.locks.unlock_restore(s, thread, old);
+        }
+        self.release(None);
+    }
+
+    fn release(&mut self, _unused: Option<()>) {
+        let thread = self.who.thread;
+        for s in self.registered.drain(..) {
+            self.stm.locks.unregister_reader(s, thread);
+        }
+    }
+}
+
+/// Convenience: an [`Abort`] signalling a user-requested retry, for use as
+/// `return Err(gstm_core::retry())` inside a transaction body.
+pub fn retry() -> Abort {
+    Abort::new(AbortReason::UserRetry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StmConfig;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    fn x(i: u16) -> TxId {
+        TxId::new(i)
+    }
+
+    #[test]
+    fn single_thread_counter() {
+        let stm = Stm::new(StmConfig::new(1));
+        let v = TVar::new(0i64);
+        for _ in 0..100 {
+            stm.run(t(0), x(0), |tx| {
+                let cur = tx.read(&v)?;
+                tx.write(&v, cur + 1)
+            });
+        }
+        assert_eq!(*v.load_unlogged(), 100);
+        assert_eq!(stm.commit_count(), 100);
+    }
+
+    #[test]
+    fn read_own_write() {
+        let stm = Stm::new(StmConfig::new(1));
+        let v = TVar::new(1i32);
+        let seen = stm.run(t(0), x(0), |tx| {
+            tx.write(&v, 42)?;
+            tx.read(&v)
+        });
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn write_skew_prevented_by_validation() {
+        // Classic TL2 property: a transaction that read a stale value fails
+        // commit validation once another commit bumps the stripe version.
+        let stm = Stm::new(StmConfig::new(2));
+        let a = TVar::new(0i64);
+
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            let v = tx.read(&a)?;
+            // Simulate an interleaved committer from thread 1.
+            stm.run(t(1), x(1), |tx2| {
+                let w = tx2.read(&a)?;
+                tx2.write(&a, w + 10)
+            });
+            tx.write(&a, v + 1)
+        });
+        assert!(r.is_err(), "stale writer must abort: {r:?}");
+        assert_eq!(*a.load_unlogged(), 10);
+    }
+
+    #[test]
+    fn retry_loop_eventually_commits() {
+        let stm = Stm::new(StmConfig::new(2));
+        let a = TVar::new(0i64);
+        let mut interfered = false;
+        stm.run(t(0), x(0), |tx| {
+            let v = tx.read(&a)?;
+            if !interfered {
+                interfered = true;
+                stm.run(t(1), x(1), |tx2| {
+                    let w = tx2.read(&a)?;
+                    tx2.write(&a, w + 100)
+                });
+            }
+            tx.write(&a, v + 1)
+        });
+        assert_eq!(*a.load_unlogged(), 101, "retry must observe the interferer's commit");
+    }
+
+    #[test]
+    fn read_only_tx_commits_without_clock_tick() {
+        let stm = Stm::new(StmConfig::new(1));
+        let v = TVar::new(7u8);
+        let before = stm.clock.sample();
+        let got = stm.run(t(0), x(0), |tx| tx.read(&v));
+        assert_eq!(got, 7);
+        assert_eq!(stm.clock.sample(), before);
+        assert_eq!(stm.commit_count(), 1, "commit still sequenced");
+    }
+
+    #[test]
+    fn stale_read_aborts_inline() {
+        let stm = Stm::new(StmConfig::new(2));
+        let a = TVar::new(0i64);
+        let b = TVar::new(0i64);
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            let _ = tx.read(&a)?;
+            stm.run(t(1), x(1), |tx2| tx2.write(&b, 5));
+            // b's stripe version now exceeds our rv: the read must abort.
+            tx.read(&b)
+        });
+        assert!(matches!(
+            r,
+            Err(StmError::Aborted(Abort { reason: AbortReason::ReadVersion { .. }, .. }))
+        ));
+    }
+
+    #[test]
+    fn culprit_attribution_names_the_committer() {
+        let stm = Stm::new(StmConfig::new(2));
+        let a = TVar::new(0i64);
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            let _ = tx.read(&a)?;
+            stm.run(t(1), x(5), |tx2| tx2.write(&a, 5));
+            tx.write(&a, 1)
+        });
+        match r {
+            Err(StmError::Aborted(abort)) => {
+                let (p, _) = abort.culprit.expect("culprit attributed");
+                assert_eq!(p.thread, t(1));
+                assert_eq!(p.tx, x(5));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn modify_helper() {
+        let stm = Stm::new(StmConfig::new(1));
+        let v = TVar::new(3i32);
+        stm.run(t(0), x(0), |tx| tx.modify(&v, |n| n * 2));
+        assert_eq!(*v.load_unlogged(), 6);
+    }
+
+    #[test]
+    fn user_retry_respects_budget() {
+        let stm = Stm::new(StmConfig::new(1));
+        let r: Result<(), _> = stm.try_run(t(0), x(0), |_tx| Err(retry()), 3);
+        assert!(matches!(r, Err(StmError::RetryBudgetExhausted { attempts: 3 })));
+    }
+
+    #[test]
+    fn encounter_time_blocks_second_writer() {
+        let cfg = StmConfig::new(2).with_detection(Detection::EncounterTime);
+        let stm = Stm::new(cfg);
+        let a = TVar::new(0i64);
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            tx.write(&a, 1)?;
+            // Thread 1 attempts an eager write to the same stripe: busy.
+            let inner = stm.try_run_once(t(1), x(1), |tx2| tx2.write(&a, 2));
+            assert!(
+                matches!(
+                    inner,
+                    Err(StmError::Aborted(Abort {
+                        reason: AbortReason::WriteLockBusy { .. },
+                        ..
+                    }))
+                ),
+                "{inner:?}"
+            );
+            Ok(())
+        });
+        assert!(r.is_ok());
+        assert_eq!(*a.load_unlogged(), 1);
+    }
+
+    #[test]
+    fn two_threads_race_to_correct_total() {
+        use std::sync::Arc as StdArc;
+        let stm = StdArc::new(Stm::new(StmConfig::new(2)));
+        let v = TVar::new(0i64);
+        let mut handles = Vec::new();
+        for i in 0..2u16 {
+            let stm = StdArc::clone(&stm);
+            let v = v.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..500 {
+                    stm.run(t(i), x(0), |tx| {
+                        let cur = tx.read(&v)?;
+                        tx.write(&v, cur + 1)
+                    });
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*v.load_unlogged(), 1000);
+    }
+
+    #[test]
+    fn commit_info_counts_sets() {
+        let stm = Stm::new(StmConfig::new(1));
+        let sink = Arc::new(crate::events::MemorySink::new());
+        let stm = Stm::with_parts(
+            *stm.config(),
+            Arc::new(NullGate),
+            sink.clone(),
+            Arc::new(AdmitAll),
+            Arc::new(Aggressive),
+        );
+        let a = TVar::new(0i64);
+        let b = TVar::new(0i64);
+        stm.run(t(0), x(0), |tx| {
+            let _ = tx.read(&a)?;
+            tx.write(&b, 1)
+        });
+        let evs = sink.take();
+        let commit = evs
+            .iter()
+            .find_map(|e| match e {
+                TxEvent::Commit { reads, writes, .. } => Some((*reads, *writes)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(commit, (1, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_thread_panics() {
+        let stm = Stm::new(StmConfig::new(1));
+        let v = TVar::new(0);
+        stm.run(t(5), x(0), |tx| tx.read(&v));
+    }
+}

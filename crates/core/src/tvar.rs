@@ -1,0 +1,190 @@
+//! Transactional variables.
+
+use parking_lot::Mutex;
+use std::any::Any;
+use std::fmt;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use crate::ids::VarId;
+
+/// Erased payload stored in a [`VarCell`]: an immutable snapshot.
+pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
+
+static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Type-erased storage cell shared by all clones of a [`TVar`].
+///
+/// The cell holds the current value as an `Arc` snapshot behind a very short
+/// mutex. Readers clone the `Arc` (cheap) and validate against the stripe
+/// version afterwards, so a racing commit can never produce a torn value —
+/// at worst a consistent-but-stale snapshot that TL2 validation then rejects.
+pub(crate) struct VarCell {
+    id: VarId,
+    data: Mutex<ErasedValue>,
+}
+
+impl VarCell {
+    pub(crate) fn id(&self) -> VarId {
+        self.id
+    }
+
+    pub(crate) fn load(&self) -> ErasedValue {
+        Arc::clone(&self.data.lock())
+    }
+
+    pub(crate) fn store(&self, value: ErasedValue) {
+        *self.data.lock() = value;
+    }
+}
+
+impl fmt::Debug for VarCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("VarCell").field("id", &self.id).finish_non_exhaustive()
+    }
+}
+
+/// A shared variable accessible only through transactions.
+///
+/// `TVar<T>` is the unit of conflict detection: its [`VarId`] hashes into the
+/// striped lock table, just as TL2 hashes a memory word's address. Values are
+/// stored as immutable `Arc<T>` snapshots; a transactional write installs a
+/// new snapshot at commit (write-back).
+///
+/// Clones of a `TVar` alias the same underlying cell:
+///
+/// ```
+/// use gstm_core::TVar;
+/// let a = TVar::new(1i64);
+/// let b = a.clone();
+/// assert_eq!(a.id(), b.id());
+/// ```
+///
+/// Use [`crate::Txn::read`] / [`crate::Txn::write`] inside a transaction;
+/// [`TVar::load_unlogged`] reads outside any transaction (e.g. for final
+/// result extraction after worker threads join).
+pub struct TVar<T> {
+    cell: Arc<VarCell>,
+    _marker: PhantomData<fn() -> T>,
+}
+
+impl<T: Send + Sync + 'static> TVar<T> {
+    /// Creates a new transactional variable holding `value`.
+    pub fn new(value: T) -> Self {
+        let id = VarId::from_raw(NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed));
+        TVar {
+            cell: Arc::new(VarCell { id, data: Mutex::new(Arc::new(value)) }),
+            _marker: PhantomData,
+        }
+    }
+
+    /// This variable's globally unique id.
+    pub fn id(&self) -> VarId {
+        self.cell.id
+    }
+
+    /// Reads the current snapshot **outside** of any transaction.
+    ///
+    /// No consistency with other variables is guaranteed; use this only when
+    /// no transactions are in flight (setup/teardown) or when a single
+    /// isolated value is acceptable.
+    pub fn load_unlogged(&self) -> Arc<T> {
+        downcast(self.cell.load())
+    }
+
+    /// Overwrites the value **outside** of any transaction, without bumping
+    /// the stripe version. Only safe while no transactions run (setup).
+    pub fn store_unlogged(&self, value: T) {
+        self.cell.store(Arc::new(value));
+    }
+
+    pub(crate) fn cell(&self) -> &Arc<VarCell> {
+        &self.cell
+    }
+}
+
+/// Downcasts an erased snapshot to its concrete type.
+///
+/// # Panics
+///
+/// Panics if the cell holds a different type, which is impossible through the
+/// public API (a `TVar<T>` only ever stores `T`).
+pub(crate) fn downcast<T: Send + Sync + 'static>(v: ErasedValue) -> Arc<T> {
+    match v.downcast::<T>() {
+        Ok(t) => t,
+        Err(_) => unreachable!("TVar type confusion: cell held an unexpected type"),
+    }
+}
+
+impl<T> Clone for TVar<T> {
+    fn clone(&self) -> Self {
+        TVar { cell: Arc::clone(&self.cell), _marker: PhantomData }
+    }
+}
+
+impl<T: Send + Sync + 'static> Default for TVar<T>
+where
+    T: Default,
+{
+    fn default() -> Self {
+        TVar::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug + Send + Sync + 'static> fmt::Debug for TVar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TVar")
+            .field("id", &self.id())
+            .field("value", &*self.load_unlogged())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_unique() {
+        let a = TVar::new(0u32);
+        let b = TVar::new(0u32);
+        assert_ne!(a.id(), b.id());
+    }
+
+    #[test]
+    fn clone_aliases_cell() {
+        let a = TVar::new(5i32);
+        let b = a.clone();
+        a.store_unlogged(9);
+        assert_eq!(*b.load_unlogged(), 9);
+    }
+
+    #[test]
+    fn load_store_unlogged() {
+        let v = TVar::new(String::from("x"));
+        assert_eq!(v.load_unlogged().as_str(), "x");
+        v.store_unlogged(String::from("y"));
+        assert_eq!(v.load_unlogged().as_str(), "y");
+    }
+
+    #[test]
+    fn default_requires_default_inner() {
+        let v: TVar<Vec<u8>> = TVar::default();
+        assert!(v.load_unlogged().is_empty());
+    }
+
+    #[test]
+    fn debug_shows_value() {
+        let v = TVar::new(42u8);
+        let s = format!("{v:?}");
+        assert!(s.contains("42"), "{s}");
+    }
+
+    #[test]
+    fn tvar_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TVar<u64>>();
+        assert_send_sync::<TVar<Vec<String>>>();
+    }
+}

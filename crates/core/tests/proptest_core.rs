@@ -1,0 +1,94 @@
+//! Property-based tests of the core engine's building blocks.
+
+use proptest::prelude::*;
+
+use gstm_core::lock_table::{LockTable, StripeIndex};
+use gstm_core::{CommitSeq, Participant, Stm, StmConfig, TVar, ThreadId, TxId, VarId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Lock words survive arbitrary lock/publish cycles: the version always
+    /// reads back exactly, the lock bit and owner are faithful.
+    #[test]
+    fn lock_word_roundtrip(versions in proptest::collection::vec(0u64..(1 << 40), 1..20),
+                           owner in 0u16..512) {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(3);
+        let owner = ThreadId::new(owner);
+        for v in versions {
+            let pre = lt.try_lock(s, owner).expect("unlocked");
+            let w = lt.load(s);
+            prop_assert!(w.locked);
+            prop_assert_eq!(w.owner, Some(owner));
+            prop_assert_eq!(w.version, pre);
+            lt.unlock_publish(s, owner, v);
+            let w = lt.load(s);
+            prop_assert!(!w.locked);
+            prop_assert_eq!(w.version, v);
+        }
+    }
+
+    /// Stamps round-trip any (thread, tx, seq-low-32) combination.
+    #[test]
+    fn stamp_roundtrip(t in 0u16..u16::MAX, x in 0u16..u16::MAX, seq in 1u64..(1 << 32)) {
+        let lt = LockTable::new(2, false);
+        let s = StripeIndex(1);
+        let who = Participant::new(ThreadId::new(t), TxId::new(x));
+        lt.stamp(s, who, CommitSeq::new(seq));
+        let (got_who, got_seq) = lt.last_writer(s).expect("stamped");
+        prop_assert_eq!(got_who, who);
+        prop_assert_eq!(got_seq.raw(), seq);
+    }
+
+    /// Stripe mapping is total and stable for arbitrary ids.
+    #[test]
+    fn stripe_mapping_total(raw in proptest::collection::vec(0u64..u64::MAX, 1..50),
+                            log2 in 1u32..12) {
+        let lt = LockTable::new(log2, false);
+        for r in raw {
+            let s1 = lt.stripe_of(VarId::from_raw(r));
+            let s2 = lt.stripe_of(VarId::from_raw(r));
+            prop_assert_eq!(s1, s2);
+            prop_assert!((s1.0 as usize) < lt.len());
+        }
+    }
+
+    /// Single-threaded transactional programs behave exactly like their
+    /// sequential interpretation over arbitrary op sequences.
+    #[test]
+    fn sequential_equivalence(ops in proptest::collection::vec((0usize..4, -50i64..50), 1..60)) {
+        let stm = Stm::new(StmConfig::new(1));
+        let vars: Vec<TVar<i64>> = (0..4).map(|_| TVar::new(0)).collect();
+        let mut reference = [0i64; 4];
+        for (i, delta) in ops {
+            stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+                let v = tx.read(&vars[i])?;
+                tx.write(&vars[i], v + delta)
+            });
+            reference[i] += delta;
+        }
+        for (i, var) in vars.iter().enumerate() {
+            prop_assert_eq!(*var.load_unlogged(), reference[i]);
+        }
+    }
+
+    /// Write-after-write within one transaction keeps only the last value,
+    /// and read-own-write always observes the latest buffered value.
+    #[test]
+    fn redo_log_last_write_wins(writes in proptest::collection::vec(-100i64..100, 1..20)) {
+        let stm = Stm::new(StmConfig::new(1));
+        let v = TVar::new(i64::MIN);
+        let last = *writes.last().expect("nonempty");
+        let observed = stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+            for &w in &writes {
+                tx.write(&v, w)?;
+                let seen = tx.read(&v)?;
+                assert_eq!(seen, w, "read-own-write must see the buffer");
+            }
+            tx.read(&v)
+        });
+        prop_assert_eq!(observed, last);
+        prop_assert_eq!(*v.load_unlogged(), last);
+    }
+}

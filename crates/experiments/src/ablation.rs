@@ -1,0 +1,316 @@
+//! Ablations over the design knobs DESIGN.md calls out.
+
+use std::sync::Arc;
+
+use gstm_guide::{run_workload, CmChoice, PolicyChoice, RunOptions};
+use gstm_stamp::benchmark;
+use gstm_stats::{mean, percent_reduction, slowdown, TextTable};
+
+use crate::config::ExpConfig;
+use crate::metrics::{mean_makespan, mean_nondeterminism, per_thread_improvement};
+use crate::study::train_stamp;
+
+/// Tfactor sweep (§VI: "experimenting with Tfactor values of between 1 to
+/// 10, we found that ... 4 strikes a balance"): variance reduction vs
+/// slowdown at each setting.
+pub fn ablate_tfactor(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+    let threads = cfg.threads_list[0];
+    let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let default_runs: Vec<_> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .collect();
+    let mut t = TextTable::new(vec![
+        "Tfactor".into(),
+        "mean variance improvement".into(),
+        "nondeterminism reduction".into(),
+        "slowdown (x)".into(),
+    ]);
+    for tfactor in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
+        progress(&format!("ablate-tfactor: {name} Tfactor={tfactor}"));
+        let mut sweep_cfg = cfg.clone();
+        sweep_cfg.tfactor = tfactor;
+        let trained = train_stamp(&sweep_cfg, name, threads);
+        let guided_runs: Vec<_> = cfg
+            .test_seeds
+            .iter()
+            .map(|&s| {
+                let opts = RunOptions::new(threads, s)
+                    .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
+                run_workload(workload.as_ref(), &opts)
+            })
+            .collect();
+        let imp = mean(&per_thread_improvement(&default_runs, &guided_runs));
+        let nd = percent_reduction(
+            mean_nondeterminism(&default_runs),
+            mean_nondeterminism(&guided_runs),
+        );
+        let s = slowdown(mean_makespan(&default_runs), mean_makespan(&guided_runs));
+        t.row(vec![
+            format!("{tfactor:.0}"),
+            format!("{imp:+.1}%"),
+            format!("{nd:+.1}%"),
+            format!("{s:.2}x"),
+        ]);
+    }
+    format!("== Ablation: Tfactor sweep on {name}, {threads} threads ==\n{}", t.render())
+}
+
+/// Hold-bound `k` sweep: guidance strength vs progress cost.
+pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+    let threads = cfg.threads_list[0];
+    let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let trained = train_stamp(cfg, name, threads);
+    let default_runs: Vec<_> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .collect();
+    let mut t = TextTable::new(vec![
+        "k".into(),
+        "mean variance improvement".into(),
+        "holds bailed out".into(),
+        "slowdown (x)".into(),
+    ]);
+    for k in [4u32, 16, 64, 256] {
+        progress(&format!("ablate-k: {name} k={k}"));
+        let guided_runs: Vec<_> = cfg
+            .test_seeds
+            .iter()
+            .map(|&s| {
+                let opts = RunOptions::new(threads, s).with_policy(PolicyChoice::Guided {
+                    model: Arc::clone(&trained.model),
+                    k,
+                });
+                run_workload(workload.as_ref(), &opts)
+            })
+            .collect();
+        let imp = mean(&per_thread_improvement(&default_runs, &guided_runs));
+        let bails: u64 =
+            guided_runs.iter().filter_map(|r| r.hold_stats).map(|h| h.bailed_out).sum();
+        let s = slowdown(mean_makespan(&default_runs), mean_makespan(&guided_runs));
+        t.row(vec![
+            k.to_string(),
+            format!("{imp:+.1}%"),
+            bails.to_string(),
+            format!("{s:.2}x"),
+        ]);
+    }
+    format!("== Ablation: hold bound k sweep on {name}, {threads} threads ==\n{}", t.render())
+}
+
+/// Contention managers vs guided execution (§IX's claim: CMs raise
+/// throughput but not repeatability).
+pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+    let threads = cfg.threads_list[0];
+    let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let baseline: Vec<_> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .collect();
+    let mut t = TextTable::new(vec![
+        "Policy".into(),
+        "mean variance improvement".into(),
+        "nondeterminism reduction".into(),
+        "slowdown (x)".into(),
+    ]);
+    let mut push = |label: String, runs: &Vec<gstm_guide::RunOutcome>| {
+        let imp = mean(&per_thread_improvement(&baseline, runs));
+        let nd = percent_reduction(mean_nondeterminism(&baseline), mean_nondeterminism(runs));
+        let s = slowdown(mean_makespan(&baseline), mean_makespan(runs));
+        t.row(vec![
+            label,
+            format!("{imp:+.1}%"),
+            format!("{nd:+.1}%"),
+            format!("{s:.2}x"),
+        ]);
+    };
+    for cm in [CmChoice::Polite, CmChoice::Karma, CmChoice::Greedy] {
+        progress(&format!("ablate-cm: {name} {cm:?}"));
+        let runs: Vec<_> = cfg
+            .test_seeds
+            .iter()
+            .map(|&s| {
+                let mut opts = RunOptions::new(threads, s);
+                opts.cm = cm;
+                run_workload(workload.as_ref(), &opts)
+            })
+            .collect();
+        push(format!("{cm:?}"), &runs);
+    }
+    progress(&format!("ablate-cm: {name} guided"));
+    let trained = train_stamp(cfg, name, threads);
+    let guided: Vec<_> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| {
+            let opts = RunOptions::new(threads, s)
+                .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
+            run_workload(workload.as_ref(), &opts)
+        })
+        .collect();
+    push("Guided".into(), &guided);
+    format!(
+        "== Ablation: contention managers vs guidance on {name}, {threads} threads ==\n{}",
+        t.render()
+    )
+}
+
+/// Detection-mode ablation (§II: "demonstration of guided execution on
+/// eager detection mechanism is easily implied by the testimony on lazy
+/// conflict detection"): run default and guided under both commit-time and
+/// encounter-time locking and compare abort profiles and variance.
+pub fn ablate_detection(
+    cfg: &ExpConfig,
+    name: &'static str,
+    progress: &mut dyn FnMut(&str),
+) -> String {
+    use gstm_core::Detection;
+    let threads = cfg.threads_list[0];
+    let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let trained = train_stamp(cfg, name, threads);
+    let mut t = TextTable::new(vec![
+        "Detection".into(),
+        "policy".into(),
+        "abort ratio".into(),
+        "mean variance improvement".into(),
+        "slowdown vs lazy default (x)".into(),
+    ]);
+    let run_set = |detection: Detection, policy: PolicyChoice| -> Vec<gstm_guide::RunOutcome> {
+        cfg.test_seeds
+            .iter()
+            .map(|&s| {
+                let mut opts = RunOptions::new(threads, s).with_policy(policy.clone());
+                opts.detection = Some(detection);
+                run_workload(workload.as_ref(), &opts)
+            })
+            .collect()
+    };
+    progress(&format!("ablate-detection: {name} lazy default"));
+    let lazy_default = run_set(Detection::CommitTime, PolicyChoice::Default);
+    let base_time = mean_makespan(&lazy_default);
+    for detection in [Detection::CommitTime, Detection::EncounterTime] {
+        for guided in [false, true] {
+            let label = if guided { "guided" } else { "default" };
+            progress(&format!("ablate-detection: {name} {detection:?} {label}"));
+            let policy = if guided {
+                PolicyChoice::guided(Arc::clone(&trained.model))
+            } else {
+                PolicyChoice::Default
+            };
+            let runs = if matches!(detection, Detection::CommitTime) && !guided {
+                lazy_default.clone()
+            } else {
+                run_set(detection, policy)
+            };
+            let ar = crate::metrics::mean_abort_ratio(&runs);
+            let imp = mean(&per_thread_improvement(&lazy_default, &runs));
+            let s = slowdown(base_time, mean_makespan(&runs));
+            t.row(vec![
+                format!("{detection:?}"),
+                label.into(),
+                format!("{ar:.3}"),
+                format!("{imp:+.1}%"),
+                format!("{s:.2}x"),
+            ]);
+        }
+    }
+    format!(
+        "== Ablation: detection mode x guidance on {name}, {threads} threads ==\n{}",
+        t.render()
+    )
+}
+
+/// Policy spectrum: default vs the paper's dismissed local prioritization
+/// (§I), DeSTM-style determinism (§IX) and guided execution — variance,
+/// non-determinism and throughput cost of each point on the
+/// speculation/repeatability spectrum.
+pub fn ablate_policy(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+    let threads = cfg.threads_list[0];
+    let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let baseline: Vec<_> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .collect();
+    let mut t = TextTable::new(vec![
+        "Policy".into(),
+        "mean variance improvement".into(),
+        "nondeterminism reduction".into(),
+        "slowdown (x)".into(),
+    ]);
+    let mut measure = |label: &str, policy: PolicyChoice, progress: &mut dyn FnMut(&str)| {
+        progress(&format!("ablate-policy: {name} {label}"));
+        let runs: Vec<_> = cfg
+            .test_seeds
+            .iter()
+            .map(|&s| {
+                run_workload(workload.as_ref(), &RunOptions::new(threads, s).with_policy(policy.clone()))
+            })
+            .collect();
+        let imp = mean(&per_thread_improvement(&baseline, &runs));
+        let nd = percent_reduction(mean_nondeterminism(&baseline), mean_nondeterminism(&runs));
+        let s = slowdown(mean_makespan(&baseline), mean_makespan(&runs));
+        t.row(vec![
+            label.to_string(),
+            format!("{imp:+.1}%"),
+            format!("{nd:+.1}%"),
+            format!("{s:.2}x"),
+        ]);
+    };
+    measure("bounded-aborts(3)", PolicyChoice::BoundedAborts { limit: 3 }, progress);
+    measure("deterministic", PolicyChoice::Deterministic, progress);
+    let trained = train_stamp(cfg, name, threads);
+    measure("guided", PolicyChoice::guided(trained.model), progress);
+    format!(
+        "== Ablation: admission-policy spectrum on {name}, {threads} threads ==\n{}",
+        t.render()
+    )
+}
+
+/// Training-size ablation (the paper's "medium sized training set is not
+/// usually a representative input" remark): how model coverage changes
+/// with the training input.
+pub fn ablate_train(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+    use gstm_stamp::InputSize;
+    let threads = cfg.threads_list[0];
+    let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let mut t = TextTable::new(vec![
+        "Training size".into(),
+        "model states".into(),
+        "unknown-state rate".into(),
+        "mean variance improvement".into(),
+    ]);
+    let default_runs: Vec<_> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .collect();
+    for size in [InputSize::Small, InputSize::Medium] {
+        progress(&format!("ablate-train: {name} trained on {size}"));
+        let mut sweep = cfg.clone();
+        sweep.train_size = size;
+        let trained = train_stamp(&sweep, name, threads);
+        let guided_runs: Vec<_> = cfg
+            .test_seeds
+            .iter()
+            .map(|&s| {
+                let opts = RunOptions::new(threads, s)
+                    .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
+                run_workload(workload.as_ref(), &opts)
+            })
+            .collect();
+        let unknown: f64 = guided_runs.iter().map(|r| r.unknown_hits as f64).sum::<f64>()
+            / guided_runs.iter().map(|r| r.total_commits() as f64).sum::<f64>().max(1.0);
+        let imp = mean(&per_thread_improvement(&default_runs, &guided_runs));
+        t.row(vec![
+            size.to_string(),
+            trained.tsa.state_count().to_string(),
+            format!("{:.1}%", unknown * 100.0),
+            format!("{imp:+.1}%"),
+        ]);
+    }
+    format!("== Ablation: training-input size on {name}, {threads} threads ==\n{}", t.render())
+}

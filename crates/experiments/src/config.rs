@@ -1,0 +1,81 @@
+//! Experiment configuration shared by every table/figure.
+
+use gstm_stamp::InputSize;
+
+/// Configuration of an experiment sweep.
+#[derive(Clone, Debug)]
+pub struct ExpConfig {
+    /// Thread counts to evaluate (the paper: 8 and 16).
+    pub threads_list: Vec<usize>,
+    /// Seeds used for the measured (test) runs; the paper averages 20 runs.
+    pub test_seeds: Vec<u64>,
+    /// Seeds used for profiling/training; the paper trains from 20 runs.
+    pub train_seeds: Vec<u64>,
+    /// The `Tfactor` threshold knob (§VI: 4 balances).
+    pub tfactor: f64,
+    /// Training input size (the artifact default: medium).
+    pub train_size: InputSize,
+    /// Test input size (the artifact default: small).
+    pub test_size: InputSize,
+    /// SynQuake frame counts: (training frames, test frames). The paper
+    /// uses 1000/10000 frames with 1000 players; we scale both down so the
+    /// full sweep fits a CI budget (DESIGN.md §2).
+    pub synquake_frames: (u64, u64),
+    /// SynQuake player count (paper: 1000; scaled to 600 by default).
+    pub synquake_players: usize,
+    /// Directory results are written to.
+    pub out_dir: std::path::PathBuf,
+}
+
+impl ExpConfig {
+    /// The full configuration used for EXPERIMENTS.md (paper parity:
+    /// 20 + 20 seeds).
+    pub fn full() -> Self {
+        ExpConfig {
+            threads_list: vec![8, 16],
+            test_seeds: (1000..1020).collect(),
+            train_seeds: (1..21).collect(),
+            tfactor: 4.0,
+            train_size: InputSize::Medium,
+            test_size: InputSize::Small,
+            synquake_frames: (10, 24),
+            synquake_players: 600,
+            out_dir: "results".into(),
+        }
+    }
+
+    /// A reduced configuration for smoke testing the harness.
+    pub fn fast() -> Self {
+        ExpConfig {
+            threads_list: vec![4, 8],
+            test_seeds: (1000..1006).collect(),
+            train_seeds: (1..7).collect(),
+            synquake_frames: (5, 10),
+            synquake_players: 150,
+            ..ExpConfig::full()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_matches_paper_parameters() {
+        let c = ExpConfig::full();
+        assert_eq!(c.threads_list, vec![8, 16]);
+        assert_eq!(c.test_seeds.len(), 20);
+        assert_eq!(c.train_seeds.len(), 20);
+        assert_eq!(c.tfactor, 4.0);
+        assert_eq!(c.train_size, InputSize::Medium);
+        assert_eq!(c.test_size, InputSize::Small);
+    }
+
+    #[test]
+    fn fast_is_smaller() {
+        let f = ExpConfig::fast();
+        assert!(f.test_seeds.len() < 20);
+        assert!(f.synquake_players < 1000);
+    }
+}

@@ -1,0 +1,21 @@
+//! # gstm-experiments — regenerate every table and figure of the paper
+//!
+//! One module per concern:
+//!
+//! * [`config`] — sweep parameters (threads, seeds, sizes, Tfactor);
+//! * [`study`] — raw run collection (train → default runs → guided runs);
+//! * [`metrics`] — derivations (per-thread stddev, tail metric merges, …);
+//! * [`report`] — one renderer per paper table/figure;
+//! * [`ablation`] — sweeps over the design knobs (Tfactor, k, CMs,
+//!   training size).
+//!
+//! The `experiments` binary wires these together; see `README.md` for the
+//! command map (e.g. `cargo run -p gstm-experiments --release -- table1`).
+
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod config;
+pub mod metrics;
+pub mod report;
+pub mod study;

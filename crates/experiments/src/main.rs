@@ -1,0 +1,230 @@
+//! The experiments CLI: regenerate any table or figure of the paper.
+//!
+//! ```text
+//! cargo run -p gstm-experiments --release -- <command> [--fast] [--bench NAME]
+//!
+//! commands:
+//!   table1 table2 table3 table4 table5
+//!   fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
+//!   stamp      (table1+3+4, fig3..10 from one shared study)
+//!   quake      (table5, fig11, fig12)
+//!   all        (everything above)
+//!   ablate-tfactor | ablate-k | ablate-cm | ablate-train | ablate-policy | ablate-detection
+//!   train-model --bench NAME   (profile + build + save results/NAME-<threads>t.gtsa)
+//!   inspect-model FILE         (analyzer report + hottest states of a saved model)
+//! ```
+//!
+//! Output is printed and archived under `results/`.
+
+use std::io::Write as _;
+
+use gstm_experiments::ablation;
+use gstm_experiments::config::ExpConfig;
+use gstm_experiments::report;
+use gstm_experiments::study::{run_quake_study, run_stamp_study};
+use gstm_synquake::Quest;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|all|\
+         train-model|inspect-model|sites|\
+         ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> [--fast] [--bench NAME]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        usage();
+    }
+    let command = args[0].as_str();
+    let fast = args.iter().any(|a| a == "--fast");
+    let bench_name: &'static str = args
+        .iter()
+        .position(|a| a == "--bench")
+        .and_then(|i| args.get(i + 1))
+        .map(|s| {
+            gstm_stamp::BENCHMARK_NAMES
+                .iter()
+                .copied()
+                .find(|n| *n == s.as_str())
+                .unwrap_or_else(|| {
+                    eprintln!("unknown benchmark {s}; known: {:?}", gstm_stamp::BENCHMARK_NAMES);
+                    std::process::exit(2);
+                })
+        })
+        .unwrap_or("kmeans");
+    let cfg = if fast { ExpConfig::fast() } else { ExpConfig::full() };
+    std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
+
+    let started = std::time::Instant::now();
+    let mut progress = |msg: &str| {
+        eprintln!("[{:7.1}s] {msg}", started.elapsed().as_secs_f64());
+    };
+
+    let mut outputs: Vec<(String, String)> = Vec::new();
+    let needs_stamp = matches!(
+        command,
+        "table1" | "table3" | "table4" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
+            | "fig9" | "fig10" | "stamp" | "all"
+    );
+    let needs_quake = matches!(command, "table5" | "fig11" | "fig12" | "quake" | "all");
+
+    let stamp = needs_stamp.then(|| {
+        // table1/table3/fig3 only need training; everything else needs the
+        // full study. Training dominates anyway, so share one full study.
+        run_stamp_study(&cfg, &gstm_stamp::BENCHMARK_NAMES, &mut progress)
+    });
+    let quake = needs_quake.then(|| run_quake_study(&cfg, &mut progress));
+
+    let threads_a = cfg.threads_list[0];
+    let threads_b = *cfg.threads_list.last().expect("nonempty threads list");
+
+    let out_dir = cfg.out_dir.clone();
+    let mut emit = |id: &str, body: String| {
+        // Flush incrementally so long sweeps leave results behind even if
+        // interrupted.
+        let path = out_dir.join(format!("{id}.txt"));
+        if let Ok(mut f) = std::fs::File::create(&path) {
+            let _ = f.write_all(body.as_bytes());
+        }
+        outputs.push((id.to_string(), body));
+    };
+    match command {
+        "table2" => emit("table2", report::table2(&cfg)),
+        "table1" => emit("table1", report::table1(&cfg, stamp.as_ref().unwrap())),
+        "table3" => emit("table3", report::table3(&cfg, stamp.as_ref().unwrap())),
+        "table4" => emit("table4", report::table4(&cfg, stamp.as_ref().unwrap())),
+        "fig3" => emit("fig3", report::fig3(&cfg, stamp.as_ref().unwrap())),
+        "fig4" => emit("fig4", report::fig_variance(threads_a, stamp.as_ref().unwrap(), "Figure 4")),
+        "fig6" => emit("fig6", report::fig_variance(threads_b, stamp.as_ref().unwrap(), "Figure 6")),
+        "fig5" => emit("fig5", report::fig_tails(threads_a, stamp.as_ref().unwrap(), "Figure 5", 0)),
+        "fig7" => emit("fig7", report::fig_tails(threads_b, stamp.as_ref().unwrap(), "Figure 7", threads_b / 2)),
+        "fig8" => emit("fig8", report::fig8(&cfg, stamp.as_ref().unwrap())),
+        "fig9" => emit("fig9", report::fig9(&cfg, stamp.as_ref().unwrap())),
+        "fig10" => emit("fig10", report::fig10(&cfg, stamp.as_ref().unwrap())),
+        "table5" => emit("table5", report::table5(&cfg, quake.as_ref().unwrap())),
+        "fig11" => emit(
+            "fig11",
+            report::fig_quake(&cfg, quake.as_ref().unwrap(), Quest::Quadrants4, "Figure 11"),
+        ),
+        "fig12" => emit(
+            "fig12",
+            report::fig_quake(&cfg, quake.as_ref().unwrap(), Quest::CenterSpread6, "Figure 12"),
+        ),
+        "stamp" | "quake" | "all" => {
+            if let Some(stamp) = &stamp {
+                emit("table1", report::table1(&cfg, stamp));
+                emit("table2", report::table2(&cfg));
+                emit("table3", report::table3(&cfg, stamp));
+                emit("table4", report::table4(&cfg, stamp));
+                emit("fig3", report::fig3(&cfg, stamp));
+                emit("fig4", report::fig_variance(threads_a, stamp, "Figure 4"));
+                emit("fig5", report::fig_tails(threads_a, stamp, "Figure 5", 0));
+                emit("fig6", report::fig_variance(threads_b, stamp, "Figure 6"));
+                emit("fig7", report::fig_tails(threads_b, stamp, "Figure 7", threads_b / 2));
+                emit("fig8", report::fig8(&cfg, stamp));
+                emit("fig9", report::fig9(&cfg, stamp));
+                emit("fig10", report::fig10(&cfg, stamp));
+            }
+            if let Some(quake) = &quake {
+                emit("table5", report::table5(&cfg, quake));
+                emit("fig11", report::fig_quake(&cfg, quake, Quest::Quadrants4, "Figure 11"));
+                emit(
+                    "fig12",
+                    report::fig_quake(&cfg, quake, Quest::CenterSpread6, "Figure 12"),
+                );
+            }
+        }
+        "ablate-tfactor" => {
+            emit("ablate-tfactor", ablation::ablate_tfactor(&cfg, bench_name, &mut progress))
+        }
+        "ablate-k" => emit("ablate-k", ablation::ablate_k(&cfg, bench_name, &mut progress)),
+        "ablate-cm" => emit("ablate-cm", ablation::ablate_cm(&cfg, bench_name, &mut progress)),
+        "ablate-train" => {
+            emit("ablate-train", ablation::ablate_train(&cfg, bench_name, &mut progress))
+        }
+        "ablate-policy" => {
+            emit("ablate-policy", ablation::ablate_policy(&cfg, bench_name, &mut progress))
+        }
+        "ablate-detection" => {
+            emit("ablate-detection", ablation::ablate_detection(&cfg, bench_name, &mut progress))
+        }
+        "train-model" => {
+            // Artifact parity: the paper's `exec.sh ... mcmc_data` phase
+            // produces a `state_data` model file; this saves our binary form.
+            let threads = cfg.threads_list[0];
+            progress(&format!("training {bench_name} at {threads} threads"));
+            let trained = gstm_experiments::study::train_stamp(&cfg, bench_name, threads);
+            let path = cfg.out_dir.join(format!("{bench_name}-{threads}t.gtsa"));
+            gstm_model::serialize::save(&trained.tsa, &path).expect("save model");
+            emit(
+                "train-model",
+                format!(
+                    "saved {} ({} states, {} edges, {} bytes)\nanalysis: {}\n",
+                    path.display(),
+                    trained.tsa.state_count(),
+                    trained.tsa.edge_count(),
+                    std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0),
+                    trained.analysis,
+                ),
+            );
+        }
+        "sites" => {
+            // Per-site diagnostics: which atomic block drives the aborts.
+            use gstm_core::{EventSink, SiteStatsSink};
+            use gstm_guide::{run_workload, RunOptions};
+            let threads = cfg.threads_list[0];
+            let w = gstm_stamp::benchmark(bench_name, cfg.test_size).expect("known");
+            let sink = SiteStatsSink::new();
+            for &seed in &cfg.test_seeds {
+                let out = run_workload(
+                    w.as_ref(),
+                    &RunOptions::new(threads, seed).capturing(),
+                );
+                for e in out.events.expect("captured") {
+                    sink.record(&e);
+                }
+            }
+            emit(
+                "sites",
+                format!(
+                    "== Per-site statistics: {bench_name}, {threads} threads, {} seeds ==\n{}",
+                    cfg.test_seeds.len(),
+                    sink.report()
+                ),
+            );
+        }
+        "inspect-model" => {
+            let path = args.get(1).unwrap_or_else(|| usage());
+            let tsa = gstm_model::serialize::load(std::path::Path::new(path))
+                .expect("load model file");
+            let analysis = gstm_model::analyze(&tsa, cfg.tfactor);
+            let mut body = format!("{}\nanalysis: {analysis}\nhottest states:\n", path);
+            let mut by_heat: Vec<_> = tsa
+                .space()
+                .iter()
+                .map(|(id, st)| {
+                    (tsa.out_edges(id).iter().map(|(_, c)| *c).sum::<u64>(), id, st)
+                })
+                .collect();
+            by_heat.sort_by_key(|entry| std::cmp::Reverse(entry.0));
+            for (heat, id, st) in by_heat.iter().take(8) {
+                body.push_str(&format!("  {id} {st} ({heat} observations)\n"));
+            }
+            emit("inspect-model", body);
+        }
+        _ => usage(),
+    }
+
+    for (_, body) in &outputs {
+        println!("{body}");
+    }
+    eprintln!(
+        "[{:7.1}s] wrote {} result file(s) to {}",
+        started.elapsed().as_secs_f64(),
+        outputs.len(),
+        cfg.out_dir.display()
+    );
+}

@@ -1,0 +1,212 @@
+//! Study runners: collect the raw runs every table/figure derives from.
+
+use std::collections::BTreeMap;
+
+use gstm_guide::{run_workload, train, PolicyChoice, RunOptions, RunOutcome, TrainedModel};
+use gstm_stamp::benchmark;
+use gstm_synquake::{Quest, SynQuake};
+
+use crate::config::ExpConfig;
+
+/// Everything measured for one (benchmark, thread-count) pair.
+#[derive(Debug)]
+pub struct StampCell {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Worker/core count.
+    pub threads: usize,
+    /// Model trained on the medium input.
+    pub trained: TrainedModel,
+    /// Default-STM test runs (one per seed).
+    pub default_runs: Vec<RunOutcome>,
+    /// Guided-STM test runs (one per seed).
+    pub guided_runs: Vec<RunOutcome>,
+}
+
+/// The STAMP half of the evaluation: one [`StampCell`] per
+/// (benchmark, thread-count).
+#[derive(Debug, Default)]
+pub struct StampStudy {
+    /// Cells keyed by `(name, threads)`.
+    pub cells: BTreeMap<(String, usize), StampCell>,
+}
+
+impl StampStudy {
+    /// The cell for a benchmark at a thread count.
+    pub fn cell(&self, name: &str, threads: usize) -> Option<&StampCell> {
+        self.cells.get(&(name.to_string(), threads))
+    }
+}
+
+/// Trains the model for one benchmark/thread-count (profiling runs on the
+/// training input size).
+pub fn train_stamp(cfg: &ExpConfig, name: &'static str, threads: usize) -> TrainedModel {
+    let workload =
+        benchmark(name, cfg.train_size).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let base = RunOptions::new(threads, 0);
+    train(workload.as_ref(), &base, &cfg.train_seeds, cfg.tfactor)
+}
+
+/// Runs the full default-vs-guided comparison for one benchmark at one
+/// thread count. `progress` is invoked with a short status line per phase.
+pub fn run_stamp_cell(
+    cfg: &ExpConfig,
+    name: &'static str,
+    threads: usize,
+    progress: &mut dyn FnMut(&str),
+) -> StampCell {
+    progress(&format!("{name}/{threads}t: training on {} ({} seeds)",
+        cfg.train_size, cfg.train_seeds.len()));
+    let trained = train_stamp(cfg, name, threads);
+
+    let workload =
+        benchmark(name, cfg.test_size).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    progress(&format!("{name}/{threads}t: default runs on {}", cfg.test_size));
+    let default_runs: Vec<RunOutcome> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .collect();
+    progress(&format!("{name}/{threads}t: guided runs on {}", cfg.test_size));
+    let guided_runs: Vec<RunOutcome> = cfg
+        .test_seeds
+        .iter()
+        .map(|&s| {
+            let opts = RunOptions::new(threads, s)
+                .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&trained.model)));
+            run_workload(workload.as_ref(), &opts)
+        })
+        .collect();
+    StampCell { name, threads, trained, default_runs, guided_runs }
+}
+
+/// Runs [`run_stamp_cell`] for every requested benchmark and thread count.
+pub fn run_stamp_study(
+    cfg: &ExpConfig,
+    names: &[&'static str],
+    progress: &mut dyn FnMut(&str),
+) -> StampStudy {
+    let mut study = StampStudy::default();
+    for &name in names {
+        for &threads in &cfg.threads_list {
+            let cell = run_stamp_cell(cfg, name, threads, progress);
+            study.cells.insert((name.to_string(), threads), cell);
+        }
+    }
+    study
+}
+
+/// Builds a small synthetic trained model for tests of the report layer
+/// (solo-commit round-robin with occasional conflict tuples).
+pub fn synthetic_trained(threads: usize) -> TrainedModel {
+    use gstm_core::{Participant, ThreadId, TxId};
+    use gstm_model::{analyze, GuidedModel, TsaBuilder, Tts};
+    let mut b = TsaBuilder::new();
+    let mut run = Vec::new();
+    for round in 0..30u16 {
+        for t in 0..threads as u16 {
+            let who = Participant::new(ThreadId::new(t), TxId::new(0));
+            if (t + round) % 5 == 0 {
+                let victim =
+                    Participant::new(ThreadId::new((t + 1) % threads as u16), TxId::new(0));
+                run.push(Tts::new(vec![victim], who));
+            } else {
+                run.push(Tts::solo(who));
+            }
+        }
+    }
+    b.add_run(&run);
+    let tsa = b.build();
+    let analysis = analyze(&tsa, 4.0);
+    let model = std::sync::Arc::new(GuidedModel::compile(tsa.clone(), 4.0));
+    TrainedModel { tsa, analysis, model }
+}
+
+/// One SynQuake test quest's measurements at one thread count.
+#[derive(Debug)]
+pub struct QuakeCell {
+    /// The quest under test.
+    pub quest: Quest,
+    /// Worker/core count.
+    pub threads: usize,
+    /// Default-STM runs.
+    pub default_runs: Vec<RunOutcome>,
+    /// Guided-STM runs.
+    pub guided_runs: Vec<RunOutcome>,
+}
+
+/// The SynQuake half of the evaluation.
+#[derive(Debug)]
+pub struct QuakeStudy {
+    /// Model per thread count (trained on the two training quests).
+    pub trained: BTreeMap<usize, TrainedModel>,
+    /// Measured cells keyed by `(quest, threads)`.
+    pub cells: Vec<QuakeCell>,
+}
+
+/// Trains the SynQuake model for one thread count on the paper's two
+/// training quests (`4worst_case` and `4moving`), pooling their profiled
+/// transaction sequences into one automaton.
+pub fn train_quake(cfg: &ExpConfig, threads: usize) -> TrainedModel {
+    use gstm_model::{analyze, parse_states, GuidedModel, Grouping, TsaBuilder};
+
+    let mut builder = TsaBuilder::new();
+    for quest in Quest::training() {
+        let workload = SynQuake {
+            players: cfg.synquake_players,
+            frames: cfg.synquake_frames.0,
+            quest,
+        };
+        for &seed in &cfg.train_seeds {
+            let opts = RunOptions::new(threads, seed).capturing();
+            let outcome = run_workload(&workload, &opts);
+            let events = outcome.events.expect("capture enabled");
+            builder.add_run(&parse_states(&events, Grouping::Arrival));
+        }
+    }
+    let tsa = builder.build();
+    let analysis = analyze(&tsa, cfg.tfactor);
+    let model = std::sync::Arc::new(GuidedModel::compile(tsa.clone(), cfg.tfactor));
+    TrainedModel { tsa, analysis, model }
+}
+
+/// Runs the full SynQuake study: train per thread count, then measure both
+/// test quests, default vs guided.
+pub fn run_quake_study(cfg: &ExpConfig, progress: &mut dyn FnMut(&str)) -> QuakeStudy {
+    let mut trained = BTreeMap::new();
+    let mut cells = Vec::new();
+    for &threads in &cfg.threads_list {
+        progress(&format!(
+            "synquake/{threads}t: training on {} + {} ({} seeds each)",
+            Quest::training()[0],
+            Quest::training()[1],
+            cfg.train_seeds.len()
+        ));
+        let model = train_quake(cfg, threads);
+        for quest in Quest::testing() {
+            let workload = SynQuake {
+                players: cfg.synquake_players,
+                frames: cfg.synquake_frames.1,
+                quest,
+            };
+            progress(&format!("synquake/{threads}t: measuring {quest}"));
+            let default_runs: Vec<RunOutcome> = cfg
+                .test_seeds
+                .iter()
+                .map(|&s| run_workload(&workload, &RunOptions::new(threads, s)))
+                .collect();
+            let guided_runs: Vec<RunOutcome> = cfg
+                .test_seeds
+                .iter()
+                .map(|&s| {
+                    let opts = RunOptions::new(threads, s)
+                        .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&model.model)));
+                    run_workload(&workload, &opts)
+                })
+                .collect();
+            cells.push(QuakeCell { quest, threads, default_runs, guided_runs });
+        }
+        trained.insert(threads, model);
+    }
+    QuakeStudy { trained, cells }
+}

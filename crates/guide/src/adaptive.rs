@@ -1,0 +1,170 @@
+//! Adaptive guidance — an extension beyond the paper.
+//!
+//! The paper observes that weakly trained models (STAMP's "not
+//! representative" medium inputs, vacation at 16 threads) degrade guided
+//! execution. [`AdaptivePolicy`] closes that loop at run time: it wraps a
+//! [`GuidedPolicy`] and monitors the tracker's *unknown-state rate*. While
+//! more than `max_unknown_pct`% of recent tuples miss the model, guidance
+//! stands down entirely (admit-all); when the execution returns to
+//! well-modelled territory, guidance resumes. The check is evaluated every
+//! `window` tuples, so the policy is cheap on the hot path.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gstm_core::{AdmissionPolicy, Participant};
+
+use crate::policy::GuidedPolicy;
+
+/// Guided execution with an automatic stand-down on weak-model evidence.
+#[derive(Debug)]
+pub struct AdaptivePolicy {
+    inner: Arc<GuidedPolicy>,
+    /// Disable guidance while unknown tuples exceed this percentage.
+    max_unknown_pct: u32,
+    /// Re-evaluate every this many observed tuples.
+    window: u64,
+    active: AtomicBool,
+    last_transitions: AtomicU64,
+    last_unknown: AtomicU64,
+    stand_downs: AtomicU64,
+}
+
+impl AdaptivePolicy {
+    /// Wraps `inner`, standing guidance down while more than
+    /// `max_unknown_pct`% of the last `window` tuples missed the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `max_unknown_pct` exceeds 100.
+    pub fn new(inner: Arc<GuidedPolicy>, max_unknown_pct: u32, window: u64) -> Self {
+        assert!(window > 0, "window must be positive");
+        assert!(max_unknown_pct <= 100, "a percentage");
+        AdaptivePolicy {
+            inner,
+            max_unknown_pct,
+            window,
+            active: AtomicBool::new(true),
+            last_transitions: AtomicU64::new(0),
+            last_unknown: AtomicU64::new(0),
+            stand_downs: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether guidance is currently engaged.
+    pub fn is_active(&self) -> bool {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    /// How many times guidance stood down.
+    pub fn stand_downs(&self) -> u64 {
+        self.stand_downs.load(Ordering::Relaxed)
+    }
+
+    fn reevaluate(&self) {
+        let tracker = self.inner.tracker();
+        let transitions = tracker.transition_count();
+        let last_t = self.last_transitions.load(Ordering::Relaxed);
+        if transitions < last_t + self.window {
+            return;
+        }
+        let unknown = tracker.unknown_state_hits();
+        let last_u = self.last_unknown.load(Ordering::Relaxed);
+        let dt = transitions - last_t;
+        let du = unknown.saturating_sub(last_u);
+        self.last_transitions.store(transitions, Ordering::Relaxed);
+        self.last_unknown.store(unknown, Ordering::Relaxed);
+        let unknown_pct = 100 * du / dt.max(1);
+        let should_be_active = unknown_pct <= self.max_unknown_pct as u64;
+        let was = self.active.swap(should_be_active, Ordering::Relaxed);
+        if was && !should_be_active {
+            self.stand_downs.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+impl AdmissionPolicy for AdaptivePolicy {
+    fn admit(&self, who: Participant, poll: &mut dyn FnMut()) -> u32 {
+        self.reevaluate();
+        if self.active.load(Ordering::Relaxed) {
+            self.inner.admit(who, poll)
+        } else {
+            0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "adaptive-guided"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{CommitSeq, EventSink, ThreadId, TxEvent, TxId};
+    use gstm_model::{GuidedModel, StateTracker, TsaBuilder, Tts};
+
+    fn p(t: u16, x: u16) -> Participant {
+        Participant::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    fn commit_event(t: u16, x: u16, seq: u64) -> TxEvent {
+        TxEvent::Commit { who: p(t, x), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+    }
+
+    fn setup() -> (Arc<StateTracker>, AdaptivePolicy) {
+        // A model that knows only {<a0>} and {<a1>}; the dominant edge from
+        // {<a0>} goes to {<a1>}, so from {<a0>} participant b9 is held.
+        let mut b = TsaBuilder::new();
+        let mut run = Vec::new();
+        for _ in 0..10 {
+            run.extend([Tts::solo(p(0, 0)), Tts::solo(p(1, 0))]);
+        }
+        b.add_run(&run);
+        let model = Arc::new(GuidedModel::compile(b.build(), 4.0));
+        let tracker = Arc::new(StateTracker::with_model(model));
+        let inner = Arc::new(GuidedPolicy::new(Arc::clone(&tracker), 4));
+        let adaptive = AdaptivePolicy::new(inner, 50, 4);
+        (tracker, adaptive)
+    }
+
+    #[test]
+    fn stands_down_when_unknown_rate_spikes() {
+        let (tracker, adaptive) = setup();
+        assert!(adaptive.is_active());
+        // Feed a window of unknown tuples.
+        for seq in 1..=6 {
+            tracker.record(&commit_event(9, 9, seq));
+        }
+        let mut polls = 0;
+        adaptive.admit(p(1, 9), &mut || polls += 1);
+        assert!(!adaptive.is_active(), "all-unknown window must disable guidance");
+        assert_eq!(polls, 0, "stood-down guidance admits immediately");
+        assert_eq!(adaptive.stand_downs(), 1);
+    }
+
+    #[test]
+    fn resumes_when_model_matches_again() {
+        let (tracker, adaptive) = setup();
+        for seq in 1..=6 {
+            tracker.record(&commit_event(9, 9, seq));
+        }
+        adaptive.admit(p(0, 0), &mut || {});
+        assert!(!adaptive.is_active());
+        // A window of well-modelled tuples re-arms guidance.
+        for seq in 7..=12 {
+            tracker.record(&commit_event(seq as u16 % 2, 0, seq));
+        }
+        adaptive.admit(p(0, 0), &mut || {});
+        assert!(adaptive.is_active(), "known-state window must re-enable guidance");
+    }
+
+    #[test]
+    fn active_mode_delegates_holds_to_inner() {
+        let (tracker, adaptive) = setup();
+        tracker.record(&commit_event(0, 0, 1)); // current = {<a0>}, known
+        let mut polls = 0;
+        let spent = adaptive.admit(p(9, 9), &mut || polls += 1);
+        assert!(spent > 0, "unknown participant is held while guidance is active");
+    }
+}

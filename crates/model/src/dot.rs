@@ -1,0 +1,127 @@
+//! Graphviz export of a Thread State Automaton.
+//!
+//! The paper's Figure 3 draws a TSA excerpt as a labelled digraph; this
+//! module renders any [`Tsa`] (or a neighborhood of it) in DOT format for
+//! `dot -Tsvg`. Edge labels carry transition probabilities; high-probability
+//! edges (those a guided run would follow at the given `Tfactor`) are drawn
+//! solid, pruned edges dashed.
+
+use std::fmt::Write as _;
+
+use crate::tsa::Tsa;
+use crate::tts::StateId;
+
+/// Options for [`to_dot`].
+#[derive(Clone, Copy, Debug)]
+pub struct DotOptions {
+    /// `Tfactor` used to classify edges as kept (solid) or pruned (dashed).
+    pub tfactor: f64,
+    /// Cap on rendered states (hottest first); `usize::MAX` for all.
+    pub max_states: usize,
+    /// Minimum probability for an edge to be rendered at all.
+    pub min_probability: f64,
+}
+
+impl Default for DotOptions {
+    fn default() -> Self {
+        DotOptions { tfactor: 4.0, max_states: 24, min_probability: 0.01 }
+    }
+}
+
+/// Renders the automaton (or its hottest neighborhood) as a DOT digraph.
+pub fn to_dot(tsa: &Tsa, options: DotOptions) -> String {
+    // Rank states by outbound observations and keep the hottest.
+    let mut ranked: Vec<(u64, StateId)> = tsa
+        .space()
+        .iter()
+        .map(|(id, _)| (tsa.out_edges(id).iter().map(|(_, c)| *c).sum::<u64>(), id))
+        .collect();
+    ranked.sort_by_key(|&(heat, _)| std::cmp::Reverse(heat));
+    let kept: std::collections::HashSet<StateId> =
+        ranked.iter().take(options.max_states).map(|&(_, id)| id).collect();
+
+    let mut out = String::from("digraph tsa {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n");
+    for &id in &kept {
+        let state = tsa.space().state(id);
+        let _ = writeln!(out, "  s{} [label=\"{}\"];", id.0, state);
+    }
+    for &from in &kept {
+        let total: u64 = tsa.out_edges(from).iter().map(|(_, c)| c).sum();
+        if total == 0 {
+            continue;
+        }
+        let dests: std::collections::HashSet<StateId> =
+            tsa.destinations(from, options.tfactor).into_iter().collect();
+        for &(to, count) in tsa.out_edges(from) {
+            if !kept.contains(&to) {
+                continue;
+            }
+            let p = count as f64 / total as f64;
+            if p < options.min_probability {
+                continue;
+            }
+            let style = if dests.contains(&to) { "solid" } else { "dashed" };
+            let _ = writeln!(
+                out,
+                "  s{} -> s{} [label=\"{:.3}\", style={}];",
+                from.0, to.0, p, style
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsa::TsaBuilder;
+    use crate::tts::Tts;
+    use gstm_core::{Participant, ThreadId, TxId};
+
+    fn solo(t: u16) -> Tts {
+        Tts::solo(Participant::new(ThreadId::new(t), TxId::new(0)))
+    }
+
+    fn sample() -> Tsa {
+        let mut b = TsaBuilder::new();
+        let mut run = Vec::new();
+        for _ in 0..10 {
+            run.extend([solo(0), solo(1), solo(2)]);
+        }
+        run.extend([solo(0), solo(3)]); // rare edge
+        b.add_run(&run);
+        b.build()
+    }
+
+    #[test]
+    fn renders_wellformed_digraph() {
+        let dot = to_dot(&sample(), DotOptions::default());
+        assert!(dot.starts_with("digraph tsa {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("s0 ["), "{dot}");
+        assert!(dot.contains("->"), "{dot}");
+        assert!(dot.contains("style=solid"), "{dot}");
+    }
+
+    #[test]
+    fn rare_edges_render_dashed() {
+        let dot = to_dot(&sample(), DotOptions { min_probability: 0.0, ..Default::default() });
+        assert!(dot.contains("style=dashed"), "the rare 0→3 edge must be pruned:\n{dot}");
+    }
+
+    #[test]
+    fn max_states_caps_output() {
+        let dot = to_dot(&sample(), DotOptions { max_states: 2, ..Default::default() });
+        let nodes = dot.lines().filter(|l| l.contains("[label=\"{")).count();
+        assert!(nodes <= 2, "{dot}");
+    }
+
+    #[test]
+    fn min_probability_filters_edges() {
+        let all = to_dot(&sample(), DotOptions { min_probability: 0.0, ..Default::default() });
+        let filtered =
+            to_dot(&sample(), DotOptions { min_probability: 0.5, ..Default::default() });
+        assert!(filtered.matches("->").count() < all.matches("->").count());
+    }
+}

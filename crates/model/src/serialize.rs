@@ -1,0 +1,380 @@
+//! Model persistence: a human-readable text form and a compact binary form.
+//!
+//! The paper's workflow is offline: profile → build model → store → load
+//! into the guided run (`state_data` files in the artifact). We provide
+//! both a diff-friendly text format and the compact little-endian binary
+//! the runtime loads. No external serialization crates are used.
+
+use std::fmt::Write as _;
+use std::path::Path;
+
+use gstm_core::{Participant, ThreadId, TxId};
+
+use crate::tsa::{Tsa, TsaBuilder};
+use crate::tts::Tts;
+
+/// Errors from decoding a persisted model.
+#[derive(Debug)]
+pub enum DecodeError {
+    /// Magic/version mismatch or structural truncation.
+    Malformed(String),
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Malformed(m) => write!(f, "malformed model: {m}"),
+            DecodeError::Io(e) => write!(f, "model i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl From<std::io::Error> for DecodeError {
+    fn from(e: std::io::Error) -> Self {
+        DecodeError::Io(e)
+    }
+}
+
+fn pack(p: Participant) -> u32 {
+    ((p.thread.raw() as u32) << 16) | p.tx.raw() as u32
+}
+
+fn unpack(v: u32) -> Participant {
+    Participant::new(ThreadId::new((v >> 16) as u16), TxId::new((v & 0xFFFF) as u16))
+}
+
+/// Renders a TSA as text: one `s` line per state (id order) and one `e`
+/// line per edge, deterministic output.
+///
+/// ```text
+/// GSTM-TSA v1
+/// states 2 edges 1
+/// s 0 65536        # committer packed, then aborted participants
+/// s 1 131072 65536
+/// e 0 1 7
+/// ```
+pub fn to_text(tsa: &Tsa) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "GSTM-TSA v1");
+    let _ = writeln!(out, "states {} edges {}", tsa.state_count(), tsa.edge_count());
+    for (_, tts) in tsa.space().iter() {
+        let _ = write!(out, "s {}", pack(tts.committer()));
+        for &a in tts.aborted() {
+            let _ = write!(out, " {}", pack(a));
+        }
+        out.push('\n');
+    }
+    let mut edges: Vec<(u32, u32, u64)> = Vec::new();
+    for (id, _) in tsa.space().iter() {
+        for &(to, count) in tsa.out_edges(id) {
+            edges.push((id.0, to.0, count));
+        }
+    }
+    edges.sort_unstable();
+    for (from, to, count) in edges {
+        let _ = writeln!(out, "e {from} {to} {count}");
+    }
+    out
+}
+
+/// Parses the text form back into a TSA.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Malformed`] on any structural problem.
+pub fn from_text(text: &str) -> Result<Tsa, DecodeError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| malformed("empty input"))?;
+    if header.trim() != "GSTM-TSA v1" {
+        return Err(malformed(&format!("bad header {header:?}")));
+    }
+    let counts = lines.next().ok_or_else(|| malformed("missing counts line"))?;
+    let mut it = counts.split_whitespace();
+    let (n_states, n_edges) = match (it.next(), it.next(), it.next(), it.next()) {
+        (Some("states"), Some(s), Some("edges"), Some(e)) => (
+            s.parse::<usize>().map_err(|e| malformed(&e.to_string()))?,
+            e.parse::<usize>().map_err(|e| malformed(&e.to_string()))?,
+        ),
+        _ => return Err(malformed("bad counts line")),
+    };
+
+    let mut states: Vec<Tts> = Vec::with_capacity(n_states);
+    let mut edges: Vec<(u32, u32, u64)> = Vec::with_capacity(n_edges);
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("s") => {
+                let vals: Result<Vec<u32>, _> = parts.map(str::parse).collect();
+                let vals = vals.map_err(|e| malformed(&e.to_string()))?;
+                let (&committer, aborted) =
+                    vals.split_first().ok_or_else(|| malformed("state without committer"))?;
+                states.push(Tts::new(
+                    aborted.iter().map(|&v| unpack(v)).collect(),
+                    unpack(committer),
+                ));
+            }
+            Some("e") => {
+                let vals: Vec<&str> = parts.collect();
+                if vals.len() != 3 {
+                    return Err(malformed("edge needs from/to/count"));
+                }
+                edges.push((
+                    vals[0].parse().map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
+                    vals[1].parse().map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
+                    vals[2].parse().map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
+                ));
+            }
+            other => return Err(malformed(&format!("unknown record {other:?}"))),
+        }
+    }
+    if states.len() != n_states || edges.len() != n_edges {
+        return Err(malformed("count mismatch"));
+    }
+    rebuild(states, edges)
+}
+
+/// Encodes a TSA into the compact binary form (magic `GTSA`, version 1,
+/// little-endian throughout).
+pub fn to_bytes(tsa: &Tsa) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(b"GTSA");
+    out.extend_from_slice(&1u32.to_le_bytes());
+    out.extend_from_slice(&(tsa.state_count() as u32).to_le_bytes());
+    out.extend_from_slice(&(tsa.edge_count() as u32).to_le_bytes());
+    for (_, tts) in tsa.space().iter() {
+        out.extend_from_slice(&pack(tts.committer()).to_le_bytes());
+        out.extend_from_slice(&(tts.aborted().len() as u32).to_le_bytes());
+        for &a in tts.aborted() {
+            out.extend_from_slice(&pack(a).to_le_bytes());
+        }
+    }
+    for (id, _) in tsa.space().iter() {
+        for &(to, count) in tsa.out_edges(id) {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&to.0.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Decodes the binary form.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Malformed`] on bad magic, version or truncation.
+pub fn from_bytes(bytes: &[u8]) -> Result<Tsa, DecodeError> {
+    let mut cur = Cursor { bytes, pos: 0 };
+    if cur.take(4)? != b"GTSA" {
+        return Err(malformed("bad magic"));
+    }
+    if cur.u32()? != 1 {
+        return Err(malformed("unsupported version"));
+    }
+    let n_states = cur.u32()? as usize;
+    let n_edges = cur.u32()? as usize;
+    let mut states = Vec::with_capacity(n_states);
+    for _ in 0..n_states {
+        let committer = unpack(cur.u32()?);
+        let n_ab = cur.u32()? as usize;
+        let mut aborted = Vec::with_capacity(n_ab);
+        for _ in 0..n_ab {
+            aborted.push(unpack(cur.u32()?));
+        }
+        states.push(Tts::new(aborted, committer));
+    }
+    let mut edges = Vec::with_capacity(n_edges);
+    for _ in 0..n_edges {
+        let from = cur.u32()?;
+        let to = cur.u32()?;
+        let count = cur.u64()?;
+        edges.push((from, to, count));
+    }
+    if cur.pos != bytes.len() {
+        return Err(malformed("trailing bytes"));
+    }
+    rebuild(states, edges)
+}
+
+/// Saves the binary form to a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures.
+pub fn save(tsa: &Tsa, path: &Path) -> Result<(), DecodeError> {
+    std::fs::write(path, to_bytes(tsa))?;
+    Ok(())
+}
+
+/// Loads the binary form from a file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and decode errors.
+pub fn load(path: &Path) -> Result<Tsa, DecodeError> {
+    from_bytes(&std::fs::read(path)?)
+}
+
+fn malformed(msg: &str) -> DecodeError {
+    DecodeError::Malformed(msg.to_string())
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        let end = self.pos.checked_add(n).ok_or_else(|| malformed("overflow"))?;
+        if end > self.bytes.len() {
+            return Err(malformed("truncated"));
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+}
+
+fn rebuild(states: Vec<Tts>, edges: Vec<(u32, u32, u64)>) -> Result<Tsa, DecodeError> {
+    let n = states.len() as u32;
+    let mut builder = TsaBuilder::new();
+    // Intern states in id order by replaying them as single-state runs.
+    for s in &states {
+        builder.add_run(std::slice::from_ref(s));
+    }
+    if builder.state_count() != states.len() {
+        return Err(malformed("duplicate states in persisted model"));
+    }
+    for &(from, to, count) in &edges {
+        if from >= n || to >= n {
+            return Err(malformed("edge references unknown state"));
+        }
+        // Replay the transition `count` times to restore its frequency.
+        let pair = [states[from as usize].clone(), states[to as usize].clone()];
+        for _ in 0..count {
+            builder.add_run(&pair);
+        }
+    }
+    Ok(builder.build())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{Participant, ThreadId, TxId};
+
+    fn p(t: u16, x: u16) -> Participant {
+        Participant::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    fn sample_tsa() -> Tsa {
+        let mut b = TsaBuilder::new();
+        let s0 = Tts::solo(p(0, 0));
+        let s1 = Tts::new(vec![p(1, 0), p(2, 1)], p(3, 1));
+        let s2 = Tts::solo(p(2, 2));
+        b.add_run(&[s0.clone(), s1.clone(), s0.clone(), s1, s2, s0]);
+        b.build()
+    }
+
+    fn assert_same(a: &Tsa, b: &Tsa) {
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        for (id, tts) in a.space().iter() {
+            let bid = b.lookup(tts).expect("state preserved");
+            let mut ea: Vec<(String, u64)> = a
+                .out_edges(id)
+                .iter()
+                .map(|&(d, c)| (a.space().state(d).to_string(), c))
+                .collect();
+            let mut eb: Vec<(String, u64)> = b
+                .out_edges(bid)
+                .iter()
+                .map(|&(d, c)| (b.space().state(d).to_string(), c))
+                .collect();
+            ea.sort();
+            eb.sort();
+            assert_eq!(ea, eb, "edges of {tts} preserved");
+        }
+    }
+
+    #[test]
+    fn text_round_trip() {
+        let tsa = sample_tsa();
+        let text = to_text(&tsa);
+        let back = from_text(&text).unwrap();
+        assert_same(&tsa, &back);
+    }
+
+    #[test]
+    fn binary_round_trip() {
+        let tsa = sample_tsa();
+        let back = from_bytes(&to_bytes(&tsa)).unwrap();
+        assert_same(&tsa, &back);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let tsa = sample_tsa();
+        let dir = std::env::temp_dir().join(format!("gstm-model-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.gtsa");
+        save(&tsa, &path).unwrap();
+        let back = load(&path).unwrap();
+        assert_same(&tsa, &back);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn binary_is_compact() {
+        let tsa = sample_tsa();
+        assert!(to_bytes(&tsa).len() < to_text(&tsa).len() * 2);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert!(matches!(from_bytes(b"NOPE"), Err(DecodeError::Malformed(_))));
+    }
+
+    #[test]
+    fn rejects_truncation() {
+        let mut bytes = to_bytes(&sample_tsa());
+        bytes.truncate(bytes.len() - 3);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut bytes = to_bytes(&sample_tsa());
+        bytes.push(0);
+        assert!(from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_text_header() {
+        assert!(from_text("WRONG v9\n").is_err());
+        assert!(from_text("").is_err());
+    }
+
+    #[test]
+    fn rejects_dangling_edge() {
+        let text = "GSTM-TSA v1\nstates 1 edges 1\ns 0\ne 0 5 1\n";
+        assert!(from_text(text).is_err());
+    }
+}

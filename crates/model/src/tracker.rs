@@ -1,0 +1,211 @@
+//! Online state tracking: the runtime half of guided execution.
+//!
+//! [`StateTracker`] is an [`EventSink`] that folds the live event stream
+//! into the *current* thread transactional state using the same
+//! arrival-order grouping as offline model generation: aborts accumulate
+//! until the next commit closes the tuple. When wired to a
+//! [`GuidedModel`], the tracker resolves each closed tuple to a model
+//! [`StateId`] (or *unknown*, in which case guidance stands down — the
+//! paper lets threads proceed on states the training runs never captured).
+//!
+//! The tracker also interns every observed tuple, so the paper's
+//! non-determinism measure `|S|` is available for any run — guided or not —
+//! without buffering the whole event log.
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use gstm_core::{EventSink, Participant, TxEvent};
+
+use crate::tsa::GuidedModel;
+use crate::tts::{StateId, StateSpace, Tts};
+
+const UNKNOWN: u32 = u32::MAX;
+
+/// Live current-state tracker and non-determinism counter.
+#[derive(Debug)]
+pub struct StateTracker {
+    model: Option<Arc<GuidedModel>>,
+    pending: Mutex<Vec<Participant>>,
+    observed: Mutex<StateSpace>,
+    current: AtomicU32,
+    transitions: AtomicU64,
+    unknown_hits: AtomicU64,
+}
+
+impl StateTracker {
+    /// A tracker with no model: counts non-determinism only (used for the
+    /// paper's `ND_only` default-STM measurements).
+    pub fn new() -> Self {
+        StateTracker {
+            model: None,
+            pending: Mutex::new(Vec::new()),
+            observed: Mutex::new(StateSpace::new()),
+            current: AtomicU32::new(UNKNOWN),
+            transitions: AtomicU64::new(0),
+            unknown_hits: AtomicU64::new(0),
+        }
+    }
+
+    /// A tracker that resolves states against `model` for guidance.
+    pub fn with_model(model: Arc<GuidedModel>) -> Self {
+        let mut t = StateTracker::new();
+        t.model = Some(model);
+        t
+    }
+
+    /// The model, if any.
+    pub fn model(&self) -> Option<&Arc<GuidedModel>> {
+        self.model.as_ref()
+    }
+
+    /// Current state as a model id; `None` while unknown (before the first
+    /// commit, or when the last tuple is absent from the model).
+    pub fn current_state(&self) -> Option<StateId> {
+        match self.current.load(Ordering::SeqCst) {
+            UNKNOWN => None,
+            id => Some(StateId(id)),
+        }
+    }
+
+    /// Number of distinct states observed so far — the non-determinism
+    /// measure `|S|` of this run.
+    pub fn nondeterminism(&self) -> usize {
+        self.observed.lock().len()
+    }
+
+    /// Number of tuples (commits) observed.
+    pub fn transition_count(&self) -> u64 {
+        self.transitions.load(Ordering::SeqCst)
+    }
+
+    /// How many closed tuples failed to resolve in the model (0 when no
+    /// model is attached). High values mean the training input was not
+    /// representative — the paper's STAMP "medium input" remark.
+    pub fn unknown_state_hits(&self) -> u64 {
+        self.unknown_hits.load(Ordering::SeqCst)
+    }
+
+    /// Snapshot of the observed state space (for offline inspection).
+    pub fn observed_space(&self) -> StateSpace {
+        self.observed.lock().clone()
+    }
+}
+
+impl Default for StateTracker {
+    fn default() -> Self {
+        StateTracker::new()
+    }
+}
+
+impl EventSink for StateTracker {
+    fn record(&self, event: &TxEvent) {
+        match event {
+            TxEvent::Abort { who, .. } => {
+                self.pending.lock().push(*who);
+            }
+            TxEvent::Commit { who, .. } => {
+                let aborted = std::mem::take(&mut *self.pending.lock());
+                let tts = Tts::new(aborted, *who);
+                self.observed.lock().intern(tts.clone());
+                self.transitions.fetch_add(1, Ordering::SeqCst);
+                let next = match &self.model {
+                    Some(model) => match model.lookup(&tts) {
+                        Some(id) => id.0,
+                        None => {
+                            self.unknown_hits.fetch_add(1, Ordering::SeqCst);
+                            UNKNOWN
+                        }
+                    },
+                    None => UNKNOWN,
+                };
+                self.current.store(next, Ordering::SeqCst);
+            }
+            TxEvent::Begin { .. } | TxEvent::Held { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsa::TsaBuilder;
+    use gstm_core::{Abort, AbortReason, CommitSeq, ThreadId, TxId, VarId};
+
+    fn p(t: u16, x: u16) -> Participant {
+        Participant::new(ThreadId::new(t), TxId::new(x))
+    }
+
+    fn commit(t: u16, x: u16, seq: u64) -> TxEvent {
+        TxEvent::Commit { who: p(t, x), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+    }
+
+    fn abort(t: u16, x: u16) -> TxEvent {
+        TxEvent::Abort {
+            who: p(t, x),
+            attempt: 0,
+            abort: Abort::new(AbortReason::ReadVersion { var: VarId::from_raw(1) }),
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn counts_nondeterminism_without_model() {
+        let t = StateTracker::new();
+        t.record(&commit(0, 0, 1));
+        t.record(&commit(0, 0, 2)); // same tuple again
+        t.record(&abort(1, 0));
+        t.record(&commit(0, 0, 3)); // different tuple
+        assert_eq!(t.nondeterminism(), 2);
+        assert_eq!(t.transition_count(), 3);
+        assert_eq!(t.current_state(), None, "no model → always unknown");
+    }
+
+    #[test]
+    fn resolves_states_against_model() {
+        // Model trained on: {<a0>} → {<a1>} → {<a0>} ...
+        let mut b = TsaBuilder::new();
+        b.add_run(&[Tts::solo(p(0, 0)), Tts::solo(p(1, 0)), Tts::solo(p(0, 0))]);
+        let tsa = b.build();
+        let s0 = tsa.lookup(&Tts::solo(p(0, 0))).unwrap();
+        let model = Arc::new(GuidedModel::compile(tsa, 4.0));
+        let t = StateTracker::with_model(Arc::clone(&model));
+
+        t.record(&commit(0, 0, 1));
+        assert_eq!(t.current_state(), Some(s0));
+
+        // An unseen tuple → unknown, counted.
+        t.record(&abort(5, 3));
+        t.record(&commit(9, 9, 2));
+        assert_eq!(t.current_state(), None);
+        assert_eq!(t.unknown_state_hits(), 1);
+    }
+
+    #[test]
+    fn arrival_grouping_matches_offline_parser() {
+        let evs = vec![abort(6, 0), commit(7, 1, 1), commit(0, 1, 2)];
+        let offline = crate::tseq::parse_states(&evs, crate::tseq::Grouping::Arrival);
+        let tracker = StateTracker::new();
+        for e in &evs {
+            tracker.record(e);
+        }
+        let space = tracker.observed_space();
+        assert_eq!(space.len(), offline.len());
+        for s in &offline {
+            assert!(space.lookup(s).is_some(), "offline state {s} must be observed online");
+        }
+    }
+
+    #[test]
+    fn begin_and_held_do_not_disturb_state() {
+        let t = StateTracker::new();
+        t.record(&commit(0, 0, 1));
+        let before = t.nondeterminism();
+        t.record(&TxEvent::Begin { who: p(1, 0), attempt: 0, at: 0 });
+        t.record(&TxEvent::Held { who: p(1, 0), polls: 2, at: 0 });
+        assert_eq!(t.nondeterminism(), before);
+        assert_eq!(t.transition_count(), 1);
+    }
+}

@@ -1,0 +1,80 @@
+//! The simulated machine's [`Gate`] implementation.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use gstm_core::{Gate, ThreadId, Ticks};
+
+/// Virtual clocks are kept in *centiticks* so that sub-tick jitter exists
+/// even for unit-cost operations.
+pub(crate) const CENTI: u64 = 100;
+
+/// Messages workers send to the scheduler.
+#[derive(Debug)]
+pub(crate) enum Msg {
+    /// Worker wants to take a step of the given cost.
+    Pass { thread: usize, cost: Ticks },
+    /// Worker entered a barrier.
+    Barrier { thread: usize, id: u32, parties: usize },
+    /// Worker finished.
+    Done { thread: usize },
+}
+
+/// State shared between the scheduler and the workers' gate.
+#[derive(Debug)]
+pub(crate) struct Shared {
+    pub(crate) req_tx: Sender<Msg>,
+    pub(crate) grants: Vec<Receiver<()>>,
+    /// Per-thread virtual clocks, in centiticks.
+    pub(crate) clocks: Vec<AtomicU64>,
+    /// Per-thread *active* time: charged costs only, excluding barrier-wait
+    /// alignment, in centiticks.
+    pub(crate) active: Vec<AtomicU64>,
+    /// Global virtual time (monotone max of granted clocks), centiticks.
+    pub(crate) now: AtomicU64,
+    /// Set when the scheduler aborts (deadlock/starvation): parked workers
+    /// must wake up and unwind instead of blocking forever.
+    pub(crate) poisoned: AtomicBool,
+}
+
+impl Shared {
+    pub(crate) fn rendezvous(&self, msg: Msg, thread: usize) {
+        self.req_tx.send(msg).expect("scheduler gone");
+        loop {
+            if self.poisoned.load(Ordering::SeqCst) {
+                panic!("sim scheduler aborted; unwinding worker {thread}");
+            }
+            match self.grants[thread].recv_timeout(Duration::from_millis(25)) {
+                Ok(()) => return,
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => panic!("scheduler gone"),
+            }
+        }
+    }
+}
+
+/// Deterministic gate handed to the STM engine and to workloads.
+///
+/// Every [`Gate::pass`] is a scheduling point: the calling worker blocks
+/// until the discrete-event scheduler decides it is this thread's turn.
+/// Obtain one from [`crate::SimMachine::gate`].
+#[derive(Debug, Clone)]
+pub struct SimGate {
+    pub(crate) shared: Arc<Shared>,
+}
+
+impl Gate for SimGate {
+    fn pass(&self, thread: ThreadId, cost: Ticks) {
+        self.shared.rendezvous(Msg::Pass { thread: thread.index(), cost }, thread.index());
+    }
+
+    fn now(&self) -> u64 {
+        self.shared.now.load(Ordering::SeqCst) / CENTI
+    }
+
+    fn thread_time(&self, thread: ThreadId) -> u64 {
+        self.shared.clocks[thread.index()].load(Ordering::SeqCst) / CENTI
+    }
+}

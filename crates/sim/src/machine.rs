@@ -1,0 +1,444 @@
+//! The discrete-event scheduler.
+
+use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::barrier::SimBarrier;
+use crate::gate::{Msg, Shared, SimGate, CENTI};
+
+/// Configuration of a simulated machine.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SimConfig {
+    /// Number of virtual cores. When more workers than cores are unfinished,
+    /// step costs are scaled up by the oversubscription factor — a coarse
+    /// processor-sharing model. The experiments follow the paper and run one
+    /// worker per core, where the model is exact.
+    pub cores: usize,
+    /// RNG seed: the identity of "a run" (the paper averages over 20 runs;
+    /// we average over 20 seeds).
+    pub seed: u64,
+    /// Per-step cost jitter in percent (0 disables). Models the timing noise
+    /// of real hardware; also the tie-breaker that makes interleavings
+    /// differ across seeds.
+    pub jitter_pct: u32,
+}
+
+impl SimConfig {
+    /// A machine with `cores` cores, the given seed, and the default 25%
+    /// jitter.
+    pub fn new(cores: usize, seed: u64) -> Self {
+        assert!(cores > 0, "a machine needs at least one core");
+        SimConfig { cores, seed, jitter_pct: 25 }
+    }
+
+    /// Sets the jitter percentage.
+    pub fn with_jitter(mut self, pct: u32) -> Self {
+        self.jitter_pct = pct;
+        self
+    }
+}
+
+/// Outcome of one simulated run.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RunReport {
+    /// Final virtual clock of each worker, in ticks, *including* barrier
+    /// waiting (wall-clock-like).
+    pub thread_ticks: Vec<u64>,
+    /// Per-worker **active** time: the costs the thread itself was charged
+    /// (work, reads/writes, commit effort, abort penalties and re-executed
+    /// attempts, guidance hold polls) — excluding time parked at barriers.
+    /// This is the paper's "execution time of a thread": it "accounts for
+    /// the number of rollbacks seen by the thread" (§II-B).
+    pub active_ticks: Vec<u64>,
+    /// Virtual makespan (max thread clock), in ticks.
+    pub makespan: u64,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum St {
+    Running,
+    Waiting(u64),
+    InBarrier(u32),
+    Finished,
+}
+
+/// A deterministic simulated multicore machine.
+///
+/// Construct, wire its [`SimMachine::gate`] into an [`gstm_core::Stm`],
+/// then [`SimMachine::run`] a vector of worker closures (index = thread id).
+/// A machine instance runs **once**; build a fresh one per seed.
+#[derive(Debug)]
+pub struct SimMachine {
+    config: SimConfig,
+    shared: Arc<Shared>,
+    req_rx: Receiver<Msg>,
+    grant_txs: Vec<Sender<()>>,
+    next_barrier: AtomicU32,
+    used: AtomicBool,
+}
+
+/// Upper bound on workers a single machine supports.
+const MAX_WORKERS: usize = 512;
+
+impl SimMachine {
+    /// Creates a machine.
+    pub fn new(config: SimConfig) -> Self {
+        let (req_tx, req_rx) = unbounded();
+        let mut grants = Vec::with_capacity(MAX_WORKERS);
+        let mut grant_txs = Vec::with_capacity(MAX_WORKERS);
+        for _ in 0..MAX_WORKERS {
+            let (tx, rx) = bounded(1);
+            grants.push(rx);
+            grant_txs.push(tx);
+        }
+        let shared = Arc::new(Shared {
+            req_tx,
+            grants,
+            clocks: (0..MAX_WORKERS).map(|_| AtomicU64::new(0)).collect(),
+            active: (0..MAX_WORKERS).map(|_| AtomicU64::new(0)).collect(),
+            now: AtomicU64::new(0),
+            poisoned: AtomicBool::new(false),
+        });
+        SimMachine {
+            config,
+            shared,
+            req_rx,
+            grant_txs,
+            next_barrier: AtomicU32::new(0),
+            used: AtomicBool::new(false),
+        }
+    }
+
+    /// This machine's configuration.
+    pub fn config(&self) -> SimConfig {
+        self.config
+    }
+
+    /// The gate to install into the STM (and to use for `work` charging).
+    pub fn gate(&self) -> Arc<SimGate> {
+        Arc::new(SimGate { shared: Arc::clone(&self.shared) })
+    }
+
+    /// Creates a barrier for `parties` workers, usable inside worker
+    /// closures via [`crate::WaitBarrier`].
+    pub fn barrier(&self, parties: usize) -> SimBarrier {
+        let id = self.next_barrier.fetch_add(1, Ordering::Relaxed);
+        SimBarrier::new(id, parties, Arc::clone(&self.shared))
+    }
+
+    /// Runs the workers to completion under the deterministic scheduler and
+    /// returns per-thread virtual times.
+    ///
+    /// Worker `i` is thread `i`; every `Gate` call inside must use
+    /// `ThreadId::new(i)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice, if a worker panics (the payload message is
+    /// propagated), if workers deadlock (all parked in barriers that cannot
+    /// fill), or if the scheduler starves for 60 s of wall time.
+    pub fn run(&self, workers: Vec<Box<dyn FnOnce() + Send + '_>>) -> RunReport {
+        assert!(
+            !self.used.swap(true, Ordering::SeqCst),
+            "a SimMachine runs once; create a fresh one per seed"
+        );
+        let n = workers.len();
+        assert!(n > 0 && n <= MAX_WORKERS, "worker count must be in 1..={MAX_WORKERS}");
+
+        let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
+        std::thread::scope(|scope| {
+            for (i, f) in workers.into_iter().enumerate() {
+                let shared = Arc::clone(&self.shared);
+                let panics = &panics;
+                scope.spawn(move || {
+                    // First rendezvous: the scheduler controls even the
+                    // workers' start order.
+                    shared.rendezvous(Msg::Pass { thread: i, cost: 0 }, i);
+                    let result = std::panic::catch_unwind(AssertUnwindSafe(f));
+                    if let Err(payload) = result {
+                        let msg = payload
+                            .downcast_ref::<&str>()
+                            .map(|s| s.to_string())
+                            .or_else(|| payload.downcast_ref::<String>().cloned())
+                            .unwrap_or_else(|| "worker panicked".into());
+                        panics.lock().push((i, msg));
+                    }
+                    // Done must always be sent or the scheduler hangs.
+                    let _ = shared.req_tx.send(Msg::Done { thread: i });
+                });
+            }
+            self.schedule(n);
+        });
+        let panics = panics.into_inner();
+        if let Some((i, msg)) = panics.into_iter().next() {
+            panic!("sim worker {i} panicked: {msg}");
+        }
+        let thread_ticks: Vec<u64> = (0..n)
+            .map(|i| self.shared.clocks[i].load(Ordering::SeqCst) / CENTI)
+            .collect();
+        let active_ticks: Vec<u64> = (0..n)
+            .map(|i| self.shared.active[i].load(Ordering::SeqCst) / CENTI)
+            .collect();
+        let makespan = thread_ticks.iter().copied().max().unwrap_or(0);
+        RunReport { thread_ticks, active_ticks, makespan }
+    }
+
+    /// Aborts the run: poisons the shared state so parked workers unwind
+    /// (instead of blocking `thread::scope` forever), then panics.
+    fn die(&self, msg: &str) -> ! {
+        self.shared.poisoned.store(true, std::sync::atomic::Ordering::SeqCst);
+        panic!("{msg}");
+    }
+
+    /// The scheduler proper: runs on the caller thread until all `n`
+    /// workers are finished.
+    fn schedule(&self, n: usize) {
+        let mut rng = SmallRng::seed_from_u64(self.config.seed);
+        let mut status = vec![St::Running; n];
+        let mut running = n;
+        let mut finished = 0usize;
+        let mut barriers: HashMap<u32, (usize, Vec<usize>)> = HashMap::new();
+
+        while finished < n {
+            // Drain messages until no worker is on-CPU.
+            while running > 0 {
+                let msg = match self.req_rx.recv_timeout(Duration::from_secs(60)) {
+                    Ok(msg) => msg,
+                    Err(_) => {
+                        self.die("sim scheduler starved: a worker blocked outside the gate")
+                    }
+                };
+                match msg {
+                    Msg::Pass { thread, cost } => {
+                        status[thread] = St::Waiting(cost);
+                        running -= 1;
+                    }
+                    Msg::Barrier { thread, id, parties } => {
+                        status[thread] = St::InBarrier(id);
+                        let entry = barriers.entry(id).or_insert((parties, Vec::new()));
+                        entry.0 = parties;
+                        entry.1.push(thread);
+                        running -= 1;
+                    }
+                    Msg::Done { thread } => {
+                        status[thread] = St::Finished;
+                        running -= 1;
+                        finished += 1;
+                    }
+                }
+            }
+
+            // Release any barrier that filled: align clocks to the slowest
+            // member (that is what a barrier does to time) and make all
+            // members runnable.
+            let full: Vec<u32> = barriers
+                .iter()
+                .filter(|(_, (parties, waiters))| waiters.len() >= *parties)
+                .map(|(&id, _)| id)
+                .collect();
+            for id in full {
+                let (_, waiters) = barriers.remove(&id).expect("barrier disappeared");
+                let max_clock = waiters
+                    .iter()
+                    .map(|&w| self.shared.clocks[w].load(Ordering::SeqCst))
+                    .max()
+                    .unwrap_or(0);
+                for w in waiters {
+                    self.shared.clocks[w].store(max_clock, Ordering::SeqCst);
+                    status[w] = St::Waiting(0);
+                }
+            }
+
+            if finished == n {
+                break;
+            }
+
+            // Pick the waiting worker with the smallest clock (seeded
+            // tie-break), charge its cost + jitter, and grant the step.
+            let min_clock = status
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| matches!(s, St::Waiting(_)))
+                .map(|(i, _)| self.shared.clocks[i].load(Ordering::SeqCst))
+                .min();
+            let Some(min_clock) = min_clock else {
+                self.die(
+                    "sim deadlock: no runnable workers \
+                     (all remaining workers parked in barriers that cannot fill)",
+                );
+            };
+            let candidates: Vec<usize> = status
+                .iter()
+                .enumerate()
+                .filter(|(i, s)| {
+                    matches!(s, St::Waiting(_))
+                        && self.shared.clocks[*i].load(Ordering::SeqCst) == min_clock
+                })
+                .map(|(i, _)| i)
+                .collect();
+            let pick = candidates[rng.gen_range(0..candidates.len())];
+            let St::Waiting(cost) = status[pick] else { unreachable!() };
+
+            let active = n - finished;
+            let scale = active.div_ceil(self.config.cores) as u64;
+            let base = cost * CENTI;
+            let jitter = if self.config.jitter_pct > 0 && base > 0 {
+                rng.gen_range(0..=base * self.config.jitter_pct as u64 / 100)
+            } else {
+                0
+            };
+            let advance = (base + jitter) * scale;
+            let new_clock = min_clock + advance;
+            self.shared.clocks[pick].store(new_clock, Ordering::SeqCst);
+            self.shared.active[pick].fetch_add(advance, Ordering::SeqCst);
+            self.shared.now.fetch_max(new_clock, Ordering::SeqCst);
+
+            status[pick] = St::Running;
+            running = 1;
+            self.grant_txs[pick].send(()).expect("worker vanished");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{Gate, ThreadId};
+
+    fn boxed<'a>(f: impl FnOnce() + Send + 'a) -> Box<dyn FnOnce() + Send + 'a> {
+        Box::new(f)
+    }
+
+    #[test]
+    fn single_worker_accumulates_cost() {
+        let m = SimMachine::new(SimConfig::new(1, 7).with_jitter(0));
+        let gate = m.gate();
+        let report = m.run(vec![boxed({
+            let gate = Arc::clone(&gate);
+            move || {
+                for _ in 0..10 {
+                    gate.pass(ThreadId::new(0), 5);
+                }
+            }
+        })]);
+        assert_eq!(report.thread_ticks, vec![50]);
+        assert_eq!(report.makespan, 50);
+    }
+
+    #[test]
+    fn identical_seeds_identical_outcome() {
+        let run = |seed: u64| {
+            let m = SimMachine::new(SimConfig::new(2, seed));
+            let gate = m.gate();
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let workers = (0..2usize)
+                .map(|i| {
+                    let gate = Arc::clone(&gate);
+                    let order = Arc::clone(&order);
+                    boxed(move || {
+                        for k in 0..20u32 {
+                            gate.pass(ThreadId::new(i as u16), 1 + (k % 3) as u64);
+                            order.lock().push((i, k));
+                        }
+                    })
+                })
+                .collect();
+            let report = m.run(workers);
+            (report, Arc::try_unwrap(order).unwrap().into_inner())
+        };
+        let (r1, o1) = run(33);
+        let (r2, o2) = run(33);
+        assert_eq!(r1, r2);
+        assert_eq!(o1, o2, "interleavings must be deterministic per seed");
+        let (_, o3) = run(34);
+        assert_ne!(o1, o3, "different seeds should interleave differently");
+    }
+
+    #[test]
+    fn min_clock_scheduling_is_fair() {
+        let m = SimMachine::new(SimConfig::new(2, 1).with_jitter(0));
+        let gate = m.gate();
+        let workers = (0..2usize)
+            .map(|i| {
+                let gate = Arc::clone(&gate);
+                boxed(move || {
+                    for _ in 0..100 {
+                        gate.pass(ThreadId::new(i as u16), 1);
+                    }
+                })
+            })
+            .collect();
+        let report = m.run(workers);
+        assert_eq!(report.thread_ticks[0], report.thread_ticks[1]);
+    }
+
+    #[test]
+    fn oversubscription_dilates_time() {
+        let run = |cores| {
+            let m = SimMachine::new(SimConfig::new(cores, 1).with_jitter(0));
+            let gate = m.gate();
+            let workers = (0..4usize)
+                .map(|i| {
+                    let gate = Arc::clone(&gate);
+                    boxed(move || {
+                        for _ in 0..10 {
+                            gate.pass(ThreadId::new(i as u16), 1);
+                        }
+                    })
+                })
+                .collect();
+            m.run(workers).makespan
+        };
+        let full = run(4);
+        let half = run(2);
+        assert!(half > full, "2 cores must be slower than 4 for 4 workers");
+    }
+
+    #[test]
+    #[should_panic(expected = "worker 0 panicked: boom")]
+    fn worker_panic_propagates() {
+        let m = SimMachine::new(SimConfig::new(1, 1));
+        m.run(vec![boxed(|| panic!("boom"))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "runs once")]
+    fn machine_runs_once() {
+        let m = SimMachine::new(SimConfig::new(1, 1));
+        m.run(vec![boxed(|| {})]);
+        m.run(vec![boxed(|| {})]);
+    }
+
+    #[test]
+    fn borrowing_workers_is_allowed() {
+        let data = vec![1u64, 2, 3];
+        let m = SimMachine::new(SimConfig::new(1, 1));
+        let gate = m.gate();
+        let sum = Mutex::new(0u64);
+        m.run(vec![boxed(|| {
+            gate.pass(ThreadId::new(0), 1);
+            *sum.lock() = data.iter().sum();
+        })]);
+        assert_eq!(*sum.lock(), 6);
+    }
+
+    #[test]
+    fn now_is_monotone_and_tracks_max(){
+        let m = SimMachine::new(SimConfig::new(1, 1).with_jitter(0));
+        let gate = m.gate();
+        let g2 = Arc::clone(&gate);
+        m.run(vec![boxed(move || {
+            g2.pass(ThreadId::new(0), 7);
+        })]);
+        assert_eq!(gate.now(), 7);
+        assert_eq!(gate.thread_time(ThreadId::new(0)), 7);
+    }
+}

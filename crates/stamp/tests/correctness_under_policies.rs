@@ -1,0 +1,55 @@
+//! Every STAMP port must pass its own post-run verification under *every*
+//! admission policy and contention manager — guidance must never break
+//! correctness, only reshape timing.
+
+use std::sync::Arc;
+
+use gstm_guide::{run_workload, train, CmChoice, PolicyChoice, RunOptions};
+use gstm_stamp::{benchmark, InputSize};
+
+fn opts(policy: PolicyChoice, cm: CmChoice, seed: u64) -> RunOptions {
+    let mut o = RunOptions::new(4, seed).with_policy(policy);
+    o.cm = cm;
+    o
+}
+
+#[test]
+fn all_benchmarks_verify_under_contention_managers() {
+    for name in gstm_stamp::BENCHMARK_NAMES {
+        let w = benchmark(name, InputSize::Small).expect("known");
+        for cm in [CmChoice::Polite, CmChoice::Karma, CmChoice::Greedy] {
+            // run_workload panics on verification failure.
+            let out = run_workload(w.as_ref(), &opts(PolicyChoice::Default, cm, 13));
+            assert!(out.total_commits() > 0, "{name} under {cm:?}");
+        }
+    }
+}
+
+#[test]
+fn all_benchmarks_verify_under_baseline_policies() {
+    for name in gstm_stamp::BENCHMARK_NAMES {
+        let w = benchmark(name, InputSize::Small).expect("known");
+        for policy in [PolicyChoice::BoundedAborts { limit: 2 }, PolicyChoice::Deterministic] {
+            let out =
+                run_workload(w.as_ref(), &opts(policy.clone(), CmChoice::Aggressive, 17));
+            assert!(out.total_commits() > 0, "{name} under {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn guided_runs_preserve_verification_on_every_benchmark() {
+    for name in gstm_stamp::BENCHMARK_NAMES {
+        let w = benchmark(name, InputSize::Small).expect("known");
+        let trained = train(w.as_ref(), &RunOptions::new(4, 0), &[1, 2], 4.0);
+        let out = run_workload(
+            w.as_ref(),
+            &opts(
+                PolicyChoice::Guided { model: Arc::clone(&trained.model), k: 8 },
+                CmChoice::Aggressive,
+                19,
+            ),
+        );
+        assert!(out.total_commits() > 0, "{name} guided");
+    }
+}

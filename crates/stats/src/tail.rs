@@ -1,0 +1,99 @@
+//! The paper's tail metric and percent-change helpers.
+
+/// The paper's abort-tail metric (§VII):
+/// `tailᵢ = Σⱼ j²` over the **distinct** abort counts `j` that occurred with
+/// non-zero frequency in thread `i`'s abort histogram.
+///
+/// A longer tail — invocations that needed many aborts before committing —
+/// contributes quadratically, so cutting outliers moves the metric sharply.
+///
+/// ```
+/// use std::collections::BTreeMap;
+/// // Thread saw: 0 aborts (700×), 1 abort (12×), 5 aborts (1×).
+/// let hist: BTreeMap<u32, u64> = [(0, 700), (1, 12), (5, 1)].into_iter().collect();
+/// assert_eq!(gstm_stats::tail_metric(&hist), 0 + 1 + 25);
+/// ```
+pub fn tail_metric(histogram: &std::collections::BTreeMap<u32, u64>) -> u64 {
+    histogram
+        .iter()
+        .filter(|(_, &freq)| freq > 0)
+        .map(|(&j, _)| (j as u64) * (j as u64))
+        .sum()
+}
+
+/// Percent reduction from `before` to `after`
+/// (`100 · (before − after) / before`); positive = improvement.
+/// Returns 0 when `before` is 0.
+pub fn percent_reduction(before: f64, after: f64) -> f64 {
+    if before == 0.0 {
+        0.0
+    } else {
+        100.0 * (before - after) / before
+    }
+}
+
+/// Signed percent change from `from` to `to`
+/// (`100 · (to − from) / from`). Returns 0 when `from` is 0.
+pub fn percent_change(from: f64, to: f64) -> f64 {
+    if from == 0.0 {
+        0.0
+    } else {
+        100.0 * (to - from) / from
+    }
+}
+
+/// Slowdown factor `guided / baseline` (×), as in Figure 10.
+/// A value below 1.0 is a speedup. Returns 1.0 when the baseline is 0.
+pub fn slowdown(baseline: f64, guided: f64) -> f64 {
+    if baseline == 0.0 {
+        1.0
+    } else {
+        guided / baseline
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    #[test]
+    fn tail_metric_empty_histogram() {
+        assert_eq!(tail_metric(&BTreeMap::new()), 0);
+    }
+
+    #[test]
+    fn tail_metric_ignores_zero_frequency_bins() {
+        let h: BTreeMap<u32, u64> = [(0, 10), (3, 0), (4, 2)].into_iter().collect();
+        assert_eq!(tail_metric(&h), 16);
+    }
+
+    #[test]
+    fn tail_metric_counts_distinct_not_weighted() {
+        // Frequencies don't weight the sum — only distinct abort counts do,
+        // matching the paper's definition.
+        let a: BTreeMap<u32, u64> = [(2, 1)].into_iter().collect();
+        let b: BTreeMap<u32, u64> = [(2, 1000)].into_iter().collect();
+        assert_eq!(tail_metric(&a), tail_metric(&b));
+    }
+
+    #[test]
+    fn percent_reduction_signs() {
+        assert_eq!(percent_reduction(100.0, 25.0), 75.0);
+        assert_eq!(percent_reduction(100.0, 150.0), -50.0);
+        assert_eq!(percent_reduction(0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn percent_change_signs() {
+        assert_eq!(percent_change(100.0, 150.0), 50.0);
+        assert_eq!(percent_change(100.0, 50.0), -50.0);
+    }
+
+    #[test]
+    fn slowdown_factor() {
+        assert_eq!(slowdown(10.0, 15.0), 1.5);
+        assert_eq!(slowdown(10.0, 5.0), 0.5);
+        assert_eq!(slowdown(0.0, 5.0), 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Guided execution end to end on the kmeans benchmark.
+//!
+//! Run with: `cargo run --release --example guided_kmeans`
+//!
+//! Reproduces the paper's workflow on one benchmark: profile kmeans on the
+//! medium input, build and analyze the Thread State Automaton, then compare
+//! default vs guided execution on the small input over a batch of seeds —
+//! printing the quantities the paper reports (per-thread execution-time
+//! stddev, non-determinism |S|, slowdown).
+
+use std::sync::Arc;
+
+use gstm::guide::{run_workload, train, PolicyChoice, RunOptions};
+use gstm::stamp::{Kmeans, InputSize};
+use gstm::stats::{mean, percent_reduction, sample_stddev};
+
+fn main() {
+    let threads = 8;
+    let train_seeds: Vec<u64> = (1..=10).collect();
+    let test_seeds: Vec<u64> = (100..=111).collect();
+
+    println!("== phase 1+2: profile medium kmeans, build the TSA ==");
+    let trainer = Kmeans::with_size(InputSize::Medium);
+    let trained = train(&trainer, &RunOptions::new(threads, 0), &train_seeds, 4.0);
+    println!(
+        "model: {} states, {} edges",
+        trained.tsa.state_count(),
+        trained.tsa.edge_count()
+    );
+
+    println!("\n== phase 3: model analysis ==");
+    println!("{}", trained.analysis);
+    if !trained.is_fit() {
+        println!("analyzer verdict: unfit — guidance would not help; stopping");
+        return;
+    }
+
+    println!("\n== phase 4: guided vs default on the small input ==");
+    let subject = Kmeans::with_size(InputSize::Small);
+    let mut default_ticks: Vec<Vec<f64>> = vec![Vec::new(); threads];
+    let mut guided_ticks: Vec<Vec<f64>> = vec![Vec::new(); threads];
+    let mut default_time = Vec::new();
+    let mut guided_time = Vec::new();
+    let mut nd = (Vec::new(), Vec::new());
+    for &seed in &test_seeds {
+        let d = run_workload(&subject, &RunOptions::new(threads, seed));
+        let g = run_workload(
+            &subject,
+            &RunOptions::new(threads, seed)
+                .with_policy(PolicyChoice::guided(Arc::clone(&trained.model))),
+        );
+        for t in 0..threads {
+            default_ticks[t].push(d.thread_ticks[t] as f64);
+            guided_ticks[t].push(g.thread_ticks[t] as f64);
+        }
+        default_time.push(d.makespan as f64);
+        guided_time.push(g.makespan as f64);
+        nd.0.push(d.nondeterminism as f64);
+        nd.1.push(g.nondeterminism as f64);
+    }
+
+    println!("per-thread execution-time stddev (ticks), default -> guided:");
+    for t in 0..threads {
+        let sd = sample_stddev(&default_ticks[t]);
+        let sg = sample_stddev(&guided_ticks[t]);
+        println!(
+            "  thread {t}: {sd:8.1} -> {sg:8.1}  ({:+.0}%)",
+            percent_reduction(sd, sg)
+        );
+    }
+    println!(
+        "non-determinism |S|: {:.1} -> {:.1}  ({:+.0}%)",
+        mean(&nd.0),
+        mean(&nd.1),
+        percent_reduction(mean(&nd.0), mean(&nd.1))
+    );
+    println!(
+        "execution time: {:.0} -> {:.0} ticks (slowdown {:.2}x)",
+        mean(&default_time),
+        mean(&guided_time),
+        mean(&guided_time) / mean(&default_time)
+    );
+}

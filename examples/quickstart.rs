@@ -1,0 +1,60 @@
+//! Quickstart: transactional bank transfers with TL2.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! Four native threads shuffle money between ten accounts; TL2 guarantees
+//! the total balance is conserved despite the races.
+
+use std::sync::Arc;
+
+use gstm::core::{Stm, StmConfig, TVar, ThreadId, TxId};
+
+fn main() {
+    const THREADS: u16 = 4;
+    const ACCOUNTS: usize = 10;
+    const TRANSFERS: usize = 2_000;
+    const OPENING: i64 = 100;
+
+    let stm = Arc::new(Stm::new(StmConfig::new(THREADS as usize)));
+    let accounts: Vec<TVar<i64>> = (0..ACCOUNTS).map(|_| TVar::new(OPENING)).collect();
+
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let stm = Arc::clone(&stm);
+            let accounts = accounts.clone();
+            std::thread::spawn(move || {
+                let me = ThreadId::new(t);
+                // A cheap deterministic stream of (from, to, amount).
+                let mut x = 0x9E37_79B9u64 ^ (t as u64) << 32;
+                for _ in 0..TRANSFERS {
+                    x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    let from = (x >> 33) as usize % ACCOUNTS;
+                    let to = (x >> 17) as usize % ACCOUNTS;
+                    let amount = (x % 20) as i64;
+                    if from == to {
+                        continue;
+                    }
+                    // One atomic transfer: debit `from`, credit `to`.
+                    stm.run(me, TxId::new(0), |tx| {
+                        let a = tx.read(&accounts[from])?;
+                        let b = tx.read(&accounts[to])?;
+                        let moved = amount.min(a.max(0));
+                        tx.write(&accounts[from], a - moved)?;
+                        tx.write(&accounts[to], b + moved)
+                    });
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("worker panicked");
+    }
+
+    let balances: Vec<i64> = accounts.iter().map(|a| *a.load_unlogged()).collect();
+    let total: i64 = balances.iter().sum();
+    println!("final balances: {balances:?}");
+    println!("total = {total} (expected {})", OPENING * ACCOUNTS as i64);
+    println!("commits = {}", stm.commit_count());
+    assert_eq!(total, OPENING * ACCOUNTS as i64, "money must be conserved");
+    println!("OK: atomicity held across {} threads", THREADS);
+}

@@ -1,0 +1,25 @@
+//! # gstm — guided software transactional memory
+//!
+//! Facade over the GSTM workspace: a reproduction of *"Quantifying and
+//! Reducing Execution Variance in STM via Model Driven Commit Optimization"*
+//! (CGO 2019). Re-exports the public API of every crate in the stack.
+//!
+//! See [`core`] for the TL2 engine, [`model`] for the thread-state-automaton
+//! machinery, [`guide`] for guided execution, [`sim`] for the deterministic
+//! virtual-core machine, [`stamp`] and [`synquake`] for the workloads, and
+//! [`stats`] for the metrics.
+
+#![warn(missing_docs)]
+
+pub use gstm_collections as collections;
+pub use gstm_core as core;
+pub use gstm_guide as guide;
+pub use gstm_model as model;
+pub use gstm_sim as sim;
+pub use gstm_stamp as stamp;
+pub use gstm_stats as stats;
+pub use gstm_synquake as synquake;
+
+pub use gstm_core::{
+    Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn,
+};

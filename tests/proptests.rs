@@ -1,0 +1,171 @@
+//! Property-based tests over the core data structures and invariants.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+
+use gstm::core::{Participant, Stm, StmConfig, TVar, ThreadId, TxId};
+use gstm::model::{serialize, GuidedModel, StateSpace, Tsa, TsaBuilder, Tts};
+use gstm::sim::{SimConfig, SimMachine};
+
+fn participant_strategy() -> impl Strategy<Value = Participant> {
+    (0u16..16, 0u16..8).prop_map(|(t, x)| Participant::new(ThreadId::new(t), TxId::new(x)))
+}
+
+fn tts_strategy() -> impl Strategy<Value = Tts> {
+    (proptest::collection::vec(participant_strategy(), 0..5), participant_strategy())
+        .prop_map(|(aborted, committer)| Tts::new(aborted, committer))
+}
+
+fn tsa_strategy() -> impl Strategy<Value = Tsa> {
+    proptest::collection::vec(proptest::collection::vec(tts_strategy(), 1..20), 1..5).prop_map(
+        |runs| {
+            let mut b = TsaBuilder::new();
+            for run in &runs {
+                b.add_run(run);
+            }
+            b.build()
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// TTS equality is order-insensitive in the aborted list.
+    #[test]
+    fn tts_canonical_under_permutation(
+        mut aborted in proptest::collection::vec(participant_strategy(), 0..6),
+        committer in participant_strategy(),
+    ) {
+        let a = Tts::new(aborted.clone(), committer);
+        aborted.reverse();
+        let b = Tts::new(aborted, committer);
+        prop_assert_eq!(&a, &b);
+        // And `contains` agrees with `participants`.
+        for p in a.participants() {
+            prop_assert!(a.contains(p));
+        }
+    }
+
+    /// Interning is a bijection: same id ⇔ same state.
+    #[test]
+    fn interning_bijective(states in proptest::collection::vec(tts_strategy(), 1..40)) {
+        let mut space = StateSpace::new();
+        let ids: Vec<_> = states.iter().map(|s| space.intern(s.clone())).collect();
+        for (s, id) in states.iter().zip(&ids) {
+            prop_assert_eq!(space.lookup(s), Some(*id));
+            prop_assert_eq!(space.state(*id), s);
+        }
+        let distinct: std::collections::HashSet<_> = states.iter().collect();
+        prop_assert_eq!(space.len(), distinct.len());
+    }
+
+    /// Serialization round-trips arbitrary automatons, both formats.
+    #[test]
+    fn tsa_serialization_round_trips(tsa in tsa_strategy()) {
+        let b = serialize::from_bytes(&serialize::to_bytes(&tsa)).unwrap();
+        prop_assert_eq!(b.state_count(), tsa.state_count());
+        prop_assert_eq!(b.edge_count(), tsa.edge_count());
+        let t = serialize::from_text(&serialize::to_text(&tsa)).unwrap();
+        prop_assert_eq!(t.state_count(), tsa.state_count());
+        for (id, s) in tsa.space().iter() {
+            let tid = t.lookup(s).expect("state preserved");
+            let mut orig: Vec<(String, u64)> = tsa
+                .out_edges(id)
+                .iter()
+                .map(|&(d, c)| (tsa.space().state(d).to_string(), c))
+                .collect();
+            let mut back: Vec<(String, u64)> = t
+                .out_edges(tid)
+                .iter()
+                .map(|&(d, c)| (t.space().state(d).to_string(), c))
+                .collect();
+            orig.sort();
+            back.sort();
+            prop_assert_eq!(orig, back);
+        }
+    }
+
+    /// Destination sets are monotone in Tfactor and subsets of successors.
+    #[test]
+    fn destinations_monotone_in_tfactor(tsa in tsa_strategy()) {
+        for (id, _) in tsa.space().iter() {
+            let succ: std::collections::HashSet<_> =
+                tsa.out_edges(id).iter().map(|(d, _)| *d).collect();
+            let d1: std::collections::HashSet<_> =
+                tsa.destinations(id, 1.0).into_iter().collect();
+            let d4: std::collections::HashSet<_> =
+                tsa.destinations(id, 4.0).into_iter().collect();
+            let d10: std::collections::HashSet<_> =
+                tsa.destinations(id, 10.0).into_iter().collect();
+            prop_assert!(d1.is_subset(&d4));
+            prop_assert!(d4.is_subset(&d10));
+            prop_assert!(d10.is_subset(&succ));
+            if !succ.is_empty() {
+                prop_assert!(!d1.is_empty(), "the max edge always survives");
+            }
+        }
+    }
+
+    /// The compiled model admits exactly the participants of high-support
+    /// states' destination tuples.
+    #[test]
+    fn guided_model_admission_consistent(tsa in tsa_strategy(), p in participant_strategy()) {
+        let model = GuidedModel::compile_with(tsa.clone(), 4.0, 1);
+        for (id, _) in tsa.space().iter() {
+            let expected = tsa
+                .destinations(id, 4.0)
+                .iter()
+                .any(|d| tsa.space().state(*d).contains(p));
+            let no_out = tsa.out_edges(id).is_empty();
+            prop_assert_eq!(model.admits(id, p), expected || no_out);
+        }
+    }
+
+    /// Sample stddev is translation-invariant and non-negative.
+    #[test]
+    fn stddev_translation_invariant(
+        xs in proptest::collection::vec(-1e6f64..1e6, 2..30),
+        shift in -1e6f64..1e6,
+    ) {
+        let s1 = gstm::stats::sample_stddev(&xs);
+        let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
+        let s2 = gstm::stats::sample_stddev(&shifted);
+        prop_assert!(s1 >= 0.0);
+        prop_assert!((s1 - s2).abs() < 1e-6 * s1.max(1.0), "{s1} vs {s2}");
+    }
+}
+
+proptest! {
+    // Heavier cases: keep the count low, each spins up a machine.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Lost-update freedom: random per-thread increment programs always sum
+    /// exactly, regardless of seed and thread count.
+    #[test]
+    fn counter_programs_never_lose_updates(
+        seed in 0u64..1000,
+        threads in 2usize..5,
+        per in 5usize..30,
+    ) {
+        let machine = SimMachine::new(SimConfig::new(threads, seed));
+        let stm = Arc::new(Stm::new_on(StmConfig::new(threads), machine.gate()));
+        let v = TVar::new(0i64);
+        let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
+            .map(|i| {
+                let stm = Arc::clone(&stm);
+                let v = v.clone();
+                Box::new(move || {
+                    for _ in 0..per {
+                        stm.run(ThreadId::new(i as u16), TxId::new(0), |tx| {
+                            let x = tx.read(&v)?;
+                            tx.write(&v, x + 1)
+                        });
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        machine.run(workers);
+        prop_assert_eq!(*v.load_unlogged(), (threads * per) as i64);
+    }
+}

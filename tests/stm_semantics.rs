@@ -1,0 +1,160 @@
+//! Cross-crate integration: STM correctness invariants under every
+//! configuration — detection modes, resolutions, contention managers and
+//! policies — on the deterministic machine.
+
+use std::sync::Arc;
+
+use gstm::core::{Detection, Resolution, Stm, StmConfig, TVar, ThreadId, TxId};
+use gstm::sim::{SimConfig, SimMachine};
+
+/// Runs `threads` workers shuffling value between `vars`, returns final sum.
+fn conservation_run(config: StmConfig, seed: u64, threads: usize) -> i64 {
+    let machine = SimMachine::new(SimConfig::new(threads, seed));
+    let stm = Arc::new(Stm::with_parts(
+        config,
+        machine.gate(),
+        Arc::new(gstm::core::NullSink),
+        Arc::new(gstm::core::AdmitAll),
+        Arc::new(gstm::core::cm::Aggressive),
+    ));
+    let vars: Vec<TVar<i64>> = (0..6).map(|_| TVar::new(100)).collect();
+    let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
+        .map(|i| {
+            let stm = Arc::clone(&stm);
+            let vars = vars.clone();
+            Box::new(move || {
+                let t = ThreadId::new(i as u16);
+                for k in 0..60usize {
+                    let from = (i + k) % vars.len();
+                    let to = (i + k * 3 + 1) % vars.len();
+                    if from == to {
+                        continue;
+                    }
+                    stm.run(t, TxId::new((k % 3) as u16), |tx| {
+                        let a = tx.read(&vars[from])?;
+                        let b = tx.read(&vars[to])?;
+                        let moved = (a / 2).max(0);
+                        tx.work(5);
+                        tx.write(&vars[from], a - moved)?;
+                        tx.write(&vars[to], b + moved)
+                    });
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    machine.run(workers);
+    vars.iter().map(|v| *v.load_unlogged()).sum()
+}
+
+#[test]
+fn conservation_under_commit_time_locking() {
+    for seed in 0..4 {
+        assert_eq!(conservation_run(StmConfig::new(4), seed, 4), 600);
+    }
+}
+
+#[test]
+fn conservation_under_encounter_time_locking() {
+    let cfg = StmConfig::new(4).with_detection(Detection::EncounterTime);
+    for seed in 0..4 {
+        assert_eq!(conservation_run(cfg, seed, 4), 600);
+    }
+}
+
+#[test]
+fn conservation_under_abort_readers() {
+    let cfg = StmConfig::new(4).with_resolution(Resolution::AbortReaders);
+    for seed in 0..4 {
+        assert_eq!(conservation_run(cfg, seed, 4), 600);
+    }
+}
+
+#[test]
+fn conservation_under_wait_for_readers() {
+    let cfg = StmConfig::new(4).with_resolution(Resolution::WaitForReaders);
+    for seed in 0..2 {
+        assert_eq!(conservation_run(cfg, seed, 4), 600);
+    }
+}
+
+#[test]
+fn conservation_under_every_contention_manager() {
+    use gstm::core::cm::{Aggressive, ContentionManager, Greedy, Karma, Polite};
+    let managers: Vec<Arc<dyn ContentionManager>> = vec![
+        Arc::new(Aggressive),
+        Arc::new(Polite::default()),
+        Arc::new(Karma::new(4, 8)),
+        Arc::new(Greedy::new(4, 8)),
+    ];
+    for cm in managers {
+        let machine = SimMachine::new(SimConfig::new(4, 9));
+        let stm = Arc::new(Stm::with_parts(
+            StmConfig::new(4),
+            machine.gate(),
+            Arc::new(gstm::core::NullSink),
+            Arc::new(gstm::core::AdmitAll),
+            cm,
+        ));
+        let v = TVar::new(0i64);
+        let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..4)
+            .map(|i| {
+                let stm = Arc::clone(&stm);
+                let v = v.clone();
+                Box::new(move || {
+                    for _ in 0..40 {
+                        stm.run(ThreadId::new(i as u16), TxId::new(0), |tx| {
+                            let x = tx.read(&v)?;
+                            tx.write(&v, x + 1)
+                        });
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        machine.run(workers);
+        assert_eq!(*v.load_unlogged(), 160);
+    }
+}
+
+#[test]
+fn snapshot_consistency_never_observes_torn_pairs() {
+    // Writers keep (a, b) equal; readers must never see a != b — the
+    // classic STM consistency check (zombie reads would fail it).
+    let threads = 4;
+    let machine = SimMachine::new(SimConfig::new(threads, 5));
+    let stm = Arc::new(Stm::new_on(StmConfig::new(threads), machine.gate()));
+    let a = TVar::new(0i64);
+    let b = TVar::new(0i64);
+    let violations = Arc::new(std::sync::atomic::AtomicU64::new(0));
+    let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
+        .map(|i| {
+            let stm = Arc::clone(&stm);
+            let (a, b) = (a.clone(), b.clone());
+            let violations = Arc::clone(&violations);
+            Box::new(move || {
+                let t = ThreadId::new(i as u16);
+                for _ in 0..50 {
+                    if i % 2 == 0 {
+                        stm.run(t, TxId::new(0), |tx| {
+                            let x = tx.read(&a)?;
+                            tx.work(4);
+                            tx.write(&a, x + 1)?;
+                            tx.write(&b, x + 1)
+                        });
+                    } else {
+                        let (x, y) = stm.run(t, TxId::new(1), |tx| {
+                            let x = tx.read(&a)?;
+                            tx.work(4);
+                            let y = tx.read(&b)?;
+                            Ok((x, y))
+                        });
+                        if x != y {
+                            violations.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        }
+                    }
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    machine.run(workers);
+    assert_eq!(violations.load(std::sync::atomic::Ordering::Relaxed), 0);
+}
