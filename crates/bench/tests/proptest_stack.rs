@@ -3,9 +3,9 @@
 use proptest::prelude::*;
 use std::sync::Arc;
 
-use gstm::core::{Participant, Stm, StmConfig, TVar, ThreadId, TxId};
-use gstm::model::{serialize, GuidedModel, StateSpace, Tsa, TsaBuilder, Tts};
-use gstm::sim::{SimConfig, SimMachine};
+use gstm_core::{Participant, Stm, StmConfig, TVar, ThreadId, TxId};
+use gstm_model::{serialize, GuidedModel, StateSpace, Tsa, TsaBuilder, Tts};
+use gstm_sim::{SimConfig, SimMachine};
 
 fn participant_strategy() -> impl Strategy<Value = Participant> {
     (0u16..16, 0u16..8).prop_map(|(t, x)| Participant::new(ThreadId::new(t), TxId::new(x)))
@@ -128,9 +128,9 @@ proptest! {
         xs in proptest::collection::vec(-1e6f64..1e6, 2..30),
         shift in -1e6f64..1e6,
     ) {
-        let s1 = gstm::stats::sample_stddev(&xs);
+        let s1 = gstm_stats::sample_stddev(&xs);
         let shifted: Vec<f64> = xs.iter().map(|x| x + shift).collect();
-        let s2 = gstm::stats::sample_stddev(&shifted);
+        let s2 = gstm_stats::sample_stddev(&shifted);
         prop_assert!(s1 >= 0.0);
         prop_assert!((s1 - s2).abs() < 1e-6 * s1.max(1.0), "{s1} vs {s2}");
     }

@@ -82,12 +82,7 @@ impl<T: Clone + Send + Sync + 'static> TArray<T> {
     /// # Errors
     ///
     /// Propagates STM conflicts.
-    pub fn update(
-        &self,
-        tx: &mut Txn<'_>,
-        i: usize,
-        f: impl FnOnce(T) -> T,
-    ) -> Result<(), Abort> {
+    pub fn update(&self, tx: &mut Txn<'_>, i: usize, f: impl FnOnce(T) -> T) -> Result<(), Abort> {
         let v = self.read(tx, i)?;
         self.write(tx, i, f(v))
     }

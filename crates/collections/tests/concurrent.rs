@@ -23,7 +23,7 @@ fn with_machine(
 fn queue_delivers_every_item_exactly_once() {
     let n = 120;
     let q = TQueue::seeded((0..n).collect::<Vec<i32>>());
-    let seen = Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let seen = Arc::new(gstm_core::sync::Mutex::new(Vec::new()));
     with_machine(4, 3, |stm, i| {
         let q = q.clone();
         let seen = Arc::clone(&seen);
@@ -72,9 +72,7 @@ fn set_dedups_racing_inserts() {
         let news = Arc::clone(&news);
         Box::new(move || {
             for k in 0..40u32 {
-                let fresh = stm.run(ThreadId::new(i as u16), TxId::new(0), |tx| {
-                    set.insert(tx, k)
-                });
+                let fresh = stm.run(ThreadId::new(i as u16), TxId::new(0), |tx| set.insert(tx, k));
                 if fresh {
                     news.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 }

@@ -29,13 +29,20 @@ impl VersionClock {
 
     /// Samples the current version (a transaction's `rv`).
     pub fn sample(&self) -> u64 {
-        self.value.load(Ordering::SeqCst)
+        // Acquire: a sampled `rv` must see all writes published (Release, in
+        // `unlock_publish`) by any commit whose `wv <= rv`; no store follows
+        // that would need SeqCst's total order.
+        self.value.load(Ordering::Acquire)
     }
 
     /// Atomically increments the clock and returns the new value (a
     /// committer's `wv`).
     pub fn tick(&self) -> u64 {
-        self.value.fetch_add(1, Ordering::SeqCst) + 1
+        // AcqRel: the RMW must order after this committer's write-set locks
+        // (Acquire side) and publish a unique `wv` to later samplers
+        // (Release side); uniqueness itself comes from RMW atomicity, which
+        // holds at any ordering.
+        self.value.fetch_add(1, Ordering::AcqRel) + 1
     }
 }
 
@@ -63,9 +70,8 @@ mod tests {
         let mut handles = Vec::new();
         for _ in 0..4 {
             let c = Arc::clone(&c);
-            handles.push(std::thread::spawn(move || {
-                (0..1000).map(|_| c.tick()).collect::<Vec<_>>()
-            }));
+            handles
+                .push(std::thread::spawn(move || (0..1000).map(|_| c.tick()).collect::<Vec<_>>()));
         }
         let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
         all.sort_unstable();

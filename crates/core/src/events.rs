@@ -6,16 +6,16 @@
 //! `gstm-model` parses it into thread-transactional-state tuples; guided
 //! execution subscribes online via the same trait.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::collections::BTreeMap;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use crate::error::Abort;
-use crate::ids::{CommitSeq, Participant, ThreadId};
 #[cfg(test)]
 use crate::ids::TxId;
+use crate::ids::{CommitSeq, Participant, ThreadId};
 
 /// One entry of the transaction sequence.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -292,7 +292,14 @@ mod tests {
     }
 
     fn commit(t: u16, seq: u64, aborts: u32) -> TxEvent {
-        TxEvent::Commit { who: who(t, 0), seq: CommitSeq::new(seq), aborts, reads: 1, writes: 1, at: 0 }
+        TxEvent::Commit {
+            who: who(t, 0),
+            seq: CommitSeq::new(seq),
+            aborts,
+            reads: 1,
+            writes: 1,
+            at: 0,
+        }
     }
 
     #[test]

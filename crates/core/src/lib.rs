@@ -49,8 +49,10 @@ pub mod gate;
 pub mod ids;
 pub mod lock_table;
 pub mod policy;
+pub mod rng;
 pub mod site_stats;
 pub mod stm;
+pub mod sync;
 pub mod tvar;
 
 pub use config::{Detection, Resolution, StmConfig};

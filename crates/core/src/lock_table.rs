@@ -13,7 +13,7 @@
 //! its versioned-lock array; distinct variables may share a stripe, giving
 //! the same (rare) false conflicts a word-based STM has.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crate::ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
@@ -109,7 +109,9 @@ impl LockTable {
 
     /// Loads and decodes a stripe's lock word.
     pub fn load(&self, s: StripeIndex) -> LockWord {
-        LockWord::decode(self.words[s.0 as usize].load(Ordering::SeqCst))
+        // Acquire: pairs with the Release stores in `unlock_*` so a reader
+        // that observes version `wv` also sees the data written under it.
+        LockWord::decode(self.words[s.0 as usize].load(Ordering::Acquire))
     }
 
     /// Attempts to write-lock a stripe for `owner`. Returns the pre-lock
@@ -117,7 +119,12 @@ impl LockTable {
     /// (by anyone, including `owner` — callers dedup stripes first).
     pub fn try_lock(&self, s: StripeIndex, owner: ThreadId) -> Result<u64, LockWord> {
         let w = &self.words[s.0 as usize];
-        let cur = w.load(Ordering::SeqCst);
+        // Acquire on both the probe and the CAS: acquiring the lock is a
+        // lock-acquire in the classical sense — everything the previous
+        // unlocker released must be visible before we write under the lock.
+        // Nothing is published by locking itself, so Release is not needed
+        // on success.
+        let cur = w.load(Ordering::Acquire);
         if cur & LOCKED_BIT != 0 {
             return Err(LockWord::decode(cur));
         }
@@ -125,8 +132,8 @@ impl LockTable {
         match w.compare_exchange(
             cur,
             LockWord::encode_locked(version, owner),
-            Ordering::SeqCst,
-            Ordering::SeqCst,
+            Ordering::Acquire,
+            Ordering::Acquire,
         ) {
             Ok(_) => Ok(version),
             Err(observed) => Err(LockWord::decode(observed)),
@@ -141,7 +148,9 @@ impl LockTable {
     pub fn unlock_publish(&self, s: StripeIndex, owner: ThreadId, new_version: u64) {
         debug_assert_eq!(self.load(s).owner, Some(owner), "unlock by non-owner");
         let _ = owner;
-        self.words[s.0 as usize].store(LockWord::encode_unlocked(new_version), Ordering::SeqCst);
+        // Release: publishes the redo-log writes performed under the lock —
+        // any Acquire load that sees `new_version` sees those writes too.
+        self.words[s.0 as usize].store(LockWord::encode_unlocked(new_version), Ordering::Release);
     }
 
     /// Releases a stripe restoring its pre-lock version (abort path).
@@ -152,15 +161,18 @@ impl LockTable {
     pub fn unlock_restore(&self, s: StripeIndex, owner: ThreadId, old_version: u64) {
         debug_assert_eq!(self.load(s).owner, Some(owner), "unlock by non-owner");
         let _ = owner;
-        self.words[s.0 as usize].store(LockWord::encode_unlocked(old_version), Ordering::SeqCst);
+        // Release: no data was published (abort restores the old version),
+        // but the unlock must still order after any tentative stores so the
+        // next locker never observes them.
+        self.words[s.0 as usize].store(LockWord::encode_unlocked(old_version), Ordering::Release);
     }
 
     /// Records that `who`'s commit `seq` last wrote this stripe.
     pub fn stamp(&self, s: StripeIndex, who: Participant, seq: CommitSeq) {
-        let enc = (seq.raw() << 32)
-            | ((who.thread.raw() as u64) << 16)
-            | who.tx.raw() as u64;
-        self.stamps[s.0 as usize].store(enc, Ordering::SeqCst);
+        let enc = (seq.raw() << 32) | ((who.thread.raw() as u64) << 16) | who.tx.raw() as u64;
+        // Release: a stamp written before `unlock_publish` must be visible
+        // to any aborting reader that attributes its conflict to `seq`.
+        self.stamps[s.0 as usize].store(enc, Ordering::Release);
     }
 
     /// Last committer of this stripe, if any commit has written it.
@@ -168,7 +180,9 @@ impl LockTable {
     /// The sequence component is truncated to 32 bits; `None` is returned
     /// before the first commit.
     pub fn last_writer(&self, s: StripeIndex) -> Option<(Participant, CommitSeq)> {
-        let raw = self.stamps[s.0 as usize].load(Ordering::SeqCst);
+        // Acquire: pairs with the Release in `stamp` — attribution is
+        // best-effort (a racing commit may overwrite), but never torn.
+        let raw = self.stamps[s.0 as usize].load(Ordering::Acquire);
         if raw == 0 {
             return None;
         }
@@ -262,10 +276,14 @@ mod tests {
         let lt = LockTable::new(4, false);
         let s = StripeIndex(0);
         let owner = ThreadId::new(1);
-        lt.unlock_publish(s, {
-            lt.try_lock(s, owner).unwrap();
-            owner
-        }, 7);
+        lt.unlock_publish(
+            s,
+            {
+                lt.try_lock(s, owner).unwrap();
+                owner
+            },
+            7,
+        );
         let old = lt.try_lock(s, owner).unwrap();
         assert_eq!(old, 7);
         lt.unlock_restore(s, owner, old);

@@ -52,10 +52,8 @@ mod tests {
     #[test]
     fn admit_all_never_polls() {
         let mut polls = 0u32;
-        let got = AdmitAll.admit(
-            Participant::new(ThreadId::new(0), TxId::new(0)),
-            &mut || polls += 1,
-        );
+        let got =
+            AdmitAll.admit(Participant::new(ThreadId::new(0), TxId::new(0)), &mut || polls += 1);
         assert_eq!(got, 0);
         assert_eq!(polls, 0);
         assert_eq!(AdmitAll.name(), "admit-all");

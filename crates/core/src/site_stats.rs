@@ -5,7 +5,7 @@
 
 use std::collections::BTreeMap;
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 
 use crate::events::{EventSink, TxEvent};
 use crate::ids::Participant;

@@ -416,9 +416,7 @@ impl<'stm> Txn<'stm> {
         if post.version != pre.version || (post.locked && post.owner != Some(self.who.thread)) {
             return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
         }
-        if self.reads.insert(stripe.0, pre.version).is_none()
-            && stm.locks.tracks_readers()
-            && !own
+        if self.reads.insert(stripe.0, pre.version).is_none() && stm.locks.tracks_readers() && !own
         {
             stm.locks.register_reader(stripe, self.who.thread);
             self.registered.push(stripe);
@@ -433,7 +431,11 @@ impl<'stm> Txn<'stm> {
     /// In encounter-time mode, returns [`Abort`] if the stripe lock cannot
     /// be acquired or the stripe postdates the snapshot. In commit-time mode
     /// the write itself cannot fail (conflicts surface at commit).
-    pub fn write<T: Send + Sync + 'static>(&mut self, var: &TVar<T>, value: T) -> Result<(), Abort> {
+    pub fn write<T: Send + Sync + 'static>(
+        &mut self,
+        var: &TVar<T>,
+        value: T,
+    ) -> Result<(), Abort> {
         let stm = self.stm;
         stm.gate.pass(self.who.thread, stm.config.costs.write);
         stm.cm.on_access(self.who.thread);
@@ -454,9 +456,7 @@ impl<'stm> Txn<'stm> {
                     self.eager_locks.push((stripe, old_version));
                 }
                 Err(_) => {
-                    return Err(
-                        self.abort_at(AbortReason::WriteLockBusy { var: var.id() }, stripe)
-                    );
+                    return Err(self.abort_at(AbortReason::WriteLockBusy { var: var.id() }, stripe));
                 }
             }
         }
@@ -466,7 +466,11 @@ impl<'stm> Txn<'stm> {
             Some(&i) => self.writes[i].value = erased,
             None => {
                 self.write_index.insert(var.id().raw(), self.writes.len());
-                self.writes.push(WriteEntry { cell: Arc::clone(var.cell()), stripe, value: erased });
+                self.writes.push(WriteEntry {
+                    cell: Arc::clone(var.cell()),
+                    stripe,
+                    value: erased,
+                });
             }
         }
         Ok(())
@@ -535,9 +539,8 @@ impl<'stm> Txn<'stm> {
                         stm.locks.unlock_restore(a, thread, old);
                     }
                     let var = self.writes.iter().find(|w| w.stripe == s).map(|w| w.cell.id());
-                    let reason = AbortReason::WriteLockBusy {
-                        var: var.unwrap_or(VarId::from_raw(0)),
-                    };
+                    let reason =
+                        AbortReason::WriteLockBusy { var: var.unwrap_or(VarId::from_raw(0)) };
                     let abort = self.abort_at(reason, s);
                     self.release(None);
                     return Err(abort);
@@ -794,10 +797,7 @@ mod tests {
             assert!(
                 matches!(
                     inner,
-                    Err(StmError::Aborted(Abort {
-                        reason: AbortReason::WriteLockBusy { .. },
-                        ..
-                    }))
+                    Err(StmError::Aborted(Abort { reason: AbortReason::WriteLockBusy { .. }, .. }))
                 ),
                 "{inner:?}"
             );

@@ -1,6 +1,6 @@
 //! Transactional variables.
 
-use parking_lot::Mutex;
+use crate::sync::Mutex;
 use std::any::Any;
 use std::fmt;
 use std::marker::PhantomData;

@@ -29,7 +29,7 @@ fn committer_dooms_active_reader() {
     // mid-transaction, thread 1 commits a write to it: thread 0 must be
     // doomed and retried.
     let mut interfered = false;
-    let result = stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+    stm.run(ThreadId::new(0), TxId::new(0), |tx| {
         let v = tx.read(&shared)?;
         if !interfered {
             interfered = true;
@@ -41,7 +41,6 @@ fn committer_dooms_active_reader() {
         // Next op observes the doom flag.
         tx.write(&shared, v + 1)
     });
-    let _ = result;
     assert_eq!(*shared.load_unlogged(), 6, "retry must see the committed 5");
     let events = sink.take();
     let doomed = events.iter().any(|e| {
@@ -96,9 +95,7 @@ fn wait_for_readers_times_out_rather_than_deadlocks() {
     // ReaderWaitTimeout instead of hanging.
     let r = stm.try_run_once(ThreadId::new(0), TxId::new(0), |tx| {
         let _ = tx.read(&shared)?;
-        let inner = stm.try_run_once(ThreadId::new(1), TxId::new(1), |tx2| {
-            tx2.write(&shared, 9)
-        });
+        let inner = stm.try_run_once(ThreadId::new(1), TxId::new(1), |tx2| tx2.write(&shared, 9));
         match inner {
             Err(StmError::Aborted(a)) => {
                 assert_eq!(a.reason, AbortReason::ReaderWaitTimeout, "{a:?}");
@@ -135,9 +132,7 @@ fn self_abort_mode_has_no_visible_reader_cost() {
     let stm = Stm::with_parts(
         StmConfig::new(2),
         Arc::new(NullGate),
-        Arc::new(
-            MulticastSink::new().with(Arc::clone(&counting) as Arc<dyn gstm_core::EventSink>),
-        ),
+        Arc::new(MulticastSink::new().with(Arc::clone(&counting) as Arc<dyn gstm_core::EventSink>)),
         Arc::new(AdmitAll),
         Arc::new(Aggressive),
     );

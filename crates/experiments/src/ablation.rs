@@ -13,7 +13,11 @@ use crate::study::train_stamp;
 /// Tfactor sweep (§VI: "experimenting with Tfactor values of between 1 to
 /// 10, we found that ... 4 strikes a balance"): variance reduction vs
 /// slowdown at each setting.
-pub fn ablate_tfactor(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+pub fn ablate_tfactor(
+    cfg: &ExpConfig,
+    name: &'static str,
+    progress: &mut dyn FnMut(&str),
+) -> String {
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
     let default_runs: Vec<_> = cfg
@@ -79,10 +83,8 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
             .test_seeds
             .iter()
             .map(|&s| {
-                let opts = RunOptions::new(threads, s).with_policy(PolicyChoice::Guided {
-                    model: Arc::clone(&trained.model),
-                    k,
-                });
+                let opts = RunOptions::new(threads, s)
+                    .with_policy(PolicyChoice::Guided { model: Arc::clone(&trained.model), k });
                 run_workload(workload.as_ref(), &opts)
             })
             .collect();
@@ -90,12 +92,7 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
         let bails: u64 =
             guided_runs.iter().filter_map(|r| r.hold_stats).map(|h| h.bailed_out).sum();
         let s = slowdown(mean_makespan(&default_runs), mean_makespan(&guided_runs));
-        t.row(vec![
-            k.to_string(),
-            format!("{imp:+.1}%"),
-            bails.to_string(),
-            format!("{s:.2}x"),
-        ]);
+        t.row(vec![k.to_string(), format!("{imp:+.1}%"), bails.to_string(), format!("{s:.2}x")]);
     }
     format!("== Ablation: hold bound k sweep on {name}, {threads} threads ==\n{}", t.render())
 }
@@ -120,12 +117,7 @@ pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&
         let imp = mean(&per_thread_improvement(&baseline, runs));
         let nd = percent_reduction(mean_nondeterminism(&baseline), mean_nondeterminism(runs));
         let s = slowdown(mean_makespan(&baseline), mean_makespan(runs));
-        t.row(vec![
-            label,
-            format!("{imp:+.1}%"),
-            format!("{nd:+.1}%"),
-            format!("{s:.2}x"),
-        ]);
+        t.row(vec![label, format!("{imp:+.1}%"), format!("{nd:+.1}%"), format!("{s:.2}x")]);
     };
     for cm in [CmChoice::Polite, CmChoice::Karma, CmChoice::Greedy] {
         progress(&format!("ablate-cm: {name} {cm:?}"));
@@ -227,7 +219,11 @@ pub fn ablate_detection(
 /// (§I), DeSTM-style determinism (§IX) and guided execution — variance,
 /// non-determinism and throughput cost of each point on the
 /// speculation/repeatability spectrum.
-pub fn ablate_policy(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+pub fn ablate_policy(
+    cfg: &ExpConfig,
+    name: &'static str,
+    progress: &mut dyn FnMut(&str),
+) -> String {
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
     let baseline: Vec<_> = cfg
@@ -247,7 +243,10 @@ pub fn ablate_policy(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnM
             .test_seeds
             .iter()
             .map(|&s| {
-                run_workload(workload.as_ref(), &RunOptions::new(threads, s).with_policy(policy.clone()))
+                run_workload(
+                    workload.as_ref(),
+                    &RunOptions::new(threads, s).with_policy(policy.clone()),
+                )
             })
             .collect();
         let imp = mean(&per_thread_improvement(&baseline, &runs));

@@ -25,6 +25,9 @@ pub struct ExpConfig {
     pub synquake_players: usize,
     /// Directory results are written to.
     pub out_dir: std::path::PathBuf,
+    /// Collect telemetry snapshots on every measured run (the CLI's
+    /// `--metrics <path>` sets this and writes the merged snapshot there).
+    pub telemetry: bool,
 }
 
 impl ExpConfig {
@@ -41,6 +44,7 @@ impl ExpConfig {
             synquake_frames: (10, 24),
             synquake_players: 600,
             out_dir: "results".into(),
+            telemetry: false,
         }
     }
 

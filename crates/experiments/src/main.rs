@@ -1,7 +1,7 @@
 //! The experiments CLI: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! cargo run -p gstm-experiments --release -- <command> [--fast] [--bench NAME]
+//! cargo run -p gstm-experiments --release -- <command> [--fast] [--bench NAME] [--metrics PATH]
 //!
 //! commands:
 //!   table1 table2 table3 table4 table5
@@ -13,6 +13,10 @@
 //!   train-model --bench NAME   (profile + build + save results/NAME-<threads>t.gtsa)
 //!   inspect-model FILE         (analyzer report + hottest states of a saved model)
 //! ```
+//!
+//! `--metrics PATH` attaches telemetry to every measured run and writes the
+//! merged snapshot as Prometheus-style text to PATH plus a compact machine
+//! dump to PATH.machine (parse with `gstm_stats::telemetry_dump`).
 //!
 //! Output is printed and archived under `results/`.
 
@@ -28,7 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|all|\
          train-model|inspect-model|sites|\
-         ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> [--fast] [--bench NAME]"
+         ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
+         [--fast] [--bench NAME] [--metrics PATH]"
     );
     std::process::exit(2);
 }
@@ -45,17 +50,26 @@ fn main() {
         .position(|a| a == "--bench")
         .and_then(|i| args.get(i + 1))
         .map(|s| {
-            gstm_stamp::BENCHMARK_NAMES
-                .iter()
-                .copied()
-                .find(|n| *n == s.as_str())
-                .unwrap_or_else(|| {
+            gstm_stamp::BENCHMARK_NAMES.iter().copied().find(|n| *n == s.as_str()).unwrap_or_else(
+                || {
                     eprintln!("unknown benchmark {s}; known: {:?}", gstm_stamp::BENCHMARK_NAMES);
                     std::process::exit(2);
-                })
+                },
+            )
         })
         .unwrap_or("kmeans");
-    let cfg = if fast { ExpConfig::fast() } else { ExpConfig::full() };
+    let metrics_path: Option<std::path::PathBuf> =
+        args.iter().position(|a| a == "--metrics").map(|i| {
+            args.get(i + 1)
+                .filter(|p| !p.starts_with("--"))
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|| {
+                    eprintln!("--metrics requires a path argument");
+                    std::process::exit(2);
+                })
+        });
+    let mut cfg = if fast { ExpConfig::fast() } else { ExpConfig::full() };
+    cfg.telemetry = metrics_path.is_some();
     std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
 
     let started = std::time::Instant::now();
@@ -66,8 +80,19 @@ fn main() {
     let mut outputs: Vec<(String, String)> = Vec::new();
     let needs_stamp = matches!(
         command,
-        "table1" | "table3" | "table4" | "fig3" | "fig4" | "fig5" | "fig6" | "fig7" | "fig8"
-            | "fig9" | "fig10" | "stamp" | "all"
+        "table1"
+            | "table3"
+            | "table4"
+            | "fig3"
+            | "fig4"
+            | "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "fig10"
+            | "stamp"
+            | "all"
     );
     let needs_quake = matches!(command, "table5" | "fig11" | "fig12" | "quake" | "all");
 
@@ -97,10 +122,19 @@ fn main() {
         "table3" => emit("table3", report::table3(&cfg, stamp.as_ref().unwrap())),
         "table4" => emit("table4", report::table4(&cfg, stamp.as_ref().unwrap())),
         "fig3" => emit("fig3", report::fig3(&cfg, stamp.as_ref().unwrap())),
-        "fig4" => emit("fig4", report::fig_variance(threads_a, stamp.as_ref().unwrap(), "Figure 4")),
-        "fig6" => emit("fig6", report::fig_variance(threads_b, stamp.as_ref().unwrap(), "Figure 6")),
-        "fig5" => emit("fig5", report::fig_tails(threads_a, stamp.as_ref().unwrap(), "Figure 5", 0)),
-        "fig7" => emit("fig7", report::fig_tails(threads_b, stamp.as_ref().unwrap(), "Figure 7", threads_b / 2)),
+        "fig4" => {
+            emit("fig4", report::fig_variance(threads_a, stamp.as_ref().unwrap(), "Figure 4"))
+        }
+        "fig6" => {
+            emit("fig6", report::fig_variance(threads_b, stamp.as_ref().unwrap(), "Figure 6"))
+        }
+        "fig5" => {
+            emit("fig5", report::fig_tails(threads_a, stamp.as_ref().unwrap(), "Figure 5", 0))
+        }
+        "fig7" => emit(
+            "fig7",
+            report::fig_tails(threads_b, stamp.as_ref().unwrap(), "Figure 7", threads_b / 2),
+        ),
         "fig8" => emit("fig8", report::fig8(&cfg, stamp.as_ref().unwrap())),
         "fig9" => emit("fig9", report::fig9(&cfg, stamp.as_ref().unwrap())),
         "fig10" => emit("fig10", report::fig10(&cfg, stamp.as_ref().unwrap())),
@@ -131,10 +165,7 @@ fn main() {
             if let Some(quake) = &quake {
                 emit("table5", report::table5(&cfg, quake));
                 emit("fig11", report::fig_quake(&cfg, quake, Quest::Quadrants4, "Figure 11"));
-                emit(
-                    "fig12",
-                    report::fig_quake(&cfg, quake, Quest::CenterSpread6, "Figure 12"),
-                );
+                emit("fig12", report::fig_quake(&cfg, quake, Quest::CenterSpread6, "Figure 12"));
             }
         }
         "ablate-tfactor" => {
@@ -179,10 +210,7 @@ fn main() {
             let w = gstm_stamp::benchmark(bench_name, cfg.test_size).expect("known");
             let sink = SiteStatsSink::new();
             for &seed in &cfg.test_seeds {
-                let out = run_workload(
-                    w.as_ref(),
-                    &RunOptions::new(threads, seed).capturing(),
-                );
+                let out = run_workload(w.as_ref(), &RunOptions::new(threads, seed).capturing());
                 for e in out.events.expect("captured") {
                     sink.record(&e);
                 }
@@ -198,16 +226,14 @@ fn main() {
         }
         "inspect-model" => {
             let path = args.get(1).unwrap_or_else(|| usage());
-            let tsa = gstm_model::serialize::load(std::path::Path::new(path))
-                .expect("load model file");
+            let tsa =
+                gstm_model::serialize::load(std::path::Path::new(path)).expect("load model file");
             let analysis = gstm_model::analyze(&tsa, cfg.tfactor);
             let mut body = format!("{}\nanalysis: {analysis}\nhottest states:\n", path);
             let mut by_heat: Vec<_> = tsa
                 .space()
                 .iter()
-                .map(|(id, st)| {
-                    (tsa.out_edges(id).iter().map(|(_, c)| *c).sum::<u64>(), id, st)
-                })
+                .map(|(id, st)| (tsa.out_edges(id).iter().map(|(_, c)| *c).sum::<u64>(), id, st))
                 .collect();
             by_heat.sort_by_key(|entry| std::cmp::Reverse(entry.0));
             for (heat, id, st) in by_heat.iter().take(8) {
@@ -216,6 +242,41 @@ fn main() {
             emit("inspect-model", body);
         }
         _ => usage(),
+    }
+
+    if let Some(path) = &metrics_path {
+        use gstm_experiments::study::{merge_run_telemetry, quake_runs, stamp_runs};
+        let stamp_snap = stamp.as_ref().and_then(|s| merge_run_telemetry(stamp_runs(s)));
+        let quake_snap = quake.as_ref().and_then(|q| merge_run_telemetry(quake_runs(q)));
+        let merged = match (stamp_snap, quake_snap) {
+            (Some(mut a), Some(b)) => {
+                a.merge(&b);
+                Some(a)
+            }
+            (a, b) => a.or(b),
+        };
+        match merged {
+            Some(snap) => {
+                let machine = path.with_extension(match path.extension() {
+                    Some(e) => format!("{}.machine", e.to_string_lossy()),
+                    None => "machine".to_string(),
+                });
+                let written = std::fs::write(path, snap.to_text())
+                    .and_then(|()| std::fs::write(&machine, snap.to_machine()));
+                if let Err(e) = written {
+                    eprintln!("--metrics: cannot write {}: {e}", path.display());
+                    std::process::exit(2);
+                }
+                eprintln!(
+                    "wrote telemetry snapshot to {} and {}",
+                    path.display(),
+                    machine.display()
+                );
+            }
+            None => {
+                eprintln!("--metrics: command '{command}' ran no measured study; nothing written")
+            }
+        }
     }
 
     for (_, body) in &outputs {

@@ -111,6 +111,7 @@ mod tests {
             events: None,
             workload_stats: vec![("x".into(), 2.0)],
             hold_stats: None,
+            telemetry: None,
         }
     }
 
@@ -132,10 +133,8 @@ mod tests {
 
     #[test]
     fn histograms_merge_across_runs() {
-        let runs = vec![
-            outcome(vec![1], 0, &[(0, 5), (2, 1)]),
-            outcome(vec![1], 0, &[(0, 3), (4, 2)]),
-        ];
+        let runs =
+            vec![outcome(vec![1], 0, &[(0, 5), (2, 1)]), outcome(vec![1], 0, &[(0, 3), (4, 2)])];
         let h = merged_histogram(&runs, 0);
         assert_eq!(h.get(&0), Some(&8));
         assert_eq!(h.get(&2), Some(&1));

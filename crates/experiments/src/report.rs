@@ -92,7 +92,9 @@ pub fn table4(cfg: &ExpConfig, study: &StampStudy) -> String {
             row.push(
                 study
                     .cell(name, threads)
-                    .map(|c| format!("{:.0}%", avg_tail_improvement(&c.default_runs, &c.guided_runs)))
+                    .map(|c| {
+                        format!("{:.0}%", avg_tail_improvement(&c.default_runs, &c.guided_runs))
+                    })
                     .unwrap_or_else(|| "-".into()),
             );
         }
@@ -160,15 +162,10 @@ pub fn fig_variance(threads: usize, study: &StampStudy, figure: &str) -> String 
 /// Figures 5 (8 threads) and 7 (16 threads) — abort tail distributions,
 /// default (D) vs guided (G), one serially-picked thread per benchmark.
 pub fn fig_tails(threads: usize, study: &StampStudy, figure: &str, thread_base: usize) -> String {
-    let mut out = header(
-        figure,
-        &format!("abort distributions (aborts:frequency), {threads} threads"),
-    );
-    let apps: Vec<&str> = gstm_stamp::BENCHMARK_NAMES
-        .iter()
-        .copied()
-        .filter(|&n| n != "ssca2")
-        .collect();
+    let mut out =
+        header(figure, &format!("abort distributions (aborts:frequency), {threads} threads"));
+    let apps: Vec<&str> =
+        gstm_stamp::BENCHMARK_NAMES.iter().copied().filter(|&n| n != "ssca2").collect();
     for (i, name) in apps.iter().enumerate() {
         let Some(cell) = study.cell(name, threads) else { continue };
         let thread = (thread_base + i) % threads;
@@ -243,10 +240,8 @@ pub fn fig10(cfg: &ExpConfig, study: &StampStudy) -> String {
                 study
                     .cell(name, threads)
                     .map(|c| {
-                        let s = slowdown(
-                            mean_makespan(&c.default_runs),
-                            mean_makespan(&c.guided_runs),
-                        );
+                        let s =
+                            slowdown(mean_makespan(&c.default_runs), mean_makespan(&c.guided_runs));
                         format!("{s:.2}x")
                     })
                     .unwrap_or_else(|| "-".into()),
@@ -280,7 +275,12 @@ pub fn table5(cfg: &ExpConfig, study: &QuakeStudy) -> String {
 
 /// Figures 11 (4quadrants) and 12 (4center_spread6) — frame-rate variance
 /// improvement, abort-ratio reduction, slowdown.
-pub fn fig_quake(cfg: &ExpConfig, study: &QuakeStudy, quest: gstm_synquake::Quest, figure: &str) -> String {
+pub fn fig_quake(
+    cfg: &ExpConfig,
+    study: &QuakeStudy,
+    quest: gstm_synquake::Quest,
+    figure: &str,
+) -> String {
     let mut t = TextTable::new(vec![
         "Threads".into(),
         "frame variance improvement".into(),
@@ -288,8 +288,7 @@ pub fn fig_quake(cfg: &ExpConfig, study: &QuakeStudy, quest: gstm_synquake::Ques
         "slowdown (x)".into(),
     ]);
     for &threads in &cfg.threads_list {
-        let Some(cell) =
-            study.cells.iter().find(|c| c.quest == quest && c.threads == threads)
+        let Some(cell) = study.cells.iter().find(|c| c.quest == quest && c.threads == threads)
         else {
             continue;
         };

@@ -5,6 +5,7 @@ use std::collections::BTreeMap;
 use gstm_guide::{run_workload, train, PolicyChoice, RunOptions, RunOutcome, TrainedModel};
 use gstm_stamp::benchmark;
 use gstm_synquake::{Quest, SynQuake};
+use gstm_telemetry::Snapshot;
 
 use crate::config::ExpConfig;
 
@@ -55,25 +56,31 @@ pub fn run_stamp_cell(
     threads: usize,
     progress: &mut dyn FnMut(&str),
 ) -> StampCell {
-    progress(&format!("{name}/{threads}t: training on {} ({} seeds)",
-        cfg.train_size, cfg.train_seeds.len()));
+    progress(&format!(
+        "{name}/{threads}t: training on {} ({} seeds)",
+        cfg.train_size,
+        cfg.train_seeds.len()
+    ));
     let trained = train_stamp(cfg, name, threads);
 
     let workload =
         benchmark(name, cfg.test_size).unwrap_or_else(|| panic!("unknown benchmark {name}"));
+    let measured = |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
     progress(&format!("{name}/{threads}t: default runs on {}", cfg.test_size));
     let default_runs: Vec<RunOutcome> = cfg
         .test_seeds
         .iter()
-        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
+        .map(|&s| run_workload(workload.as_ref(), &measured(RunOptions::new(threads, s))))
         .collect();
     progress(&format!("{name}/{threads}t: guided runs on {}", cfg.test_size));
     let guided_runs: Vec<RunOutcome> = cfg
         .test_seeds
         .iter()
         .map(|&s| {
-            let opts = RunOptions::new(threads, s)
-                .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&trained.model)));
+            let opts = measured(
+                RunOptions::new(threads, s)
+                    .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&trained.model))),
+            );
             run_workload(workload.as_ref(), &opts)
         })
         .collect();
@@ -94,6 +101,29 @@ pub fn run_stamp_study(
         }
     }
     study
+}
+
+/// Merges per-run telemetry snapshots (deterministic order: map order, then
+/// default runs before guided runs, then seed order). `None` when no run
+/// carried telemetry.
+pub fn merge_run_telemetry<'a>(runs: impl IntoIterator<Item = &'a RunOutcome>) -> Option<Snapshot> {
+    let mut merged: Option<Snapshot> = None;
+    for run in runs {
+        if let Some(snap) = &run.telemetry {
+            merged.get_or_insert_with(Snapshot::new).merge(snap);
+        }
+    }
+    merged
+}
+
+/// All measured runs of a STAMP study, in deterministic order.
+pub fn stamp_runs(study: &StampStudy) -> impl Iterator<Item = &RunOutcome> {
+    study.cells.values().flat_map(|c| c.default_runs.iter().chain(c.guided_runs.iter()))
+}
+
+/// All measured runs of a SynQuake study, in deterministic order.
+pub fn quake_runs(study: &QuakeStudy) -> impl Iterator<Item = &RunOutcome> {
+    study.cells.iter().flat_map(|c| c.default_runs.iter().chain(c.guided_runs.iter()))
 }
 
 /// Builds a small synthetic trained model for tests of the report layer
@@ -148,15 +178,12 @@ pub struct QuakeStudy {
 /// training quests (`4worst_case` and `4moving`), pooling their profiled
 /// transaction sequences into one automaton.
 pub fn train_quake(cfg: &ExpConfig, threads: usize) -> TrainedModel {
-    use gstm_model::{analyze, parse_states, GuidedModel, Grouping, TsaBuilder};
+    use gstm_model::{analyze, parse_states, Grouping, GuidedModel, TsaBuilder};
 
     let mut builder = TsaBuilder::new();
     for quest in Quest::training() {
-        let workload = SynQuake {
-            players: cfg.synquake_players,
-            frames: cfg.synquake_frames.0,
-            quest,
-        };
+        let workload =
+            SynQuake { players: cfg.synquake_players, frames: cfg.synquake_frames.0, quest };
         for &seed in &cfg.train_seeds {
             let opts = RunOptions::new(threads, seed).capturing();
             let outcome = run_workload(&workload, &opts);
@@ -184,26 +211,26 @@ pub fn run_quake_study(cfg: &ExpConfig, progress: &mut dyn FnMut(&str)) -> Quake
         ));
         let model = train_quake(cfg, threads);
         for quest in Quest::testing() {
-            let workload = SynQuake {
-                players: cfg.synquake_players,
-                frames: cfg.synquake_frames.1,
-                quest,
-            };
+            let workload =
+                SynQuake { players: cfg.synquake_players, frames: cfg.synquake_frames.1, quest };
             progress(&format!("synquake/{threads}t: measuring {quest}"));
+            let measured =
+                |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
             let default_runs: Vec<RunOutcome> = cfg
                 .test_seeds
                 .iter()
-                .map(|&s| run_workload(&workload, &RunOptions::new(threads, s)))
+                .map(|&s| run_workload(&workload, &measured(RunOptions::new(threads, s))))
                 .collect();
-            let guided_runs: Vec<RunOutcome> = cfg
-                .test_seeds
-                .iter()
-                .map(|&s| {
-                    let opts = RunOptions::new(threads, s)
-                        .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&model.model)));
-                    run_workload(&workload, &opts)
-                })
-                .collect();
+            let guided_runs: Vec<RunOutcome> =
+                cfg.test_seeds
+                    .iter()
+                    .map(|&s| {
+                        let opts = measured(RunOptions::new(threads, s).with_policy(
+                            PolicyChoice::guided(std::sync::Arc::clone(&model.model)),
+                        ));
+                        run_workload(&workload, &opts)
+                    })
+                    .collect();
             cells.push(QuakeCell { quest, threads, default_runs, guided_runs });
         }
         trained.insert(threads, model);

@@ -16,15 +16,16 @@ fn outcome(ticks: &[u64], nd: usize) -> RunOutcome {
         commits: vec![10; ticks.len()],
         aborts: vec![2; ticks.len()],
         holds: vec![0; ticks.len()],
-        abort_histograms: vec![[(0u32, 8u64), (1, 2)].into_iter().collect::<BTreeMap<_, _>>(); ticks.len()],
+        abort_histograms: vec![
+            [(0u32, 8u64), (1, 2)].into_iter().collect::<BTreeMap<_, _>>();
+            ticks.len()
+        ],
         nondeterminism: nd,
         unknown_hits: 0,
         events: None,
-        workload_stats: vec![
-            ("frame_mean".into(), 50.0),
-            ("frame_stddev".into(), 5.0),
-        ],
+        workload_stats: vec![("frame_mean".into(), 50.0), ("frame_stddev".into(), 5.0)],
         hold_stats: None,
+        telemetry: None,
     }
 }
 
@@ -42,7 +43,10 @@ fn mini_stamp(cfg: &ExpConfig) -> StampStudy {
                 name,
                 threads,
                 trained: synthetic_trained(threads),
-                default_runs: vec![outcome(&vec![100; threads], 9), outcome(&vec![140; threads], 11)],
+                default_runs: vec![
+                    outcome(&vec![100; threads], 9),
+                    outcome(&vec![140; threads], 11),
+                ],
                 guided_runs: vec![outcome(&vec![110; threads], 7), outcome(&vec![120; threads], 8)],
             };
             study.cells.insert((name.to_string(), threads), cell);
@@ -94,8 +98,7 @@ fn quake_reports_render() {
     };
     let t5 = report::table5(&cfg, &study);
     assert!(t5.contains("SynQuake"), "{t5}");
-    let f11 =
-        report::fig_quake(&cfg, &study, gstm_synquake::Quest::Quadrants4, "Figure 11");
+    let f11 = report::fig_quake(&cfg, &study, gstm_synquake::Quest::Quadrants4, "Figure 11");
     assert!(f11.contains("4quadrants"), "{f11}");
     assert!(f11.contains('x'), "{f11}");
 }

@@ -109,7 +109,14 @@ mod tests {
     }
 
     fn commit_event(t: u16, x: u16, seq: u64) -> TxEvent {
-        TxEvent::Commit { who: p(t, x), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+        TxEvent::Commit {
+            who: p(t, x),
+            seq: CommitSeq::new(seq),
+            aborts: 0,
+            reads: 0,
+            writes: 0,
+            at: 0,
+        }
     }
 
     fn setup() -> (Arc<StateTracker>, AdaptivePolicy) {

@@ -69,9 +69,9 @@ impl EventSink for BoundedAbortsPolicy {
                                 Ordering::SeqCst,
                             )
                             .is_ok()
-                        {
-                            self.promotions.fetch_add(1, Ordering::Relaxed);
-                        }
+                    {
+                        self.promotions.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
             }
             TxEvent::Commit { who, .. } => {
@@ -203,7 +203,14 @@ mod tests {
     }
 
     fn commit_ev(t: u16, seq: u64) -> TxEvent {
-        TxEvent::Commit { who: p(t), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+        TxEvent::Commit {
+            who: p(t),
+            seq: CommitSeq::new(seq),
+            aborts: 0,
+            reads: 0,
+            writes: 0,
+            at: 0,
+        }
     }
 
     #[test]

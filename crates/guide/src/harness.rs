@@ -11,7 +11,9 @@ use gstm_core::{
 };
 use gstm_model::{GuidedModel, StateTracker};
 use gstm_sim::{SimConfig, SimMachine, WaitBarrier};
+use gstm_telemetry::{Snapshot, TelemetrySink};
 
+use crate::adaptive::AdaptivePolicy;
 use crate::baselines::{BoundedAbortsPolicy, DeterministicPolicy};
 use crate::policy::{GuidedPolicy, HoldStats, DEFAULT_K};
 
@@ -110,6 +112,17 @@ pub enum PolicyChoice {
         /// Hold-retry bound `k`.
         k: u32,
     },
+    /// Guided execution that stands down while the model misses too often.
+    Adaptive {
+        /// Compiled model.
+        model: Arc<GuidedModel>,
+        /// Hold-retry bound `k`.
+        k: u32,
+        /// Stand guidance down above this unknown-tuple percentage.
+        max_unknown_pct: u32,
+        /// Re-evaluate every this many tuples.
+        window: u64,
+    },
     /// §I's dismissed local approach: priority after `limit` aborts.
     BoundedAborts {
         /// Consecutive aborts before a thread is prioritized.
@@ -124,7 +137,12 @@ impl std::fmt::Debug for PolicyChoice {
         match self {
             PolicyChoice::Default => write!(f, "Default"),
             PolicyChoice::Guided { k, .. } => write!(f, "Guided {{ k: {k} }}"),
-            PolicyChoice::BoundedAborts { limit } => write!(f, "BoundedAborts {{ limit: {limit} }}"),
+            PolicyChoice::Adaptive { k, max_unknown_pct, .. } => {
+                write!(f, "Adaptive {{ k: {k}, max_unknown_pct: {max_unknown_pct} }}")
+            }
+            PolicyChoice::BoundedAborts { limit } => {
+                write!(f, "BoundedAborts {{ limit: {limit} }}")
+            }
             PolicyChoice::Deterministic => write!(f, "Deterministic"),
         }
     }
@@ -156,6 +174,9 @@ pub struct RunOptions {
     pub detection: Option<Detection>,
     /// Override resolution mode (defaults to the workload's config).
     pub resolution: Option<Resolution>,
+    /// Attach a [`TelemetrySink`] and return its merged [`Snapshot`] in
+    /// [`RunOutcome::telemetry`].
+    pub telemetry: bool,
 }
 
 impl RunOptions {
@@ -170,6 +191,7 @@ impl RunOptions {
             capture_events: false,
             detection: None,
             resolution: None,
+            telemetry: false,
         }
     }
 
@@ -188,6 +210,12 @@ impl RunOptions {
     /// Enables full event capture.
     pub fn capturing(mut self) -> Self {
         self.capture_events = true;
+        self
+    }
+
+    /// Enables telemetry collection.
+    pub fn with_telemetry(mut self) -> Self {
+        self.telemetry = true;
         self
     }
 }
@@ -222,6 +250,8 @@ pub struct RunOutcome {
     pub workload_stats: Vec<(String, f64)>,
     /// How guided holds resolved (`None` for unguided runs).
     pub hold_stats: Option<HoldStats>,
+    /// Merged telemetry snapshot when [`RunOptions::telemetry`] was set.
+    pub telemetry: Option<Snapshot>,
 }
 
 impl RunOutcome {
@@ -255,11 +285,17 @@ impl RunOutcome {
 /// in the STM or the benchmark, never an expected outcome.
 pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
     let threads = opts.threads;
-    let machine = SimMachine::new(SimConfig::new(threads, opts.seed).with_jitter(opts.jitter_pct));
+    let mut machine =
+        SimMachine::new(SimConfig::new(threads, opts.seed).with_jitter(opts.jitter_pct));
+    let telemetry = opts.telemetry.then(|| Arc::new(TelemetrySink::new(threads)));
+    if let Some(t) = &telemetry {
+        machine = machine.with_metrics(Arc::clone(t.registry()));
+    }
 
     let counting = Arc::new(CountingSink::new(threads));
     let memory = opts.capture_events.then(MemorySink::new).map(Arc::new);
     let mut guided_policy: Option<Arc<GuidedPolicy>> = None;
+    let mut adaptive_policy: Option<Arc<AdaptivePolicy>> = None;
     let mut policy_sink: Option<Arc<dyn EventSink>> = None;
     let (tracker, policy): (Arc<StateTracker>, Arc<dyn AdmissionPolicy>) = match &opts.policy {
         PolicyChoice::Default => (Arc::new(StateTracker::new()), Arc::new(AdmitAll)),
@@ -267,6 +303,14 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
             let tracker = Arc::new(StateTracker::with_model(Arc::clone(model)));
             let policy = Arc::new(GuidedPolicy::new(Arc::clone(&tracker), *k));
             guided_policy = Some(Arc::clone(&policy));
+            (tracker, policy)
+        }
+        PolicyChoice::Adaptive { model, k, max_unknown_pct, window } => {
+            let tracker = Arc::new(StateTracker::with_model(Arc::clone(model)));
+            let inner = Arc::new(GuidedPolicy::new(Arc::clone(&tracker), *k));
+            guided_policy = Some(Arc::clone(&inner));
+            let policy = Arc::new(AdaptivePolicy::new(inner, *max_unknown_pct, *window));
+            adaptive_policy = Some(Arc::clone(&policy));
             (tracker, policy)
         }
         PolicyChoice::BoundedAborts { limit } => {
@@ -288,6 +332,9 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
     }
     if let Some(mem) = &memory {
         sink = sink.with(Arc::clone(mem) as Arc<dyn EventSink>);
+    }
+    if let Some(t) = &telemetry {
+        sink = sink.with(Arc::clone(t) as Arc<dyn EventSink>);
     }
 
     let mut config = workload.stm_config(threads);
@@ -326,6 +373,23 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
     }
 
     let ids = |i: usize| ThreadId::new(i as u16);
+    let hold_stats = guided_policy.as_ref().map(|p| p.hold_stats());
+    let snapshot = telemetry.map(|t| {
+        let reg = t.registry();
+        reg.set_gauge("gstm_model_nondeterminism_states", tracker.nondeterminism() as u64);
+        reg.set_gauge("gstm_model_unknown_state_hits_total", tracker.unknown_state_hits());
+        reg.set_gauge("gstm_model_transitions_total", tracker.transition_count());
+        if let Some(hs) = &hold_stats {
+            reg.set_gauge("gstm_guide_holds_immediate_total", hs.immediate);
+            reg.set_gauge("gstm_guide_holds_admitted_later_total", hs.admitted_later);
+            reg.set_gauge("gstm_guide_holds_bailed_out_total", hs.bailed_out);
+        }
+        if let Some(ap) = &adaptive_policy {
+            reg.set_gauge("gstm_guide_stand_downs_total", ap.stand_downs());
+            reg.set_gauge("gstm_guide_active", u64::from(ap.is_active()));
+        }
+        t.snapshot()
+    });
     RunOutcome {
         thread_ticks: report.active_ticks,
         thread_wall_ticks: report.thread_ticks,
@@ -338,7 +402,8 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
         unknown_hits: tracker.unknown_state_hits(),
         events: memory.map(|m| m.take()),
         workload_stats: run.stats(),
-        hold_stats: guided_policy.map(|p| p.hold_stats()),
+        hold_stats,
+        telemetry: snapshot,
     }
 }
 
@@ -413,6 +478,21 @@ mod tests {
         assert!(out.events.is_some());
         assert_eq!(out.workload_stats[0].1, 120.0);
         assert!(out.abort_ratio() > 0.0 && out.abort_ratio() < 1.0);
+    }
+
+    #[test]
+    fn telemetry_snapshot_matches_counting_sink() {
+        let w = Counter { per_thread: 25 };
+        let out = run_workload(&w, &RunOptions::new(4, 3).with_telemetry());
+        let snap = out.telemetry.as_ref().expect("telemetry was requested");
+        assert_eq!(snap.total("gstm_tx_commits_total"), out.total_commits());
+        assert_eq!(snap.total("gstm_tx_aborts_total"), out.total_aborts());
+        assert_eq!(snap.gauge_value("gstm_sim_makespan_ticks"), Some(out.makespan));
+        assert_eq!(
+            snap.gauge_value("gstm_model_nondeterminism_states"),
+            Some(out.nondeterminism as u64)
+        );
+        assert!(snap.histogram("gstm_tx_retries", 0).is_some());
     }
 
     #[test]

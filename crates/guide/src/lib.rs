@@ -59,11 +59,10 @@ mod harness;
 mod policy;
 mod train;
 
-pub use harness::{
-    run_workload, CmChoice, PolicyChoice, RunOptions, RunOutcome, WorkerEnv, Workload,
-    WorkloadRun,
-};
 pub use adaptive::AdaptivePolicy;
 pub use baselines::{BoundedAbortsPolicy, DeterministicPolicy};
+pub use harness::{
+    run_workload, CmChoice, PolicyChoice, RunOptions, RunOutcome, WorkerEnv, Workload, WorkloadRun,
+};
 pub use policy::{GuidedPolicy, HoldStats, DEFAULT_K};
 pub use train::{train, TrainedModel};

@@ -140,7 +140,14 @@ mod tests {
     }
 
     fn commit_event(t: u16, x: u16, seq: u64) -> TxEvent {
-        TxEvent::Commit { who: p(t, x), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+        TxEvent::Commit {
+            who: p(t, x),
+            seq: CommitSeq::new(seq),
+            aborts: 0,
+            reads: 0,
+            writes: 0,
+            at: 0,
+        }
     }
 
     /// Model: from {<a0>} the dominant destination is {<a1>}; {<b2>} is rare.

@@ -2,9 +2,7 @@
 
 use std::sync::Arc;
 
-use gstm_model::{
-    analyze, parse_states, GuidedModel, Grouping, ModelAnalysis, Tsa, TsaBuilder,
-};
+use gstm_model::{analyze, parse_states, Grouping, GuidedModel, ModelAnalysis, Tsa, TsaBuilder};
 
 use crate::harness::{run_workload, RunOptions, Workload};
 

@@ -73,10 +73,7 @@ fn measure(policy: PolicyChoice, seeds: std::ops::Range<u64>) -> (f64, f64, u64)
 fn deterministic_policy_minimizes_nondeterminism_and_aborts() {
     let (nd_default, aborts_default, _) = measure(PolicyChoice::Default, 30..36);
     let (nd_det, aborts_det, _) = measure(PolicyChoice::Deterministic, 30..36);
-    assert!(
-        nd_det < nd_default,
-        "round-robin admission must shrink |S|: {nd_det} vs {nd_default}"
-    );
+    assert!(nd_det < nd_default, "round-robin admission must shrink |S|: {nd_det} vs {nd_default}");
     // On a fully serialized hot counter, enforced turn order removes most
     // speculative collisions outright.
     assert!(

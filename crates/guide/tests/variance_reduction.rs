@@ -6,9 +6,7 @@
 use std::sync::Arc;
 
 use gstm_core::{TVar, TxId};
-use gstm_guide::{
-    run_workload, train, PolicyChoice, RunOptions, WorkerEnv, Workload, WorkloadRun,
-};
+use gstm_guide::{run_workload, train, PolicyChoice, RunOptions, WorkerEnv, Workload, WorkloadRun};
 use gstm_stats::{mean, sample_stddev};
 
 /// A contended mixed workload: every thread alternates between a cheap
@@ -55,7 +53,7 @@ impl WorkloadRun for MixedRun {
                         }
                         tx.work(40);
                         let t = tx.read(&total)?;
-                        tx.write(&total, t + sum.min(1).max(0) + 1)
+                        tx.write(&total, t + sum.clamp(0, 1) + 1)
                     });
                 } else {
                     let v = &hot[(me + k) % hot.len()];
@@ -99,9 +97,8 @@ fn guidance_reduces_nondeterminism_and_variance() {
     let trained = train(&workload, &base, &(1..=10).collect::<Vec<_>>(), 4.0);
     assert!(trained.tsa.state_count() > 4, "model too small: {:?}", trained.analysis);
 
-    let default_runs: Vec<_> = SEEDS
-        .map(|s| run_workload(&workload, &RunOptions::new(THREADS, s)))
-        .collect();
+    let default_runs: Vec<_> =
+        SEEDS.map(|s| run_workload(&workload, &RunOptions::new(THREADS, s))).collect();
     let guided_runs: Vec<_> = SEEDS
         .map(|s| {
             let opts = RunOptions::new(THREADS, s)
@@ -110,7 +107,8 @@ fn guidance_reduces_nondeterminism_and_variance() {
         })
         .collect();
 
-    let nd_default = mean(&default_runs.iter().map(|o| o.nondeterminism as f64).collect::<Vec<_>>());
+    let nd_default =
+        mean(&default_runs.iter().map(|o| o.nondeterminism as f64).collect::<Vec<_>>());
     let nd_guided = mean(&guided_runs.iter().map(|o| o.nondeterminism as f64).collect::<Vec<_>>());
     let sd_default = per_thread_stddevs(&default_runs);
     let sd_guided = per_thread_stddevs(&guided_runs);

@@ -61,11 +61,8 @@ pub fn to_dot(tsa: &Tsa, options: DotOptions) -> String {
                 continue;
             }
             let style = if dests.contains(&to) { "solid" } else { "dashed" };
-            let _ = writeln!(
-                out,
-                "  s{} -> s{} [label=\"{:.3}\", style={}];",
-                from.0, to.0, p, style
-            );
+            let _ =
+                writeln!(out, "  s{} -> s{} [label=\"{:.3}\", style={}];", from.0, to.0, p, style);
         }
     }
     out.push_str("}\n");
@@ -120,8 +117,7 @@ mod tests {
     #[test]
     fn min_probability_filters_edges() {
         let all = to_dot(&sample(), DotOptions { min_probability: 0.0, ..Default::default() });
-        let filtered =
-            to_dot(&sample(), DotOptions { min_probability: 0.5, ..Default::default() });
+        let filtered = to_dot(&sample(), DotOptions { min_probability: 0.5, ..Default::default() });
         assert!(filtered.matches("->").count() < all.matches("->").count());
     }
 }

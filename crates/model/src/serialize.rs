@@ -127,9 +127,15 @@ pub fn from_text(text: &str) -> Result<Tsa, DecodeError> {
                     return Err(malformed("edge needs from/to/count"));
                 }
                 edges.push((
-                    vals[0].parse().map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
-                    vals[1].parse().map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
-                    vals[2].parse().map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
+                    vals[0]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
+                    vals[1]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
+                    vals[2]
+                        .parse()
+                        .map_err(|e: std::num::ParseIntError| malformed(&e.to_string()))?,
                 ));
             }
             other => return Err(malformed(&format!("unknown record {other:?}"))),
@@ -298,11 +304,8 @@ mod tests {
         assert_eq!(a.edge_count(), b.edge_count());
         for (id, tts) in a.space().iter() {
             let bid = b.lookup(tts).expect("state preserved");
-            let mut ea: Vec<(String, u64)> = a
-                .out_edges(id)
-                .iter()
-                .map(|&(d, c)| (a.space().state(d).to_string(), c))
-                .collect();
+            let mut ea: Vec<(String, u64)> =
+                a.out_edges(id).iter().map(|&(d, c)| (a.space().state(d).to_string(), c)).collect();
             let mut eb: Vec<(String, u64)> = b
                 .out_edges(bid)
                 .iter()

@@ -15,7 +15,7 @@
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use gstm_core::sync::Mutex;
 
 use gstm_core::{EventSink, Participant, TxEvent};
 
@@ -139,7 +139,14 @@ mod tests {
     }
 
     fn commit(t: u16, x: u16, seq: u64) -> TxEvent {
-        TxEvent::Commit { who: p(t, x), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+        TxEvent::Commit {
+            who: p(t, x),
+            seq: CommitSeq::new(seq),
+            aborts: 0,
+            reads: 0,
+            writes: 0,
+            at: 0,
+        }
     }
 
     fn abort(t: u16, x: u16) -> TxEvent {

@@ -56,10 +56,7 @@ impl Tsa {
         if total == 0 {
             return 0.0;
         }
-        es.iter()
-            .find(|(d, _)| *d == to)
-            .map(|(_, c)| *c as f64 / total as f64)
-            .unwrap_or(0.0)
+        es.iter().find(|(d, _)| *d == to).map(|(_, c)| *c as f64 / total as f64).unwrap_or(0.0)
     }
 
     /// The **destination set** `D` of a state (§V/§VI): all successors whose

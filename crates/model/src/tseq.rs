@@ -105,7 +105,14 @@ mod tests {
     }
 
     fn commit(t: u16, x: u16, seq: u64) -> TxEvent {
-        TxEvent::Commit { who: p(t, x), seq: CommitSeq::new(seq), aborts: 0, reads: 0, writes: 0, at: 0 }
+        TxEvent::Commit {
+            who: p(t, x),
+            seq: CommitSeq::new(seq),
+            aborts: 0,
+            reads: 0,
+            writes: 0,
+            at: 0,
+        }
     }
 
     fn abort(t: u16, x: u16, culprit: Option<(u16, u16, u64)>) -> TxEvent {
@@ -140,12 +147,8 @@ mod tests {
     #[test]
     fn culprit_attaches_late_aborts_to_their_commit() {
         // Abort of (6,a) arrives *after* commit #2 but was caused by #1.
-        let evs = vec![
-            commit(7, 1, 1),
-            commit(0, 1, 2),
-            abort(6, 0, Some((7, 1, 1))),
-            commit(4, 0, 3),
-        ];
+        let evs =
+            vec![commit(7, 1, 1), commit(0, 1, 2), abort(6, 0, Some((7, 1, 1))), commit(4, 0, 3)];
         let states = parse_states(&evs, Grouping::Culprit);
         assert_eq!(states[0], Tts::new(vec![p(6, 0)], p(7, 1)));
         assert_eq!(states[1], Tts::solo(p(0, 1)));

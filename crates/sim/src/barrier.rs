@@ -72,8 +72,8 @@ impl WaitBarrier for NativeBarrier {
 mod tests {
     use super::*;
     use crate::{SimConfig, SimMachine};
+    use gstm_core::sync::Mutex;
     use gstm_core::Gate;
-    use parking_lot::Mutex;
 
     #[test]
     fn sim_barrier_aligns_clocks() {

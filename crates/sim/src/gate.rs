@@ -4,7 +4,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{Receiver, RecvTimeoutError, Sender};
+use gstm_core::sync::{Receiver, RecvTimeoutError, Sender};
 use gstm_core::{Gate, ThreadId, Ticks};
 
 /// Virtual clocks are kept in *centiticks* so that sub-tick jitter exists

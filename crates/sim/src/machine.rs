@@ -6,10 +6,9 @@ use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
+use gstm_core::sync::{channel, Mutex, Receiver, Sender};
+use gstm_telemetry::MetricsRegistry;
 
 use crate::barrier::SimBarrier;
 use crate::gate::{Msg, Shared, SimGate, CENTI};
@@ -83,6 +82,7 @@ pub struct SimMachine {
     grant_txs: Vec<Sender<()>>,
     next_barrier: AtomicU32,
     used: AtomicBool,
+    metrics: Option<Arc<MetricsRegistry>>,
 }
 
 /// Upper bound on workers a single machine supports.
@@ -91,11 +91,14 @@ const MAX_WORKERS: usize = 512;
 impl SimMachine {
     /// Creates a machine.
     pub fn new(config: SimConfig) -> Self {
-        let (req_tx, req_rx) = unbounded();
+        let (req_tx, req_rx) = channel();
         let mut grants = Vec::with_capacity(MAX_WORKERS);
         let mut grant_txs = Vec::with_capacity(MAX_WORKERS);
         for _ in 0..MAX_WORKERS {
-            let (tx, rx) = bounded(1);
+            // At most one grant is ever outstanding per worker (the worker
+            // parks right after requesting), so unbounded is equivalent to
+            // the old bounded(1) channel here.
+            let (tx, rx) = channel();
             grants.push(rx);
             grant_txs.push(tx);
         }
@@ -114,7 +117,18 @@ impl SimMachine {
             grant_txs,
             next_barrier: AtomicU32::new(0),
             used: AtomicBool::new(false),
+            metrics: None,
         }
+    }
+
+    /// Attaches a telemetry registry: after [`SimMachine::run`] completes,
+    /// the scheduler publishes its virtual-time gauges (makespan, global
+    /// clock, grant and barrier-release counts, per-thread active ticks)
+    /// into it.
+    #[must_use]
+    pub fn with_metrics(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(registry);
+        self
     }
 
     /// This machine's configuration.
@@ -175,19 +189,28 @@ impl SimMachine {
                     let _ = shared.req_tx.send(Msg::Done { thread: i });
                 });
             }
-            self.schedule(n);
+            let sched = self.schedule(n);
+            if let Some(reg) = &self.metrics {
+                reg.set_gauge("gstm_sim_sched_grants_total", sched.grants);
+                reg.set_gauge("gstm_sim_barrier_releases_total", sched.barrier_releases);
+            }
         });
         let panics = panics.into_inner();
         if let Some((i, msg)) = panics.into_iter().next() {
             panic!("sim worker {i} panicked: {msg}");
         }
-        let thread_ticks: Vec<u64> = (0..n)
-            .map(|i| self.shared.clocks[i].load(Ordering::SeqCst) / CENTI)
-            .collect();
-        let active_ticks: Vec<u64> = (0..n)
-            .map(|i| self.shared.active[i].load(Ordering::SeqCst) / CENTI)
-            .collect();
+        let thread_ticks: Vec<u64> =
+            (0..n).map(|i| self.shared.clocks[i].load(Ordering::SeqCst) / CENTI).collect();
+        let active_ticks: Vec<u64> =
+            (0..n).map(|i| self.shared.active[i].load(Ordering::SeqCst) / CENTI).collect();
         let makespan = thread_ticks.iter().copied().max().unwrap_or(0);
+        if let Some(reg) = &self.metrics {
+            reg.set_gauge("gstm_sim_makespan_ticks", makespan);
+            reg.set_gauge("gstm_sim_now_ticks", self.shared.now.load(Ordering::SeqCst) / CENTI);
+            for (i, &t) in active_ticks.iter().enumerate() {
+                reg.set_gauge(&format!("gstm_sim_active_ticks{{thread=\"{i}\"}}"), t);
+            }
+        }
         RunReport { thread_ticks, active_ticks, makespan }
     }
 
@@ -200,21 +223,20 @@ impl SimMachine {
 
     /// The scheduler proper: runs on the caller thread until all `n`
     /// workers are finished.
-    fn schedule(&self, n: usize) {
+    fn schedule(&self, n: usize) -> SchedStats {
         let mut rng = SmallRng::seed_from_u64(self.config.seed);
         let mut status = vec![St::Running; n];
         let mut running = n;
         let mut finished = 0usize;
         let mut barriers: HashMap<u32, (usize, Vec<usize>)> = HashMap::new();
+        let mut stats = SchedStats::default();
 
         while finished < n {
             // Drain messages until no worker is on-CPU.
             while running > 0 {
                 let msg = match self.req_rx.recv_timeout(Duration::from_secs(60)) {
                     Ok(msg) => msg,
-                    Err(_) => {
-                        self.die("sim scheduler starved: a worker blocked outside the gate")
-                    }
+                    Err(_) => self.die("sim scheduler starved: a worker blocked outside the gate"),
                 };
                 match msg {
                     Msg::Pass { thread, cost } => {
@@ -245,6 +267,7 @@ impl SimMachine {
                 .map(|(&id, _)| id)
                 .collect();
             for id in full {
+                stats.barrier_releases += 1;
                 let (_, waiters) = barriers.remove(&id).expect("barrier disappeared");
                 let max_clock = waiters
                     .iter()
@@ -303,9 +326,20 @@ impl SimMachine {
 
             status[pick] = St::Running;
             running = 1;
+            stats.grants += 1;
             self.grant_txs[pick].send(()).expect("worker vanished");
         }
+        stats
     }
+}
+
+/// Scheduler-side counters published as telemetry gauges.
+#[derive(Clone, Copy, Debug, Default)]
+struct SchedStats {
+    /// Scheduling decisions (steps granted).
+    grants: u64,
+    /// Barriers released.
+    barrier_releases: u64,
 }
 
 #[cfg(test)]
@@ -419,7 +453,7 @@ mod tests {
 
     #[test]
     fn borrowing_workers_is_allowed() {
-        let data = vec![1u64, 2, 3];
+        let data = [1u64, 2, 3];
         let m = SimMachine::new(SimConfig::new(1, 1));
         let gate = m.gate();
         let sum = Mutex::new(0u64);
@@ -431,7 +465,19 @@ mod tests {
     }
 
     #[test]
-    fn now_is_monotone_and_tracks_max(){
+    fn telemetry_gauges_published() {
+        let reg = Arc::new(MetricsRegistry::new(1));
+        let m = SimMachine::new(SimConfig::new(1, 1).with_jitter(0)).with_metrics(Arc::clone(&reg));
+        let gate = m.gate();
+        m.run(vec![boxed(move || gate.pass(ThreadId::new(0), 9))]);
+        assert_eq!(reg.gauge("gstm_sim_makespan_ticks"), Some(9));
+        assert_eq!(reg.gauge("gstm_sim_now_ticks"), Some(9));
+        assert!(reg.gauge("gstm_sim_sched_grants_total").unwrap() >= 1);
+        assert_eq!(reg.gauge("gstm_sim_active_ticks{thread=\"0\"}"), Some(9));
+    }
+
+    #[test]
+    fn now_is_monotone_and_tracks_max() {
         let m = SimMachine::new(SimConfig::new(1, 1).with_jitter(0));
         let gate = m.gate();
         let g2 = Arc::clone(&gate);

@@ -25,11 +25,7 @@ fn contended_run(
     let machine = SimMachine::new(SimConfig::new(threads, seed));
     let counting = Arc::new(CountingSink::new(threads));
     let memory = Arc::new(MemorySink::new());
-    let sink = Arc::new(
-        MulticastSink::new()
-            .with(counting.clone() as _)
-            .with(memory.clone() as _),
-    );
+    let sink = Arc::new(MulticastSink::new().with(counting.clone() as _).with(memory.clone() as _));
     let stm = Arc::new(Stm::with_parts(
         StmConfig::new(threads),
         machine.gate(),

@@ -10,10 +10,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::{SliceRandom, SmallRng};
+use gstm_core::sync::Mutex;
 
 use gstm_collections::{THashMap, TSet};
 use gstm_core::TxId;

@@ -9,9 +9,7 @@
 //!
 //! Transaction sites: `a` = dequeue, `b` = reassemble, `c` = record attack.
 
-use rand::rngs::SmallRng;
-use rand::seq::SliceRandom;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::{SliceRandom, SmallRng};
 
 use gstm_collections::{THashMap, TQueue, TSet};
 use gstm_core::TxId;
@@ -72,7 +70,7 @@ impl Workload for Intruder {
         let mut fragments = Vec::new();
         let mut planted = Vec::new();
         for flow in 0..self.flows as u32 {
-            let attack = rng.gen_range(0..100) < self.attack_pct;
+            let attack = rng.gen_range(0u32..100) < self.attack_pct;
             if attack {
                 planted.push(flow);
             }
@@ -124,8 +122,7 @@ impl WorkloadRun for IntruderRun {
             let total = frag.total as usize;
             let complete = env.stm.run(env.thread, TxId::new(1), |tx| {
                 tx.work(3);
-                let mut slots =
-                    assembly.get(tx, &frag.flow)?.unwrap_or_else(|| vec![None; total]);
+                let mut slots = assembly.get(tx, &frag.flow)?.unwrap_or_else(|| vec![None; total]);
                 slots[frag.index as usize] = Some(frag.payload.clone());
                 if slots.iter().all(Option::is_some) {
                     assembly.remove(tx, &frag.flow)?;
@@ -143,8 +140,7 @@ impl WorkloadRun for IntruderRun {
             // compute-only transactionless work step.
             if let Some(payload) = complete {
                 env.stm.gate().pass(env.thread, payload.len() as u64);
-                let is_attack =
-                    payload.windows(SIGNATURE.len()).any(|w| w == SIGNATURE);
+                let is_attack = payload.windows(SIGNATURE.len()).any(|w| w == SIGNATURE);
                 if is_attack {
                     // Site c: record the detection.
                     env.stm.run(env.thread, TxId::new(2), |tx| {
@@ -168,11 +164,7 @@ impl WorkloadRun for IntruderRun {
         let mut expected = self.planted.clone();
         expected.sort_unstable();
         if detected != expected {
-            return Err(format!(
-                "detected {} attacks, planted {}",
-                detected.len(),
-                expected.len()
-            ));
+            return Err(format!("detected {} attacks, planted {}", detected.len(), expected.len()));
         }
         let _ = self.params;
         Ok(())

@@ -13,8 +13,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
 
 use gstm_collections::TArray;
 use gstm_core::TxId;

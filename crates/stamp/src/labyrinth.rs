@@ -14,8 +14,7 @@ use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
 
 use gstm_collections::{TArray, TWorklist};
 use gstm_core::{retry, TxId};
@@ -115,12 +114,7 @@ fn bfs_path(
             path.reverse();
             return Some(path);
         }
-        let neighbors = [
-            (x.wrapping_sub(1), y),
-            (x + 1, y),
-            (x, y.wrapping_sub(1)),
-            (x, y + 1),
-        ];
+        let neighbors = [(x.wrapping_sub(1), y), (x + 1, y), (x, y.wrapping_sub(1)), (x, y + 1)];
         for (nx, ny) in neighbors {
             if nx < width && ny < height {
                 let i = idx(nx, ny);
@@ -159,8 +153,7 @@ impl WorkloadRun for LabyrinthRun {
                     break false;
                 }
                 let snapshot = grid.snapshot_unlogged();
-                let Some(path) =
-                    bfs_path(&snapshot, params.width, params.height, req.src, req.dst)
+                let Some(path) = bfs_path(&snapshot, params.width, params.height, req.src, req.dst)
                 else {
                     break false;
                 };

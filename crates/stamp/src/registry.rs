@@ -51,8 +51,7 @@ mod tests {
 
     #[test]
     fn all_benchmarks_in_order() {
-        let names: Vec<&str> =
-            all_benchmarks(InputSize::Small).iter().map(|w| w.name()).collect();
+        let names: Vec<&str> = all_benchmarks(InputSize::Small).iter().map(|w| w.name()).collect();
         assert_eq!(names, BENCHMARK_NAMES);
     }
 }

@@ -10,8 +10,7 @@
 //!
 //! Transaction site: `a` = edge insert.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
 
 use gstm_collections::TArray;
 use gstm_core::TxId;
@@ -49,12 +48,7 @@ impl Workload for Ssca2 {
     fn instantiate(&self, _threads: usize, seed: u64) -> Box<dyn WorkloadRun> {
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x7373_6361);
         let edge_list: Vec<(u32, u32)> = (0..self.edges)
-            .map(|_| {
-                (
-                    rng.gen_range(0..self.nodes as u32),
-                    rng.gen_range(0..self.nodes as u32),
-                )
-            })
+            .map(|_| (rng.gen_range(0..self.nodes as u32), rng.gen_range(0..self.nodes as u32)))
             .collect();
         Box::new(Ssca2Run {
             params: *self,

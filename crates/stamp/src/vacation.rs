@@ -10,8 +10,7 @@
 //!
 //! Transaction sites: `a` = make, `b` = delete customer, `c` = update.
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
 
 use gstm_collections::{TArray, THashMap};
 use gstm_core::{Abort, TxId, Txn};
@@ -134,12 +133,7 @@ impl VacationRun {
     }
 
     /// Update table rows: grow capacity and reprice.
-    fn update_tables(
-        &self,
-        tx: &mut Txn<'_>,
-        rng_vals: &[u32],
-        kind: usize,
-    ) -> Result<(), Abort> {
+    fn update_tables(&self, tx: &mut Txn<'_>, rng_vals: &[u32], kind: usize) -> Result<(), Abort> {
         for &r in rng_vals {
             let row = r as usize % self.params.rows;
             self.tables[kind].update(tx, row, |mut res| {
@@ -158,11 +152,8 @@ impl WorkloadRun for VacationRun {
         let params = self.params;
         // Clone the shared handles for the move into the closure; `self`'s
         // helper methods are reconstructed over the clones.
-        let run = VacationRun {
-            params,
-            tables: self.tables.clone(),
-            customers: self.customers.clone(),
-        };
+        let run =
+            VacationRun { params, tables: self.tables.clone(), customers: self.customers.clone() };
         let me = env.thread.index();
         Box::new(move || {
             let mut rng = SmallRng::seed_from_u64(0x636c69 ^ (me as u64) << 32);
@@ -178,8 +169,7 @@ impl WorkloadRun for VacationRun {
                 } else if dice < 85 {
                     env.stm.run(env.thread, TxId::new(1), |tx| run.delete_customer(tx, customer));
                 } else {
-                    env.stm
-                        .run(env.thread, TxId::new(2), |tx| run.update_tables(tx, &vals, kind));
+                    env.stm.run(env.thread, TxId::new(2), |tx| run.update_tables(tx, &vals, kind));
                 }
             }
         })

@@ -18,8 +18,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
 
 use gstm_collections::{THashMap, TWorklist};
 use gstm_core::TxId;
@@ -89,16 +88,9 @@ impl Workload for Yada {
         // Build the initial mesh non-transactionally via a throwaway STM.
         let stm = gstm_core::Stm::new(gstm_core::StmConfig::new(1));
         for id in 0..n {
-            let is_bad = rng.gen_range(0..100) < self.bad_pct;
-            let quality = if is_bad {
-                rng.gen_range(10..GOOD)
-            } else {
-                rng.gen_range(GOOD..140)
-            };
-            let neighbors = (0..3)
-                .map(|_| rng.gen_range(0..n))
-                .filter(|&m| m != id)
-                .collect();
+            let is_bad = rng.gen_range(0u32..100) < self.bad_pct;
+            let quality = if is_bad { rng.gen_range(10..GOOD) } else { rng.gen_range(GOOD..140) };
+            let neighbors = (0..3).map(|_| rng.gen_range(0..n)).filter(|&m| m != id).collect();
             let el = Element { quality, neighbors };
             if is_bad {
                 bad.push(id);
@@ -159,8 +151,7 @@ impl WorkloadRun for YadaRun {
                     // Retire the worst neighbor along with the bad element.
                     cavity.sort_by_key(|(_, e)| e.quality);
                     let retire: Vec<u32> = cavity.iter().take(2).map(|(i, _)| *i).collect();
-                    let survivors: Vec<u32> =
-                        cavity.iter().skip(2).map(|(i, _)| *i).collect();
+                    let survivors: Vec<u32> = cavity.iter().skip(2).map(|(i, _)| *i).collect();
                     for rid in &retire {
                         mesh.remove(tx, rid)?;
                     }
@@ -170,11 +161,7 @@ impl WorkloadRun for YadaRun {
                     for k in 0..=retire.len() {
                         let nid = (base + k as u64) as u32;
                         let q = fresh_quality(nid, round % 4);
-                        mesh.insert(
-                            tx,
-                            nid,
-                            Element { quality: q, neighbors: survivors.clone() },
-                        )?;
+                        mesh.insert(tx, nid, Element { quality: q, neighbors: survivors.clone() })?;
                         if q < GOOD {
                             new_bad.push(nid);
                         }
@@ -237,12 +224,8 @@ mod tests {
         let w = Yada { elements: 64, bad_pct: 50 };
         let out = run_workload(&w, &RunOptions::new(4, 8));
         assert!(out.total_commits() > 0);
-        let refined = out
-            .workload_stats
-            .iter()
-            .find(|(k, _)| k == "refined")
-            .map(|(_, v)| *v)
-            .unwrap();
+        let refined =
+            out.workload_stats.iter().find(|(k, _)| k == "refined").map(|(_, v)| *v).unwrap();
         assert!(refined >= 16.0);
     }
 

@@ -30,8 +30,7 @@ fn all_benchmarks_verify_under_baseline_policies() {
     for name in gstm_stamp::BENCHMARK_NAMES {
         let w = benchmark(name, InputSize::Small).expect("known");
         for policy in [PolicyChoice::BoundedAborts { limit: 2 }, PolicyChoice::Deterministic] {
-            let out =
-                run_workload(w.as_ref(), &opts(policy.clone(), CmChoice::Aggressive, 17));
+            let out = run_workload(w.as_ref(), &opts(policy.clone(), CmChoice::Aggressive, 17));
             assert!(out.total_commits() > 0, "{name} under {policy:?}");
         }
     }

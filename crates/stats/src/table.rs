@@ -40,13 +40,7 @@ impl TextTable {
 
     /// Renders the table with a separator line under the header.
     pub fn render(&self) -> String {
-        let cols = self
-            .rows
-            .iter()
-            .map(|r| r.len())
-            .chain([self.header.len()])
-            .max()
-            .unwrap_or(0);
+        let cols = self.rows.iter().map(|r| r.len()).chain([self.header.len()]).max().unwrap_or(0);
         let mut widths = vec![0usize; cols];
         let all = std::iter::once(&self.header).chain(self.rows.iter());
         for row in all {

@@ -14,11 +14,7 @@
 /// assert_eq!(gstm_stats::tail_metric(&hist), 0 + 1 + 25);
 /// ```
 pub fn tail_metric(histogram: &std::collections::BTreeMap<u32, u64>) -> u64 {
-    histogram
-        .iter()
-        .filter(|(_, &freq)| freq > 0)
-        .map(|(&j, _)| (j as u64) * (j as u64))
-        .sum()
+    histogram.iter().filter(|(_, &freq)| freq > 0).map(|(&j, _)| (j as u64) * (j as u64)).sum()
 }
 
 /// Percent reduction from `before` to `after`

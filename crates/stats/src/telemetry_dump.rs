@@ -1,0 +1,136 @@
+//! Parser for `gstm-telemetry` machine dumps.
+//!
+//! `gstm-stats` is dependency-free by design (it is the leaf every other
+//! crate may import), so it parses the telemetry dump format directly
+//! instead of linking `gstm-telemetry`. The format is line-oriented:
+//!
+//! ```text
+//! gstm-telemetry 1
+//! c <series> <value>
+//! h <series> <sum> <bucket>:<count> ...
+//! ```
+//!
+//! where `<series>` is a Prometheus-style name with optional labels, e.g.
+//! `gstm_tx_commits_total{thread="3"}`.
+
+use std::collections::BTreeMap;
+
+/// A parsed counter/gauge and histogram dump.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TelemetryDump {
+    /// Counter and gauge series by full series name.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram series: `(sum, sparse log2 buckets index → count)`.
+    pub histograms: BTreeMap<String, (u64, BTreeMap<u32, u64>)>,
+}
+
+impl TelemetryDump {
+    /// Parses the dump text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed line.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut lines = text.lines();
+        let header = lines.next().ok_or("empty telemetry dump")?;
+        match header.strip_prefix("gstm-telemetry ").and_then(|v| v.parse::<u32>().ok()) {
+            Some(1) => {}
+            Some(v) => return Err(format!("unsupported telemetry dump version {v}")),
+            None => return Err(format!("bad telemetry dump header: {header}")),
+        }
+        let mut dump = TelemetryDump::default();
+        for line in lines {
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split(' ');
+            let tag = parts.next().unwrap_or("");
+            let key = parts.next().ok_or_else(|| format!("truncated line: {line}"))?;
+            match tag {
+                "c" => {
+                    let v = parts
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| format!("bad counter line: {line}"))?;
+                    dump.counters.insert(key.to_string(), v);
+                }
+                "h" => {
+                    let sum = parts
+                        .next()
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .ok_or_else(|| format!("bad histogram line: {line}"))?;
+                    let mut buckets = BTreeMap::new();
+                    for pair in parts {
+                        let (i, c) = pair
+                            .split_once(':')
+                            .ok_or_else(|| format!("bad bucket {pair} in: {line}"))?;
+                        let i: u32 = i.parse().map_err(|_| format!("bad bucket index {pair}"))?;
+                        let c: u64 = c.parse().map_err(|_| format!("bad bucket count {pair}"))?;
+                        buckets.insert(i, c);
+                    }
+                    dump.histograms.insert(key.to_string(), (sum, buckets));
+                }
+                other => return Err(format!("unknown telemetry record tag {other:?}")),
+            }
+        }
+        Ok(dump)
+    }
+
+    /// Sums a counter series over all label values (`name` and `name{...}`).
+    pub fn total(&self, name: &str) -> u64 {
+        let prefix = format!("{name}{{");
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.as_str() == name || k.starts_with(&prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Reads one series verbatim.
+    pub fn counter(&self, series: &str) -> Option<u64> {
+        self.counters.get(series).copied()
+    }
+
+    /// Total observation count of a histogram series.
+    pub fn histogram_count(&self, series: &str) -> Option<u64> {
+        self.histograms.get(series).map(|(_, b)| b.values().sum())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const DUMP: &str = "gstm-telemetry 1\n\
+        c gstm_sim_makespan_ticks 400\n\
+        c gstm_tx_commits_total{thread=\"0\"} 10\n\
+        c gstm_tx_commits_total{thread=\"1\"} 7\n\
+        h gstm_tx_retries{thread=\"0\"} 12 0:3 2:2\n";
+
+    #[test]
+    fn parses_counters_and_histograms() {
+        let d = TelemetryDump::parse(DUMP).unwrap();
+        assert_eq!(d.counter("gstm_sim_makespan_ticks"), Some(400));
+        assert_eq!(d.total("gstm_tx_commits_total"), 17);
+        assert_eq!(d.histogram_count("gstm_tx_retries{thread=\"0\"}"), Some(5));
+        assert_eq!(d.histograms["gstm_tx_retries{thread=\"0\"}"].0, 12);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(TelemetryDump::parse("").is_err());
+        assert!(TelemetryDump::parse("gstm-telemetry 2\n").is_err());
+        assert!(TelemetryDump::parse("not-a-dump\n").is_err());
+        assert!(TelemetryDump::parse("gstm-telemetry 1\nz k 1\n").is_err());
+        assert!(TelemetryDump::parse("gstm-telemetry 1\nh k notanum\n").is_err());
+    }
+
+    #[test]
+    fn total_does_not_match_name_prefixes() {
+        let d = TelemetryDump::parse(
+            "gstm-telemetry 1\nc gstm_tx_holds_total{thread=\"0\"} 5\nc gstm_tx_holds_total_other 9\n",
+        )
+        .unwrap();
+        assert_eq!(d.total("gstm_tx_holds_total"), 5);
+    }
+}

@@ -12,9 +12,8 @@
 
 use std::sync::Arc;
 
-use parking_lot::Mutex;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use gstm_core::rng::SmallRng;
+use gstm_core::sync::Mutex;
 
 use gstm_core::{StmConfig, TxId};
 use gstm_guide::{WorkerEnv, Workload, WorkloadRun};
@@ -89,7 +88,7 @@ impl Workload for SynQuake {
         // paper's 10000-frame runs measure steady-state gameplay, not the
         // initial convergence transient our shorter runs would otherwise be
         // dominated by.
-        let spread = 160;
+        let spread = 160i32;
         let spawns: Vec<(i32, i32)> = (0..self.players)
             .map(|id| {
                 let (hx, hy) = self.quest.hotspot(id % 4, 0);
@@ -114,21 +113,17 @@ impl WorkloadRun for SynQuakeRun {
         let frame_times = Arc::clone(&self.frame_times);
         let me = env.thread.index();
         let per = params.players.div_ceil(env.threads);
-        let my_players: Vec<u16> =
-            (0..params.players as u16).skip(me * per).take(per).collect();
+        let my_players: Vec<u16> = (0..params.players as u16).skip(me * per).take(per).collect();
         Box::new(move || {
             let gate = Arc::clone(env.stm.gate());
             let mut frame_start = gate.thread_time(env.thread);
             for frame in 0..params.frames {
                 for &id in &my_players {
                     // Site a: movement toward the quest hotspot.
-                    let (tx_target_x, tx_target_y) =
-                        params.quest.hotspot(id as usize % 4, frame);
+                    let (tx_target_x, tx_target_y) = params.quest.hotspot(id as usize % 4, frame);
                     env.stm.run(env.thread, TxId::new(0), |tx| {
                         let p = world.read_player(tx, id)?;
-                        let step = |from: i32, to: i32| {
-                            from + (to - from).clamp(-SPEED, SPEED)
-                        };
+                        let step = |from: i32, to: i32| from + (to - from).clamp(-SPEED, SPEED);
                         let nx = step(p.x, tx_target_x) + jitter(id, frame, 0);
                         let ny = step(p.y, tx_target_y) + jitter(id, frame, 1);
                         tx.work(3); // interest-area computation
@@ -210,7 +205,7 @@ mod tests {
         let w = SynQuake::tiny(Quest::WorstCase4);
         let out = run_workload(&w, &RunOptions::new(4, 3));
         assert!(out.total_commits() > 0);
-        assert_eq!(stat(&out, "frame_mean").is_some(), true);
+        assert!(stat(&out, "frame_mean").is_some());
     }
 
     #[test]

@@ -3,7 +3,7 @@
 use std::sync::Arc;
 
 use gstm_guide::{run_workload, PolicyChoice, RunOptions};
-use gstm_model::{parse_states, GuidedModel, Grouping, TsaBuilder};
+use gstm_model::{parse_states, Grouping, GuidedModel, TsaBuilder};
 use gstm_synquake::{stat, Quest, SynQuake};
 
 #[test]
@@ -23,10 +23,8 @@ fn model_trained_on_training_quests_guides_test_quests() {
         let w = SynQuake { players: 80, frames: 5, quest };
         let out = run_workload(
             &w,
-            &RunOptions::new(threads, 77).with_policy(PolicyChoice::Guided {
-                model: Arc::clone(&model),
-                k: 16,
-            }),
+            &RunOptions::new(threads, 77)
+                .with_policy(PolicyChoice::Guided { model: Arc::clone(&model), k: 16 }),
         );
         assert!(out.total_commits() > 0, "{quest}: guided run must make progress");
         assert!(stat(&out, "frame_mean").unwrap() > 0.0);

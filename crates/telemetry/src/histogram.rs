@@ -1,0 +1,203 @@
+//! Fixed log2-bucket histograms.
+//!
+//! The hot path must never allocate or lock, so the histogram is a fixed
+//! array of 64 `AtomicU64` buckets updated with `Relaxed` stores: bucket
+//! `i` counts observed values whose bit length is `i` (i.e. values in
+//! `[2^(i-1), 2^i)`, with bucket 0 reserved for the value 0). That gives a
+//! ~2x relative-error view over the full `u64` range — plenty for abort
+//! retries, hold polls and read/write-set sizes, whose *shape* (tail mass)
+//! is what the paper's figures care about.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of buckets: one per possible bit length of a `u64`, plus zero.
+pub const BUCKETS: usize = 65;
+
+/// A lock-free log2-bucket histogram.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    /// Running sum of observed values, for mean reconstruction.
+    sum: AtomicU64,
+}
+
+/// Bucket index of a value: 0 for 0, else its bit length.
+#[inline]
+pub fn bucket_of(value: u64) -> usize {
+    (u64::BITS - value.leading_zeros()) as usize
+}
+
+/// Inclusive upper bound of bucket `i` (`u64::MAX` for the last).
+pub fn bucket_upper_bound(i: usize) -> u64 {
+    match i {
+        0 => 0,
+        64 => u64::MAX,
+        _ => (1u64 << i) - 1,
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LogHistogram { buckets: std::array::from_fn(|_| AtomicU64::new(0)), sum: AtomicU64::new(0) }
+    }
+
+    /// Records one observation. Lock-free; safe from any thread.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// A plain-data copy of the current state.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed)),
+            sum: self.sum.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Plain-data histogram state, detached from the atomics.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts.
+    pub buckets: [u64; BUCKETS],
+    /// Sum of all observed values.
+    pub sum: u64,
+}
+
+impl HistogramSnapshot {
+    /// An all-zero snapshot.
+    pub fn empty() -> Self {
+        HistogramSnapshot { buckets: [0; BUCKETS], sum: 0 }
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean observed value (0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum as f64 / n as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing quantile `q` (0 when empty).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn quantile_bound(&self, q: f64) -> u64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q * n as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_bound(i);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1)
+    }
+
+    /// Element-wise accumulation (for merging per-thread histograms).
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+
+    /// `self - earlier`, element-wise saturating (delta between snapshots).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+            sum: self.sum.saturating_sub(earlier.sum),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries() {
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 1);
+        assert_eq!(bucket_of(2), 2);
+        assert_eq!(bucket_of(3), 2);
+        assert_eq!(bucket_of(4), 3);
+        assert_eq!(bucket_of(255), 8);
+        assert_eq!(bucket_of(256), 9);
+        assert_eq!(bucket_of(u64::MAX), 64);
+    }
+
+    #[test]
+    fn upper_bounds_cover_buckets() {
+        for v in [0u64, 1, 2, 3, 7, 8, 1000, u64::MAX / 2, u64::MAX] {
+            let b = bucket_of(v);
+            assert!(v <= bucket_upper_bound(b), "{v} vs bucket {b}");
+            if b > 0 {
+                assert!(v > bucket_upper_bound(b - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn record_and_stats() {
+        let h = LogHistogram::new();
+        for v in [0u64, 1, 1, 2, 8] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 5);
+        assert_eq!(s.sum, 12);
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[1], 2);
+        assert!((s.mean() - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_walk_the_cdf() {
+        let h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(1000);
+        let s = h.snapshot();
+        assert_eq!(s.quantile_bound(0.5), 1);
+        assert_eq!(s.quantile_bound(1.0), 1023, "1000 falls in [512, 1023]");
+        assert_eq!(HistogramSnapshot::empty().quantile_bound(0.9), 0);
+    }
+
+    #[test]
+    fn merge_and_diff_are_inverse() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(3);
+        b.record(3);
+        b.record(100);
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged.count(), 3);
+        let delta = merged.diff(&a.snapshot());
+        assert_eq!(delta, b.snapshot());
+    }
+}

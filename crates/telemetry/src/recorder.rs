@@ -1,0 +1,210 @@
+//! The flight recorder: a bounded per-thread ring of recent [`TxEvent`]s.
+//!
+//! The registry tells you *how much* aborting happened; the recorder tells
+//! you *what the last moments looked like* — the exact event tail, with
+//! conflict attribution, either on demand ([`FlightRecorder::dump`]) or
+//! automatically when a thread enters an abort storm (a configurable run of
+//! consecutive aborts with no intervening commit).
+//!
+//! Each thread writes only its own ring, so the per-ring mutex is
+//! uncontended in steady state; it exists to make dumps sound.
+
+use std::collections::VecDeque;
+
+use gstm_core::events::TxEvent;
+use gstm_core::sync::Mutex;
+
+/// Anomaly-detection thresholds.
+#[derive(Clone, Copy, Debug)]
+pub struct AnomalyConfig {
+    /// Consecutive aborts (no commit in between) on one thread that trigger
+    /// an automatic dump; `None` disables detection.
+    pub abort_streak: Option<u32>,
+    /// Maximum number of automatic dumps kept (oldest evicted first).
+    pub max_dumps: usize,
+}
+
+impl Default for AnomalyConfig {
+    fn default() -> Self {
+        AnomalyConfig { abort_streak: Some(32), max_dumps: 8 }
+    }
+}
+
+/// An automatically captured anomaly: the ring contents at trigger time.
+#[derive(Clone, Debug)]
+pub struct AnomalyDump {
+    /// Thread that tripped the detector.
+    pub thread: usize,
+    /// Length of the abort streak at capture.
+    pub streak: u32,
+    /// The thread's recent events, oldest first.
+    pub events: Vec<TxEvent>,
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<TxEvent>,
+    /// Consecutive aborts since the last commit.
+    streak: u32,
+    /// Set once a dump fired for the current streak, so one storm produces
+    /// one dump rather than one per additional abort.
+    tripped: bool,
+}
+
+/// Bounded per-thread event recorder with abort-storm detection.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    rings: Vec<Mutex<Ring>>,
+    capacity: usize,
+    config: AnomalyConfig,
+    anomalies: Mutex<VecDeque<AnomalyDump>>,
+}
+
+impl FlightRecorder {
+    /// Creates a recorder with `capacity` events retained per thread.
+    pub fn new(max_threads: usize, capacity: usize, config: AnomalyConfig) -> Self {
+        assert!(capacity > 0, "flight recorder needs a positive capacity");
+        FlightRecorder {
+            rings: (0..max_threads).map(|_| Mutex::new(Ring::default())).collect(),
+            capacity,
+            config,
+            anomalies: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Events retained per thread.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records one event into its thread's ring, updating streak state.
+    pub fn record(&self, event: &TxEvent) {
+        let thread = event.who().thread.index();
+        let Some(ring) = self.rings.get(thread) else { return };
+        let mut ring = ring.lock();
+        if ring.events.len() == self.capacity {
+            ring.events.pop_front();
+        }
+        ring.events.push_back(event.clone());
+        match event {
+            TxEvent::Abort { .. } => {
+                ring.streak += 1;
+                if let Some(limit) = self.config.abort_streak {
+                    if ring.streak >= limit && !ring.tripped {
+                        ring.tripped = true;
+                        let dump = AnomalyDump {
+                            thread,
+                            streak: ring.streak,
+                            events: ring.events.iter().cloned().collect(),
+                        };
+                        let mut anomalies = self.anomalies.lock();
+                        if anomalies.len() == self.config.max_dumps {
+                            anomalies.pop_front();
+                        }
+                        anomalies.push_back(dump);
+                    }
+                }
+            }
+            TxEvent::Commit { .. } => {
+                ring.streak = 0;
+                ring.tripped = false;
+            }
+            TxEvent::Begin { .. } | TxEvent::Held { .. } => {}
+        }
+    }
+
+    /// On-demand dump of one thread's recent events, oldest first.
+    pub fn dump(&self, thread: usize) -> Vec<TxEvent> {
+        self.rings
+            .get(thread)
+            .map(|r| r.lock().events.iter().cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Drains captured anomaly dumps, oldest first.
+    pub fn take_anomalies(&self) -> Vec<AnomalyDump> {
+        self.anomalies.lock().drain(..).collect()
+    }
+
+    /// Renders a dump as one event per line (the [`TxEvent`] display form).
+    pub fn render(events: &[TxEvent]) -> String {
+        let mut out = String::new();
+        for e in events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::error::{Abort, AbortReason};
+    use gstm_core::{CommitSeq, Participant, ThreadId, TxId};
+
+    fn who(t: u16) -> Participant {
+        Participant::new(ThreadId::new(t), TxId::new(0))
+    }
+
+    fn abort(t: u16) -> TxEvent {
+        TxEvent::Abort { who: who(t), attempt: 0, abort: Abort::new(AbortReason::UserRetry), at: 0 }
+    }
+
+    fn commit(t: u16) -> TxEvent {
+        TxEvent::Commit {
+            who: who(t),
+            seq: CommitSeq::new(1),
+            aborts: 0,
+            reads: 0,
+            writes: 0,
+            at: 0,
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let r = FlightRecorder::new(1, 3, AnomalyConfig { abort_streak: None, max_dumps: 0 });
+        for _ in 0..10 {
+            r.record(&commit(0));
+        }
+        assert_eq!(r.dump(0).len(), 3);
+        assert!(r.dump(9).is_empty(), "out-of-range thread yields empty dump");
+    }
+
+    #[test]
+    fn abort_storm_trips_once_per_streak() {
+        let r = FlightRecorder::new(1, 8, AnomalyConfig { abort_streak: Some(3), max_dumps: 8 });
+        for _ in 0..5 {
+            r.record(&abort(0));
+        }
+        let dumps = r.take_anomalies();
+        assert_eq!(dumps.len(), 1, "one storm, one dump");
+        assert_eq!(dumps[0].streak, 3);
+        assert_eq!(dumps[0].thread, 0);
+        assert_eq!(dumps[0].events.len(), 3);
+        // Commit resets the streak; a fresh storm trips again.
+        r.record(&commit(0));
+        for _ in 0..3 {
+            r.record(&abort(0));
+        }
+        assert_eq!(r.take_anomalies().len(), 1);
+    }
+
+    #[test]
+    fn dump_budget_evicts_oldest() {
+        let r = FlightRecorder::new(2, 4, AnomalyConfig { abort_streak: Some(1), max_dumps: 1 });
+        r.record(&abort(0));
+        r.record(&abort(1));
+        let dumps = r.take_anomalies();
+        assert_eq!(dumps.len(), 1);
+        assert_eq!(dumps[0].thread, 1, "older dump evicted");
+    }
+
+    #[test]
+    fn render_uses_display_form() {
+        let text = FlightRecorder::render(&[commit(0), abort(0)]);
+        assert!(text.contains("C a0"), "{text}");
+        assert!(text.lines().count() == 2);
+    }
+}

@@ -11,7 +11,7 @@
 use std::sync::Arc;
 
 use gstm::guide::{run_workload, train, PolicyChoice, RunOptions};
-use gstm::stamp::{Kmeans, InputSize};
+use gstm::stamp::{InputSize, Kmeans};
 use gstm::stats::{mean, percent_reduction, sample_stddev};
 
 fn main() {
@@ -22,11 +22,7 @@ fn main() {
     println!("== phase 1+2: profile medium kmeans, build the TSA ==");
     let trainer = Kmeans::with_size(InputSize::Medium);
     let trained = train(&trainer, &RunOptions::new(threads, 0), &train_seeds, 4.0);
-    println!(
-        "model: {} states, {} edges",
-        trained.tsa.state_count(),
-        trained.tsa.edge_count()
-    );
+    println!("model: {} states, {} edges", trained.tsa.state_count(), trained.tsa.edge_count());
 
     println!("\n== phase 3: model analysis ==");
     println!("{}", trained.analysis);
@@ -63,10 +59,7 @@ fn main() {
     for t in 0..threads {
         let sd = sample_stddev(&default_ticks[t]);
         let sg = sample_stddev(&guided_ticks[t]);
-        println!(
-            "  thread {t}: {sd:8.1} -> {sg:8.1}  ({:+.0}%)",
-            percent_reduction(sd, sg)
-        );
+        println!("  thread {t}: {sd:8.1} -> {sg:8.1}  ({:+.0}%)", percent_reduction(sd, sg));
     }
     println!(
         "non-determinism |S|: {:.1} -> {:.1}  ({:+.0}%)",

@@ -36,17 +36,13 @@ fn main() {
     let mut builder = TsaBuilder::new();
     builder.add_run(&states);
     let tsa = builder.build();
-    println!(
-        "\n== automaton: {} states, {} edges ==",
-        tsa.state_count(),
-        tsa.edge_count()
-    );
+    println!("\n== automaton: {} states, {} edges ==", tsa.state_count(), tsa.edge_count());
     let mut by_heat: Vec<_> = tsa
         .space()
         .iter()
         .map(|(id, s)| (tsa.out_edges(id).iter().map(|(_, c)| *c).sum::<u64>(), id, s))
         .collect();
-    by_heat.sort_by(|a, b| b.0.cmp(&a.0));
+    by_heat.sort_by_key(|e| std::cmp::Reverse(e.0));
     for (heat, id, s) in by_heat.iter().take(5) {
         println!("  {id} {s} ({heat} outbound observations)");
         for d in tsa.destinations(*id, 4.0) {

@@ -9,7 +9,7 @@
 use std::sync::Arc;
 
 use gstm::guide::{run_workload, PolicyChoice, RunOptions};
-use gstm::model::{analyze, parse_states, GuidedModel, Grouping, TsaBuilder};
+use gstm::model::{analyze, parse_states, Grouping, GuidedModel, TsaBuilder};
 use gstm::stats::{mean, percent_reduction};
 use gstm::synquake::{stat, Quest, SynQuake};
 

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Pre-merge gate. Everything here must pass offline (no registry access):
+# the tier-1 build and tests are what every PR is judged against.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "==> tier-1: release build"
+cargo build --release --offline
+
+echo "==> tier-1: tests"
+cargo test -q --workspace --offline
+
+echo "CI gate passed."

@@ -6,8 +6,9 @@
 //!
 //! See [`core`] for the TL2 engine, [`model`] for the thread-state-automaton
 //! machinery, [`guide`] for guided execution, [`sim`] for the deterministic
-//! virtual-core machine, [`stamp`] and [`synquake`] for the workloads, and
-//! [`stats`] for the metrics.
+//! virtual-core machine, [`stamp`] and [`synquake`] for the workloads,
+//! [`stats`] for the metrics, and [`telemetry`] for the sharded metric
+//! registries, flight recorder, and snapshot export.
 
 #![warn(missing_docs)]
 
@@ -19,7 +20,6 @@ pub use gstm_sim as sim;
 pub use gstm_stamp as stamp;
 pub use gstm_stats as stats;
 pub use gstm_synquake as synquake;
+pub use gstm_telemetry as telemetry;
 
-pub use gstm_core::{
-    Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn,
-};
+pub use gstm_core::{Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn};
