@@ -75,6 +75,23 @@ pub trait Gate: Send + Sync {
     /// scheduler to grant the step.
     fn pass(&self, thread: ThreadId, cost: Ticks);
 
+    /// Charges `cost` ticks `count` times as one batched crossing.
+    ///
+    /// Semantically identical to calling [`Gate::pass`] `count` times —
+    /// the total charged time, and in simulation the exact per-sub-step
+    /// scheduling decisions, must not differ ("batching may never change
+    /// the virtual-time total charged between two schedule-visible
+    /// events"). Implementations may override it to cross the machine
+    /// boundary once instead of `count` times; the engine uses it only
+    /// for operation groups with no externally observable effects between
+    /// sub-steps (e.g. the commit write-back loop, which runs entirely
+    /// under the write-set locks).
+    fn pass_batch(&self, thread: ThreadId, cost: Ticks, count: u64) {
+        for _ in 0..count {
+            self.pass(thread, cost);
+        }
+    }
+
     /// Current time: virtual ticks in simulation, monotonic nanoseconds in
     /// real mode.
     fn now(&self) -> u64;
@@ -140,6 +157,18 @@ impl Gate for RealGate {
         }
     }
 
+    fn pass_batch(&self, thread: ThreadId, cost: Ticks, count: u64) {
+        if self.yield_every > 0 {
+            // Yield cadence counts individual passes; keep it exact.
+            for _ in 0..count {
+                self.pass(thread, cost);
+            }
+        } else {
+            let i = thread.index() % MAX_TRACKED_THREADS;
+            self.charged[i].fetch_add(cost * count, Ordering::Relaxed);
+        }
+    }
+
     fn now(&self) -> u64 {
         self.epoch.elapsed().as_nanos() as u64
     }
@@ -156,6 +185,8 @@ pub struct NullGate;
 
 impl Gate for NullGate {
     fn pass(&self, _thread: ThreadId, _cost: Ticks) {}
+
+    fn pass_batch(&self, _thread: ThreadId, _cost: Ticks, _count: u64) {}
 
     fn now(&self) -> u64 {
         0
@@ -202,6 +233,19 @@ mod tests {
         for _ in 0..10 {
             g.pass(ThreadId::new(0), 1);
         }
+    }
+
+    #[test]
+    fn pass_batch_charges_like_repeated_pass() {
+        let g = RealGate::new(0);
+        let t = ThreadId::new(0);
+        g.pass_batch(t, 3, 5);
+        assert_eq!(g.thread_time(t), 15);
+        let g = RealGate::new(2);
+        g.pass_batch(t, 3, 5);
+        assert_eq!(g.thread_time(t), 15, "yield path charges identically");
+        NullGate.pass_batch(t, 3, 5);
+        assert_eq!(NullGate.thread_time(t), 0);
     }
 
     #[test]

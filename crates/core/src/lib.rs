@@ -45,10 +45,12 @@ pub mod cm;
 pub mod config;
 pub mod error;
 pub mod events;
+pub mod fxmap;
 pub mod gate;
 pub mod ids;
 pub mod lock_table;
 pub mod policy;
+pub mod readset;
 pub mod rng;
 pub mod site_stats;
 pub mod stm;

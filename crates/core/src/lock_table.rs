@@ -36,6 +36,7 @@ pub struct LockWord {
 }
 
 impl LockWord {
+    #[inline]
     fn decode(raw: u64) -> Self {
         let locked = raw & LOCKED_BIT != 0;
         LockWord {
@@ -102,16 +103,46 @@ impl LockTable {
     }
 
     /// Maps a variable to its stripe (Fibonacci hashing of the id).
+    #[inline]
     pub fn stripe_of(&self, var: VarId) -> StripeIndex {
         let h = var.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
         StripeIndex(((h >> 24) & self.mask) as u32)
     }
 
     /// Loads and decodes a stripe's lock word.
+    #[inline]
     pub fn load(&self, s: StripeIndex) -> LockWord {
         // Acquire: pairs with the Release stores in `unlock_*` so a reader
         // that observes version `wv` also sees the data written under it.
         LockWord::decode(self.words[s.0 as usize].load(Ordering::Acquire))
+    }
+
+    /// Loads a stripe's raw lock word without decoding — the uncontended
+    /// read fast path. Two equal raw words are the same `LockWord`, so the
+    /// TL2 pre/post read sandwich can compare raws and decode only when
+    /// they differ (or the stripe is locked). Same Acquire ordering as
+    /// [`LockTable::load`].
+    #[inline]
+    pub fn load_raw(&self, s: StripeIndex) -> u64 {
+        self.words[s.0 as usize].load(Ordering::Acquire)
+    }
+
+    /// Decodes a raw word obtained from [`LockTable::load_raw`].
+    #[inline]
+    pub fn decode_raw(raw: u64) -> LockWord {
+        LockWord::decode(raw)
+    }
+
+    /// Whether a raw word is locked (no decode).
+    #[inline]
+    pub fn raw_locked(raw: u64) -> bool {
+        raw & LOCKED_BIT != 0
+    }
+
+    /// Version field of a raw word (no decode).
+    #[inline]
+    pub fn raw_version(raw: u64) -> u64 {
+        raw >> VERSION_SHIFT
     }
 
     /// Attempts to write-lock a stripe for `owner`. Returns the pre-lock
@@ -358,6 +389,27 @@ mod tests {
     #[should_panic]
     fn zero_stripes_rejected() {
         let _ = LockTable::new(0, false);
+    }
+
+    #[test]
+    fn raw_fast_path_matches_decoded_load() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(2);
+        let raw = lt.load_raw(s);
+        assert!(!LockTable::raw_locked(raw));
+        assert_eq!(LockTable::raw_version(raw), 0);
+        assert_eq!(LockTable::decode_raw(raw), lt.load(s));
+
+        let owner = ThreadId::new(3);
+        lt.try_lock(s, owner).unwrap();
+        let raw = lt.load_raw(s);
+        assert!(LockTable::raw_locked(raw));
+        assert_eq!(LockTable::decode_raw(raw), lt.load(s));
+        lt.unlock_publish(s, owner, 55);
+        let raw = lt.load_raw(s);
+        assert!(!LockTable::raw_locked(raw));
+        assert_eq!(LockTable::raw_version(raw), 55);
+        assert_eq!(LockTable::decode_raw(raw), lt.load(s));
     }
 
     #[test]

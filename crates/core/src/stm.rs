@@ -7,7 +7,6 @@
 //! the locks publishing `wv`. Reads are validated inline (pre/post lock-word
 //! sample), so doomed zombies cannot observe inconsistent snapshots.
 
-use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -16,10 +15,12 @@ use crate::cm::{Aggressive, ContentionManager};
 use crate::config::{Detection, Resolution, StmConfig};
 use crate::error::{Abort, AbortReason, StmError};
 use crate::events::{EventSink, NullSink, TxEvent};
+use crate::fxmap::FxMap;
 use crate::gate::{Gate, NullGate, Ticks};
 use crate::ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
 use crate::lock_table::{LockTable, StripeIndex};
 use crate::policy::{AdmissionPolicy, AdmitAll};
+use crate::readset::{ReadSet, StripeFilter};
 use crate::tvar::{downcast, ErasedValue, TVar, VarCell};
 
 /// Encoding of the per-thread doom word: `1<<63 | seq<<32 | thread<<16 | tx`.
@@ -207,6 +208,9 @@ impl Stm {
         let costs = self.config.costs;
         let mut attempt: u32 = 0;
         let mut last_abort: Option<Abort> = None;
+        // One scratch per invocation: every retry (guided holds included)
+        // reuses the same read/write/lock buffers instead of allocating.
+        let mut scratch = TxnScratch::default();
         while attempt < max_attempts {
             // Admission: guided execution's hold loop lives in the policy.
             let polls = self.policy.admit(who, &mut || {
@@ -223,17 +227,8 @@ impl Stm {
             let rv = self.clock.sample();
             self.sink.record(&TxEvent::Begin { who, attempt, at: self.gate.now() });
 
-            let mut txn = Txn {
-                stm: self,
-                who,
-                rv,
-                attempt,
-                reads: BTreeMap::new(),
-                writes: Vec::new(),
-                write_index: HashMap::new(),
-                eager_locks: Vec::new(),
-                registered: Vec::new(),
-            };
+            scratch.reset();
+            let mut txn = Txn { stm: self, who, rv, attempt, scratch: &mut scratch };
             let outcome = match body(&mut txn) {
                 Ok(result) => txn.commit().map(|info| (result, info)),
                 Err(abort) => {
@@ -286,8 +281,17 @@ impl Stm {
         self.doomed[victim.index()].store(enc, Ordering::SeqCst);
     }
 
+    #[inline]
     fn check_doomed(&self, thread: ThreadId) -> Result<(), Abort> {
-        let raw = self.doomed[thread.index()].swap(0, Ordering::SeqCst);
+        // Fast path: a plain load (no RMW) when nobody doomed us — this
+        // runs on every transactional operation. Only consume the flag
+        // with the (expensive) swap once it is actually set; the slot has
+        // a single consumer, so the re-check after the swap cannot race.
+        let slot = &self.doomed[thread.index()];
+        if slot.load(Ordering::SeqCst) & DOOM_FLAG == 0 {
+            return Ok(());
+        }
+        let raw = slot.swap(0, Ordering::SeqCst);
         if raw & DOOM_FLAG == 0 {
             return Ok(());
         }
@@ -310,6 +314,61 @@ struct WriteEntry {
     value: ErasedValue,
 }
 
+/// Per-invocation transaction buffers, allocated once in
+/// [`Stm::run_attempts`] and reused across every retry of the same
+/// invocation (including guided retries, where a held transaction may
+/// re-attempt many times). `reset` empties the sets but keeps their
+/// allocations, so an abort-retry cycle costs no allocator traffic.
+///
+/// Invariants the commit path relies on:
+///
+/// * `writes` and `write_index` agree: `write_index[var] = i` iff
+///   `writes[i]` is that var's redo-log slot;
+/// * `commit_stripes`/`validate_stripes`/`acquired`/`held` are commit-local
+///   scratch — dead outside [`Txn::commit`], rebuilt from scratch inside;
+/// * `eager_filter` over-approximates the stripes in `eager_locks`
+///   (filter hit → exact scan, filter miss → definitely not held).
+#[derive(Default)]
+struct TxnScratch {
+    /// Distinct stripes read (insertion-ordered; sorted copies are taken
+    /// at validation to reproduce the historical `BTreeMap` order).
+    reads: ReadSet,
+    /// Redo log, in first-write order.
+    writes: Vec<WriteEntry>,
+    /// var raw id → index into `writes` (read-own-writes lookup).
+    write_index: FxMap,
+    /// Encounter-time locks held: (stripe, pre-lock version).
+    eager_locks: Vec<(StripeIndex, u64)>,
+    /// Membership filter over `eager_locks` stripes.
+    eager_filter: StripeFilter,
+    /// Stripes where we registered as a visible reader.
+    registered: Vec<StripeIndex>,
+    /// Commit scratch: write-set stripes (sorted + deduped once).
+    commit_stripes: Vec<StripeIndex>,
+    /// Commit scratch: read-set stripes sorted for validation.
+    validate_stripes: Vec<u32>,
+    /// Commit scratch: locks taken at commit time (stripe, pre-version).
+    acquired: Vec<(StripeIndex, u64)>,
+    /// Commit scratch: all locks held (eager + acquired).
+    held: Vec<(StripeIndex, u64)>,
+}
+
+impl TxnScratch {
+    /// Empties every per-attempt set, keeping allocations for the retry.
+    fn reset(&mut self) {
+        self.reads.clear();
+        self.writes.clear();
+        self.write_index.clear();
+        self.eager_locks.clear();
+        self.eager_filter.clear();
+        self.registered.clear();
+        self.commit_stripes.clear();
+        self.validate_stripes.clear();
+        self.acquired.clear();
+        self.held.clear();
+    }
+}
+
 /// One transaction attempt: the context handed to the transaction body.
 ///
 /// Obtained from [`Stm::run`] and friends; provides transactional
@@ -321,15 +380,9 @@ pub struct Txn<'stm> {
     who: Participant,
     rv: u64,
     attempt: u32,
-    /// stripe → version observed at first read. A `BTreeMap` keeps
-    /// validation order deterministic (required for seeded replay).
-    reads: BTreeMap<u32, u64>,
-    writes: Vec<WriteEntry>,
-    write_index: HashMap<u64, usize>,
-    /// Encounter-time locks held: (stripe, pre-lock version).
-    eager_locks: Vec<(StripeIndex, u64)>,
-    /// Stripes where we registered as a visible reader.
-    registered: Vec<StripeIndex>,
+    /// Read/write/lock sets, owned by the invocation and reused across
+    /// attempts.
+    scratch: &'stm mut TxnScratch,
 }
 
 impl std::fmt::Debug for Txn<'_> {
@@ -338,8 +391,8 @@ impl std::fmt::Debug for Txn<'_> {
             .field("who", &self.who)
             .field("rv", &self.rv)
             .field("attempt", &self.attempt)
-            .field("reads", &self.reads.len())
-            .field("writes", &self.writes.len())
+            .field("reads", &self.scratch.reads.len())
+            .field("writes", &self.scratch.writes.len())
             .finish()
     }
 }
@@ -398,28 +451,43 @@ impl<'stm> Txn<'stm> {
         stm.check_doomed(self.who.thread)?;
 
         // Read-own-writes: serve from the redo log.
-        if let Some(&i) = self.write_index.get(&var.id().raw()) {
-            return Ok(downcast(Arc::clone(&self.writes[i].value)));
+        if !self.scratch.write_index.is_empty() {
+            if let Some(i) = self.scratch.write_index.get(var.id().raw()) {
+                return Ok(downcast(Arc::clone(&self.scratch.writes[i as usize].value)));
+            }
         }
 
+        // TL2 pre/post lock-word sandwich, on raw words: the uncontended
+        // fast path (unlocked stripe, unchanged word) never decodes.
         let stripe = stm.locks.stripe_of(var.id());
-        let pre = stm.locks.load(stripe);
-        let own = pre.owner == Some(self.who.thread);
-        if pre.locked && !own {
-            return Err(self.abort_at(AbortReason::Locked { var: var.id() }, stripe));
-        }
-        if pre.version > self.rv {
+        let pre_raw = stm.locks.load_raw(stripe);
+        let own = if LockTable::raw_locked(pre_raw) {
+            // Slow path: locked — only acceptable if we are the owner
+            // (an encounter-time lock of our own).
+            if LockTable::decode_raw(pre_raw).owner != Some(self.who.thread) {
+                return Err(self.abort_at(AbortReason::Locked { var: var.id() }, stripe));
+            }
+            true
+        } else {
+            false
+        };
+        let pre_version = LockTable::raw_version(pre_raw);
+        if pre_version > self.rv {
             return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
         }
         let value = var.cell().load();
-        let post = stm.locks.load(stripe);
-        if post.version != pre.version || (post.locked && post.owner != Some(self.who.thread)) {
-            return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
+        let post_raw = stm.locks.load_raw(stripe);
+        if post_raw != pre_raw {
+            // Word changed under us — decode and apply the exact TL2
+            // post-conditions (same version, not locked by another).
+            let post = LockTable::decode_raw(post_raw);
+            if post.version != pre_version || (post.locked && post.owner != Some(self.who.thread)) {
+                return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
+            }
         }
-        if self.reads.insert(stripe.0, pre.version).is_none() && stm.locks.tracks_readers() && !own
-        {
+        if self.scratch.reads.insert(stripe.0) && stm.locks.tracks_readers() && !own {
             stm.locks.register_reader(stripe, self.who.thread);
-            self.registered.push(stripe);
+            self.scratch.registered.push(stripe);
         }
         Ok(downcast(value))
     }
@@ -442,9 +510,7 @@ impl<'stm> Txn<'stm> {
         stm.check_doomed(self.who.thread)?;
 
         let stripe = stm.locks.stripe_of(var.id());
-        if stm.config.detection == Detection::EncounterTime
-            && !self.eager_locks.iter().any(|(s, _)| *s == stripe)
-        {
+        if stm.config.detection == Detection::EncounterTime && !self.holds_eager_lock(stripe) {
             match stm.locks.try_lock(stripe, self.who.thread) {
                 Ok(old_version) => {
                     if old_version > self.rv {
@@ -453,7 +519,8 @@ impl<'stm> Txn<'stm> {
                             self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe)
                         );
                     }
-                    self.eager_locks.push((stripe, old_version));
+                    self.scratch.eager_locks.push((stripe, old_version));
+                    self.scratch.eager_filter.insert(stripe.0);
                 }
                 Err(_) => {
                     return Err(self.abort_at(AbortReason::WriteLockBusy { var: var.id() }, stripe));
@@ -462,11 +529,11 @@ impl<'stm> Txn<'stm> {
         }
 
         let erased: ErasedValue = Arc::new(value);
-        match self.write_index.get(&var.id().raw()) {
-            Some(&i) => self.writes[i].value = erased,
+        match self.scratch.write_index.get(var.id().raw()) {
+            Some(i) => self.scratch.writes[i as usize].value = erased,
             None => {
-                self.write_index.insert(var.id().raw(), self.writes.len());
-                self.writes.push(WriteEntry {
+                self.scratch.write_index.insert(var.id().raw(), self.scratch.writes.len() as u32);
+                self.scratch.writes.push(WriteEntry {
                     cell: Arc::clone(var.cell()),
                     stripe,
                     value: erased,
@@ -474,6 +541,16 @@ impl<'stm> Txn<'stm> {
             }
         }
         Ok(())
+    }
+
+    /// Whether this attempt already holds the encounter-time lock on
+    /// `stripe`. The filter answers the common miss in O(1); a hit falls
+    /// back to the exact (short) scan.
+    #[inline]
+    fn holds_eager_lock(&self, stripe: StripeIndex) -> bool {
+        !self.scratch.eager_locks.is_empty()
+            && self.scratch.eager_filter.may_contain(stripe.0)
+            && self.scratch.eager_locks.iter().any(|(s, _)| *s == stripe)
     }
 
     /// Reads, transforms and writes back in one step.
@@ -490,7 +567,7 @@ impl<'stm> Txn<'stm> {
         self.write(var, f(v))
     }
 
-    fn abort_at(&mut self, reason: AbortReason, stripe: StripeIndex) -> Abort {
+    fn abort_at(&self, reason: AbortReason, stripe: StripeIndex) -> Abort {
         match self.stm.culprit_of(stripe) {
             Some((p, seq)) => Abort::caused_by(reason, p, seq),
             None => Abort::new(reason),
@@ -498,12 +575,19 @@ impl<'stm> Txn<'stm> {
     }
 
     /// Commit protocol (TL2 §II-A). Consumes the attempt.
+    ///
+    /// Hot-path invariants (see DESIGN.md "Hot-path performance"):
+    /// every buffer used here lives in the invocation's [`TxnScratch`] and
+    /// is rebuilt — never carried over — per attempt; the write-back loop
+    /// is the only Gate crossing that may be batched, because it runs
+    /// entirely under the write-set locks and is therefore invisible to
+    /// every other thread until `unlock_publish`.
     fn commit(mut self) -> Result<CommitInfo, Abort> {
         let stm = self.stm;
         let costs = stm.config.costs;
         let thread = self.who.thread;
-        let n_reads = self.reads.len() as u32;
-        let n_writes = self.writes.len() as u32;
+        let n_reads = self.scratch.reads.len() as u32;
+        let n_writes = self.scratch.writes.len() as u32;
 
         // A committer may have doomed us while we were between operations;
         // honor it before publishing anything (AbortReaders resolution).
@@ -515,30 +599,37 @@ impl<'stm> Txn<'stm> {
         // Read-only fast path: every read was validated inline against rv,
         // so a read-only transaction is already serializable. TL2 commits it
         // without touching the clock.
-        if self.writes.is_empty() {
+        if self.scratch.writes.is_empty() {
             self.release(None);
             let seq = CommitSeq::new(stm.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
             return Ok(CommitInfo { seq, wv: self.rv, reads: n_reads, writes: 0 });
         }
 
         // 1. Lock the write set (stripes deduped, sorted for determinism;
-        //    encounter-time locks are already held).
-        let mut stripes: Vec<StripeIndex> = self.writes.iter().map(|w| w.stripe).collect();
-        stripes.sort_unstable();
-        stripes.dedup();
-        let mut acquired: Vec<(StripeIndex, u64)> = Vec::with_capacity(stripes.len());
-        for &s in &stripes {
-            if self.eager_locks.iter().any(|(e, _)| *e == s) {
+        //    encounter-time locks are already held). The stripe list and
+        //    the acquired/held buffers are invocation scratch — sort +
+        //    dedup happens once here, and retries reuse the allocations.
+        self.scratch.commit_stripes.clear();
+        let scratch = &mut *self.scratch;
+        scratch.commit_stripes.extend(scratch.writes.iter().map(|w| w.stripe));
+        scratch.commit_stripes.sort_unstable();
+        scratch.commit_stripes.dedup();
+        self.scratch.acquired.clear();
+        let eager_is_empty = self.scratch.eager_locks.is_empty();
+        for i in 0..self.scratch.commit_stripes.len() {
+            let s = self.scratch.commit_stripes[i];
+            if !eager_is_empty && self.holds_eager_lock(s) {
                 continue;
             }
             stm.gate.pass(thread, costs.commit_entry);
             match stm.locks.try_lock(s, thread) {
-                Ok(old) => acquired.push((s, old)),
+                Ok(old) => self.scratch.acquired.push((s, old)),
                 Err(_) => {
-                    for &(a, old) in &acquired {
+                    for &(a, old) in &self.scratch.acquired {
                         stm.locks.unlock_restore(a, thread, old);
                     }
-                    let var = self.writes.iter().find(|w| w.stripe == s).map(|w| w.cell.id());
+                    let var =
+                        self.scratch.writes.iter().find(|w| w.stripe == s).map(|w| w.cell.id());
                     let reason =
                         AbortReason::WriteLockBusy { var: var.unwrap_or(VarId::from_raw(0)) };
                     let abort = self.abort_at(reason, s);
@@ -547,24 +638,41 @@ impl<'stm> Txn<'stm> {
                 }
             }
         }
-        let mut held: Vec<(StripeIndex, u64)> = std::mem::take(&mut self.eager_locks);
-        held.extend(acquired);
+        let scratch = &mut *self.scratch;
+        scratch.held.clear();
+        scratch.held.append(&mut scratch.eager_locks);
+        scratch.held.extend_from_slice(&scratch.acquired);
+        scratch.eager_filter.clear();
 
         // 2. Obtain the write version.
         let wv = stm.clock.tick();
 
         // 3. Validate the read set (skippable when nobody committed since
-        //    our snapshot — the TL2 rv + 1 == wv optimization).
+        //    our snapshot — the TL2 rv + 1 == wv optimization). Sorting
+        //    the scratch copy ascending reproduces the exact iteration
+        //    order the old BTreeMap read set had, so the Gate sees the
+        //    same charge sequence.
         if wv != self.rv + 1 {
-            for &stripe_raw in self.reads.keys() {
-                let s = StripeIndex(stripe_raw);
+            let scratch = &mut *self.scratch;
+            scratch.validate_stripes.clear();
+            scratch.reads.collect_into(&mut scratch.validate_stripes);
+            scratch.validate_stripes.sort_unstable();
+            for i in 0..self.scratch.validate_stripes.len() {
+                let s = StripeIndex(self.scratch.validate_stripes[i]);
                 stm.gate.pass(thread, costs.validate_entry);
-                let w = stm.locks.load(s);
-                let locked_by_other = w.locked && w.owner != Some(thread);
-                if locked_by_other || w.version > self.rv {
+                // Raw fast path: an unlocked word only needs the version
+                // compare; decode the owner only when the stripe is locked.
+                let raw = stm.locks.load_raw(s);
+                let bad = if !LockTable::raw_locked(raw) {
+                    LockTable::raw_version(raw) > self.rv
+                } else {
+                    let w = LockTable::decode_raw(raw);
+                    w.owner != Some(thread) || w.version > self.rv
+                };
+                if bad {
                     let abort =
                         self.abort_at(AbortReason::ValidateFailed { var: VarId::from_raw(0) }, s);
-                    for &(h, old) in &held {
+                    for &(h, old) in &self.scratch.held {
                         stm.locks.unlock_restore(h, thread, old);
                     }
                     self.release(None);
@@ -578,7 +686,7 @@ impl<'stm> Txn<'stm> {
         match stm.config.resolution {
             Resolution::SelfAbort => {}
             Resolution::AbortReaders => {
-                for &(s, _) in &held {
+                for &(s, _) in &self.scratch.held {
                     for victim in stm.locks.readers_excluding(s, thread) {
                         stm.doom(victim, self.who, seq);
                     }
@@ -587,14 +695,16 @@ impl<'stm> Txn<'stm> {
             Resolution::WaitForReaders => {
                 let mut polls = 0u32;
                 loop {
-                    let busy = held
+                    let busy = self
+                        .scratch
+                        .held
                         .iter()
                         .any(|&(s, _)| !stm.locks.readers_excluding(s, thread).is_empty());
                     if !busy {
                         break;
                     }
                     if polls >= stm.config.reader_wait_limit {
-                        for &(h, old) in &held {
+                        for &(h, old) in &self.scratch.held {
                             stm.locks.unlock_restore(h, thread, old);
                         }
                         self.release(None);
@@ -607,14 +717,18 @@ impl<'stm> Txn<'stm> {
             }
         }
 
-        // 5. Write back the redo log.
-        for w in &self.writes {
-            stm.gate.pass(thread, costs.commit_entry);
+        // 5. Write back the redo log. One batched Gate crossing for the
+        //    whole operation group: every written stripe is locked by us,
+        //    so no other thread can observe the stores before step 6
+        //    publishes — batching the charges is schedule-invisible and
+        //    charges the identical virtual-time total.
+        stm.gate.pass_batch(thread, costs.commit_entry, self.scratch.writes.len() as u64);
+        for w in &self.scratch.writes {
             w.cell.store(Arc::clone(&w.value));
         }
 
         // 6. Release, publishing wv and stamping ourselves as last writer.
-        for &(s, _) in &held {
+        for &(s, _) in &self.scratch.held {
             stm.locks.stamp(s, self.who, seq);
             stm.locks.unlock_publish(s, thread, wv);
         }
@@ -625,16 +739,18 @@ impl<'stm> Txn<'stm> {
     /// Abort path: release encounter-time locks and reader registrations.
     fn rollback(mut self) {
         let thread = self.who.thread;
-        let locks = std::mem::take(&mut self.eager_locks);
-        for (s, old) in locks {
+        for i in 0..self.scratch.eager_locks.len() {
+            let (s, old) = self.scratch.eager_locks[i];
             self.stm.locks.unlock_restore(s, thread, old);
         }
+        self.scratch.eager_locks.clear();
+        self.scratch.eager_filter.clear();
         self.release(None);
     }
 
     fn release(&mut self, _unused: Option<()>) {
         let thread = self.who.thread;
-        for s in self.registered.drain(..) {
+        for s in self.scratch.registered.drain(..) {
             self.stm.locks.unregister_reader(s, thread);
         }
     }

@@ -26,14 +26,17 @@ pub(crate) struct VarCell {
 }
 
 impl VarCell {
+    #[inline]
     pub(crate) fn id(&self) -> VarId {
         self.id
     }
 
+    #[inline]
     pub(crate) fn load(&self) -> ErasedValue {
         Arc::clone(&self.data.lock())
     }
 
+    #[inline]
     pub(crate) fn store(&self, value: ErasedValue) {
         *self.data.lock() = value;
     }
@@ -80,6 +83,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
     }
 
     /// This variable's globally unique id.
+    #[inline]
     pub fn id(&self) -> VarId {
         self.cell.id
     }
@@ -99,6 +103,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
         self.cell.store(Arc::new(value));
     }
 
+    #[inline]
     pub(crate) fn cell(&self) -> &Arc<VarCell> {
         &self.cell
     }
@@ -110,6 +115,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
 ///
 /// Panics if the cell holds a different type, which is impossible through the
 /// public API (a `TVar<T>` only ever stores `T`).
+#[inline]
 pub(crate) fn downcast<T: Send + Sync + 'static>(v: ErasedValue) -> Arc<T> {
     match v.downcast::<T>() {
         Ok(t) => t,

@@ -2,13 +2,13 @@
 
 use std::sync::Arc;
 
-use gstm_guide::{run_workload, CmChoice, PolicyChoice, RunOptions};
+use gstm_guide::{CmChoice, PolicyChoice, RunOptions};
 use gstm_stamp::benchmark;
 use gstm_stats::{mean, percent_reduction, slowdown, TextTable};
 
 use crate::config::ExpConfig;
 use crate::metrics::{mean_makespan, mean_nondeterminism, per_thread_improvement};
-use crate::study::train_stamp;
+use crate::study::{runs_over_seeds, train_stamp};
 
 /// Tfactor sweep (§VI: "experimenting with Tfactor values of between 1 to
 /// 10, we found that ... 4 strikes a balance"): variance reduction vs
@@ -20,11 +20,7 @@ pub fn ablate_tfactor(
 ) -> String {
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let default_runs: Vec<_> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
-        .collect();
+    let default_runs = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "Tfactor".into(),
         "mean variance improvement".into(),
@@ -36,15 +32,10 @@ pub fn ablate_tfactor(
         let mut sweep_cfg = cfg.clone();
         sweep_cfg.tfactor = tfactor;
         let trained = train_stamp(&sweep_cfg, name, threads);
-        let guided_runs: Vec<_> = cfg
-            .test_seeds
-            .iter()
-            .map(|&s| {
-                let opts = RunOptions::new(threads, s)
-                    .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
-                run_workload(workload.as_ref(), &opts)
-            })
-            .collect();
+        let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+            RunOptions::new(threads, s)
+                .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)))
+        });
         let imp = mean(&per_thread_improvement(&default_runs, &guided_runs));
         let nd = percent_reduction(
             mean_nondeterminism(&default_runs),
@@ -66,11 +57,7 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
     let trained = train_stamp(cfg, name, threads);
-    let default_runs: Vec<_> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
-        .collect();
+    let default_runs = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "k".into(),
         "mean variance improvement".into(),
@@ -79,15 +66,10 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
     ]);
     for k in [4u32, 16, 64, 256] {
         progress(&format!("ablate-k: {name} k={k}"));
-        let guided_runs: Vec<_> = cfg
-            .test_seeds
-            .iter()
-            .map(|&s| {
-                let opts = RunOptions::new(threads, s)
-                    .with_policy(PolicyChoice::Guided { model: Arc::clone(&trained.model), k });
-                run_workload(workload.as_ref(), &opts)
-            })
-            .collect();
+        let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+            RunOptions::new(threads, s)
+                .with_policy(PolicyChoice::Guided { model: Arc::clone(&trained.model), k })
+        });
         let imp = mean(&per_thread_improvement(&default_runs, &guided_runs));
         let bails: u64 =
             guided_runs.iter().filter_map(|r| r.hold_stats).map(|h| h.bailed_out).sum();
@@ -102,11 +84,7 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
 pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let baseline: Vec<_> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
-        .collect();
+    let baseline = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "Policy".into(),
         "mean variance improvement".into(),
@@ -121,28 +99,18 @@ pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&
     };
     for cm in [CmChoice::Polite, CmChoice::Karma, CmChoice::Greedy] {
         progress(&format!("ablate-cm: {name} {cm:?}"));
-        let runs: Vec<_> = cfg
-            .test_seeds
-            .iter()
-            .map(|&s| {
-                let mut opts = RunOptions::new(threads, s);
-                opts.cm = cm;
-                run_workload(workload.as_ref(), &opts)
-            })
-            .collect();
+        let runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+            let mut opts = RunOptions::new(threads, s);
+            opts.cm = cm;
+            opts
+        });
         push(format!("{cm:?}"), &runs);
     }
     progress(&format!("ablate-cm: {name} guided"));
     let trained = train_stamp(cfg, name, threads);
-    let guided: Vec<_> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| {
-            let opts = RunOptions::new(threads, s)
-                .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
-            run_workload(workload.as_ref(), &opts)
-        })
-        .collect();
+    let guided = runs_over_seeds(cfg, workload.as_ref(), |s| {
+        RunOptions::new(threads, s).with_policy(PolicyChoice::guided(Arc::clone(&trained.model)))
+    });
     push("Guided".into(), &guided);
     format!(
         "== Ablation: contention managers vs guidance on {name}, {threads} threads ==\n{}",
@@ -171,14 +139,11 @@ pub fn ablate_detection(
         "slowdown vs lazy default (x)".into(),
     ]);
     let run_set = |detection: Detection, policy: PolicyChoice| -> Vec<gstm_guide::RunOutcome> {
-        cfg.test_seeds
-            .iter()
-            .map(|&s| {
-                let mut opts = RunOptions::new(threads, s).with_policy(policy.clone());
-                opts.detection = Some(detection);
-                run_workload(workload.as_ref(), &opts)
-            })
-            .collect()
+        runs_over_seeds(cfg, workload.as_ref(), |s| {
+            let mut opts = RunOptions::new(threads, s).with_policy(policy.clone());
+            opts.detection = Some(detection);
+            opts
+        })
     };
     progress(&format!("ablate-detection: {name} lazy default"));
     let lazy_default = run_set(Detection::CommitTime, PolicyChoice::Default);
@@ -226,11 +191,7 @@ pub fn ablate_policy(
 ) -> String {
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let baseline: Vec<_> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
-        .collect();
+    let baseline = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "Policy".into(),
         "mean variance improvement".into(),
@@ -239,16 +200,9 @@ pub fn ablate_policy(
     ]);
     let mut measure = |label: &str, policy: PolicyChoice, progress: &mut dyn FnMut(&str)| {
         progress(&format!("ablate-policy: {name} {label}"));
-        let runs: Vec<_> = cfg
-            .test_seeds
-            .iter()
-            .map(|&s| {
-                run_workload(
-                    workload.as_ref(),
-                    &RunOptions::new(threads, s).with_policy(policy.clone()),
-                )
-            })
-            .collect();
+        let runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+            RunOptions::new(threads, s).with_policy(policy.clone())
+        });
         let imp = mean(&per_thread_improvement(&baseline, &runs));
         let nd = percent_reduction(mean_nondeterminism(&baseline), mean_nondeterminism(&runs));
         let s = slowdown(mean_makespan(&baseline), mean_makespan(&runs));
@@ -282,25 +236,16 @@ pub fn ablate_train(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMu
         "unknown-state rate".into(),
         "mean variance improvement".into(),
     ]);
-    let default_runs: Vec<_> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| run_workload(workload.as_ref(), &RunOptions::new(threads, s)))
-        .collect();
+    let default_runs = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
     for size in [InputSize::Small, InputSize::Medium] {
         progress(&format!("ablate-train: {name} trained on {size}"));
         let mut sweep = cfg.clone();
         sweep.train_size = size;
         let trained = train_stamp(&sweep, name, threads);
-        let guided_runs: Vec<_> = cfg
-            .test_seeds
-            .iter()
-            .map(|&s| {
-                let opts = RunOptions::new(threads, s)
-                    .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
-                run_workload(workload.as_ref(), &opts)
-            })
-            .collect();
+        let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+            RunOptions::new(threads, s)
+                .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)))
+        });
         let unknown: f64 = guided_runs.iter().map(|r| r.unknown_hits as f64).sum::<f64>()
             / guided_runs.iter().map(|r| r.total_commits() as f64).sum::<f64>().max(1.0);
         let imp = mean(&per_thread_improvement(&default_runs, &guided_runs));

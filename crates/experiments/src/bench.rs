@@ -1,0 +1,437 @@
+//! TL2 hot-path microbenchmarks and the `BENCH_*.json` writer.
+//!
+//! Criterion is off-limits (the workspace builds offline), so this module
+//! is a self-contained harness: each microloop drives `gstm-core`
+//! transactions directly on a [`NullGate`] STM — no simulator, no virtual
+//! time — and reports wall-clock ops/sec for the engine paths the TL2
+//! overhaul targets (read, read+validate, write buffering, commit lock
+//! acquisition, read-own-write lookup, validation abort). One small STAMP
+//! run per detection mode is timed on the full simulated machine so the
+//! sim/gate layer shows up in the trajectory too; its `makespan_ticks` is
+//! deterministic and doubles as a schedule-stability check between
+//! harness runs.
+//!
+//! Results are written through `gstm-telemetry`'s dependency-free
+//! [`JsonValue`] writer as a versioned `BENCH_tl2_hotpath.json`:
+//!
+//! ```json
+//! {
+//!   "schema": "gstm-bench", "version": 1,
+//!   "preset": "default", "smoke": false, "profile": "release-bench",
+//!   "metrics":  {"lazy.read_ops_per_sec": 1.0e7, "...": 0},
+//!   "baseline": {"lazy.read_ops_per_sec": 0.8e7, "...": 0}
+//! }
+//! ```
+//!
+//! `metrics` is a flat `key -> number` map; `baseline` (optional) carries
+//! the same keys from an earlier capture so before/after lives in one
+//! committed artifact. Every loop takes the **best of `reps`
+//! repetitions**, which filters scheduler noise without averaging away
+//! real regressions.
+
+use std::time::Instant;
+
+use gstm_core::{Detection, Stm, StmConfig, TVar, ThreadId, TxId};
+use gstm_guide::{run_workload, RunOptions};
+use gstm_telemetry::JsonValue;
+
+/// Schema tag of the bench artifact.
+pub const BENCH_SCHEMA: &str = "gstm-bench";
+/// Version of the bench artifact layout.
+pub const BENCH_VERSION: u32 = 1;
+
+/// Metric keys every valid artifact must contain (`bench-check` gates on
+/// presence, never on values).
+pub const REQUIRED_METRICS: &[&str] = &[
+    "lazy.read_ops_per_sec",
+    "lazy.read_validate_ops_per_sec",
+    "lazy.write_ops_per_sec",
+    "lazy.commit_ops_per_sec",
+    "lazy.read_own_write_ops_per_sec",
+    "lazy.abort_ops_per_sec",
+    "eager.read_ops_per_sec",
+    "eager.read_validate_ops_per_sec",
+    "eager.write_ops_per_sec",
+    "eager.commit_ops_per_sec",
+    "eager.read_own_write_ops_per_sec",
+    "eager.abort_ops_per_sec",
+    "stamp.kmeans.lazy.makespan_ticks",
+    "stamp.kmeans.lazy.commits_per_sec",
+    "stamp.kmeans.eager.makespan_ticks",
+    "stamp.kmeans.eager.commits_per_sec",
+];
+
+/// Harness parameters (iteration counts scale with the preset, repetition
+/// counts with smoke mode).
+#[derive(Clone, Debug)]
+pub struct BenchConfig {
+    /// Preset name recorded in the artifact: `tiny` (CI smoke) or `default`.
+    pub preset: String,
+    /// Smoke mode: fewest reps, smallest loops; checks plumbing, not perf.
+    pub smoke: bool,
+    /// Cargo profile label recorded in the artifact (the harness cannot
+    /// observe it, so `scripts/bench.sh` passes it through `--profile`).
+    pub profile: String,
+    /// Transactions per timed microloop repetition.
+    pub iters: usize,
+    /// Repetitions per microloop; best-of is reported.
+    pub reps: usize,
+}
+
+impl BenchConfig {
+    /// Config for a preset name (`tiny` or `default`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for unknown preset names.
+    pub fn for_preset(preset: &str, smoke: bool) -> Result<Self, String> {
+        let iters = match preset {
+            "tiny" => 2_000,
+            "default" => 30_000,
+            other => return Err(format!("unknown bench preset {other:?} (tiny|default)")),
+        };
+        Ok(BenchConfig {
+            preset: preset.to_string(),
+            smoke,
+            profile: "unknown".to_string(),
+            iters: if smoke { iters.min(500) } else { iters },
+            reps: if smoke { 2 } else { 5 },
+        })
+    }
+}
+
+/// Accesses per transaction in each microloop (reads in the read loops,
+/// writes in the write/commit loops). Small enough to model real STAMP
+/// transactions, large enough that per-access costs dominate begin/commit
+/// fixed costs.
+const SET_SIZE: usize = 32;
+
+fn engine(detection: Detection) -> Stm {
+    // Two logical threads: 0 runs the measured loop, 1 plays the
+    // interfering committer that forces validation / aborts.
+    Stm::new(StmConfig::new(2).with_detection(detection))
+}
+
+fn vars(n: usize) -> Vec<TVar<u64>> {
+    (0..n as u64).map(TVar::new).collect()
+}
+
+fn t0() -> ThreadId {
+    ThreadId::new(0)
+}
+
+fn t1() -> ThreadId {
+    ThreadId::new(1)
+}
+
+/// Best-of-`reps` ops/sec for `ops_per_iter * iters` operations of `body`.
+fn time_loop(cfg: &BenchConfig, ops_per_iter: usize, mut body: impl FnMut()) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..cfg.reps {
+        let start = Instant::now();
+        for _ in 0..cfg.iters {
+            body();
+        }
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max((cfg.iters * ops_per_iter) as f64 / secs);
+    }
+    best
+}
+
+/// Read-only transactions: `SET_SIZE` reads, read-only commit fast path.
+fn bench_read(cfg: &BenchConfig, detection: Detection) -> f64 {
+    let stm = engine(detection);
+    let vs = vars(SET_SIZE);
+    time_loop(cfg, SET_SIZE, || {
+        stm.run(t0(), TxId::new(1), |txn| {
+            let mut acc = 0u64;
+            for v in &vs {
+                acc = acc.wrapping_add(txn.read(v)?);
+            }
+            Ok(acc)
+        });
+    })
+}
+
+/// Reads plus a forced full read-set validation: a thread-1 commit bumps
+/// the global clock before each measured transaction, so its commit sees
+/// `wv != rv + 1` and must validate all `SET_SIZE` read stripes.
+fn bench_read_validate(cfg: &BenchConfig, detection: Detection) -> f64 {
+    let stm = engine(detection);
+    let vs = vars(SET_SIZE);
+    let bump = TVar::new(0u64);
+    let out = TVar::new(0u64);
+    time_loop(cfg, SET_SIZE, || {
+        stm.run(t1(), TxId::new(9), |txn| txn.modify(&bump, |x| x + 1));
+        stm.run(t0(), TxId::new(1), |txn| {
+            let mut acc = 0u64;
+            for v in &vs {
+                acc = acc.wrapping_add(txn.read(v)?);
+            }
+            txn.write(&out, acc)?;
+            Ok(())
+        });
+    })
+}
+
+/// Write buffering: `SET_SIZE` writes into `SET_SIZE / 2` vars, so half
+/// the writes miss the write index (fresh redo-log entry) and half hit it
+/// (in-place overwrite).
+fn bench_write(cfg: &BenchConfig, detection: Detection) -> f64 {
+    let stm = engine(detection);
+    let vs = vars(SET_SIZE / 2);
+    time_loop(cfg, SET_SIZE, || {
+        stm.run(t0(), TxId::new(1), |txn| {
+            for round in 0..2u64 {
+                for (i, v) in vs.iter().enumerate() {
+                    txn.write(v, round + i as u64)?;
+                }
+            }
+            Ok(())
+        });
+    })
+}
+
+/// Commit lock acquisition: `SET_SIZE` distinct vars written once each, so
+/// commit sorts, dedups and locks `SET_SIZE` stripes then writes back.
+fn bench_commit(cfg: &BenchConfig, detection: Detection) -> f64 {
+    let stm = engine(detection);
+    let vs = vars(SET_SIZE);
+    time_loop(cfg, SET_SIZE, || {
+        stm.run(t0(), TxId::new(1), |txn| {
+            for (i, v) in vs.iter().enumerate() {
+                txn.write(v, i as u64)?;
+            }
+            Ok(())
+        });
+    })
+}
+
+/// Read-own-write: one write, then `SET_SIZE` reads of the same var, each
+/// of which must find the buffered value via the write index.
+fn bench_read_own_write(cfg: &BenchConfig, detection: Detection) -> f64 {
+    let stm = engine(detection);
+    let v = TVar::new(7u64);
+    time_loop(cfg, SET_SIZE, || {
+        stm.run(t0(), TxId::new(1), |txn| {
+            txn.write(&v, 13)?;
+            let mut acc = 0u64;
+            for _ in 0..SET_SIZE {
+                acc = acc.wrapping_add(txn.read(&v)?);
+            }
+            Ok(acc)
+        });
+    })
+}
+
+/// Validation-abort path: thread 0 reads a var, thread 1 commits a bump to
+/// it mid-body, and thread 0's commit-time validation must abort and roll
+/// back. Counts aborted attempts per second.
+fn bench_abort(cfg: &BenchConfig, detection: Detection) -> f64 {
+    let stm = engine(detection);
+    let contended = TVar::new(0u64);
+    let other = TVar::new(0u64);
+    time_loop(cfg, 1, || {
+        let result = stm.try_run_once(t0(), TxId::new(1), |txn| {
+            let seen = txn.read(&contended)?;
+            stm.run(t1(), TxId::new(9), |inner| inner.modify(&contended, |x| x + 1));
+            txn.write(&other, seen)?;
+            Ok(())
+        });
+        assert!(result.is_err(), "abort microloop must conflict every iteration");
+    })
+}
+
+/// One small STAMP run on the full simulated machine. Returns
+/// `(makespan_ticks, commits_per_sec)`; the former is deterministic for a
+/// fixed seed, the latter is the wall-clock sim throughput.
+fn bench_stamp(cfg: &BenchConfig, detection: Detection) -> (f64, f64) {
+    let workload = gstm_stamp::benchmark("kmeans", gstm_stamp::InputSize::Small)
+        .expect("kmeans is a known benchmark");
+    let opts = RunOptions { detection: Some(detection), ..RunOptions::new(4, 42) };
+    let mut makespan = 0u64;
+    let mut best = 0.0f64;
+    // The sim's wall-clock throughput is by far the noisiest metric here
+    // (channel rendezvous under OS scheduling); use every rep for it.
+    let reps = if cfg.smoke { 1 } else { cfg.reps };
+    for rep in 0..reps {
+        let start = Instant::now();
+        let out = run_workload(workload.as_ref(), &opts);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(out.total_commits() as f64 / secs);
+        if rep == 0 {
+            makespan = out.makespan;
+        } else {
+            assert_eq!(out.makespan, makespan, "sim makespan must be seed-deterministic");
+        }
+    }
+    (makespan as f64, best)
+}
+
+/// One named microloop: key suffix plus the loop function.
+type MicroLoop = (&'static str, fn(&BenchConfig, Detection) -> f64);
+
+fn mode_name(detection: Detection) -> &'static str {
+    match detection {
+        Detection::CommitTime => "lazy",
+        Detection::EncounterTime => "eager",
+    }
+}
+
+/// Runs the full suite and returns the flat `metrics` map in artifact key
+/// order. `progress` receives one line per completed metric group.
+pub fn run_suite(cfg: &BenchConfig, progress: &mut dyn FnMut(&str)) -> Vec<(String, f64)> {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for detection in [Detection::CommitTime, Detection::EncounterTime] {
+        let mode = mode_name(detection);
+        let loops: [MicroLoop; 6] = [
+            ("read_ops_per_sec", bench_read),
+            ("read_validate_ops_per_sec", bench_read_validate),
+            ("write_ops_per_sec", bench_write),
+            ("commit_ops_per_sec", bench_commit),
+            ("read_own_write_ops_per_sec", bench_read_own_write),
+            ("abort_ops_per_sec", bench_abort),
+        ];
+        for (name, f) in loops {
+            let value = f(cfg, detection);
+            progress(&format!("{mode}.{name}: {value:.0}"));
+            metrics.push((format!("{mode}.{name}"), value));
+        }
+    }
+    for detection in [Detection::CommitTime, Detection::EncounterTime] {
+        let mode = mode_name(detection);
+        let (makespan, commits_per_sec) = bench_stamp(cfg, detection);
+        progress(&format!(
+            "stamp.kmeans.{mode}: makespan {makespan:.0} ticks, {commits_per_sec:.0} commits/s"
+        ));
+        metrics.push((format!("stamp.kmeans.{mode}.makespan_ticks"), makespan));
+        metrics.push((format!("stamp.kmeans.{mode}.commits_per_sec"), commits_per_sec));
+    }
+    metrics
+}
+
+/// Assembles the versioned artifact. `baseline` carries an earlier
+/// capture's `metrics` map to commit before/after together.
+pub fn render_artifact(
+    cfg: &BenchConfig,
+    metrics: &[(String, f64)],
+    baseline: Option<&[(String, f64)]>,
+) -> String {
+    let to_obj = |m: &[(String, f64)]| {
+        JsonValue::Obj(m.iter().map(|(k, v)| (k.clone(), JsonValue::Num(*v))).collect())
+    };
+    let mut fields = vec![
+        ("schema".to_string(), JsonValue::Str(BENCH_SCHEMA.to_string())),
+        ("version".to_string(), JsonValue::Num(f64::from(BENCH_VERSION))),
+        ("preset".to_string(), JsonValue::Str(cfg.preset.clone())),
+        ("smoke".to_string(), JsonValue::Bool(cfg.smoke)),
+        ("profile".to_string(), JsonValue::Str(cfg.profile.clone())),
+        ("metrics".to_string(), to_obj(metrics)),
+    ];
+    if let Some(base) = baseline {
+        fields.push(("baseline".to_string(), to_obj(base)));
+    }
+    JsonValue::Obj(fields).render_pretty(2)
+}
+
+/// Parses an artifact and extracts its `metrics` map (used to thread a
+/// previous capture through as `baseline`).
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem.
+pub fn parse_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
+    let v = JsonValue::parse(text)?;
+    let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
+    let fields = metrics.as_obj().ok_or("\"metrics\" is not an object")?;
+    fields
+        .iter()
+        .map(|(k, val)| {
+            val.as_f64().map(|n| (k.clone(), n)).ok_or(format!("metric {k:?} is not a number"))
+        })
+        .collect()
+}
+
+/// Validates a committed artifact: parseable JSON, correct schema/version,
+/// and every [`REQUIRED_METRICS`] key present and numeric. Absolute values
+/// are never gated — this protects the artifact's shape, not its numbers.
+///
+/// # Errors
+///
+/// Returns a description of the first problem found.
+pub fn check_artifact(text: &str) -> Result<(), String> {
+    let v = JsonValue::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    match v.get("schema").and_then(JsonValue::as_str) {
+        Some(BENCH_SCHEMA) => {}
+        other => return Err(format!("bad schema field: {other:?}")),
+    }
+    match v.get("version").and_then(JsonValue::as_f64) {
+        Some(ver) if ver == f64::from(BENCH_VERSION) => {}
+        other => return Err(format!("unsupported version: {other:?}")),
+    }
+    let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
+    if metrics.as_obj().is_none() {
+        return Err("\"metrics\" is not an object".to_string());
+    }
+    for key in REQUIRED_METRICS {
+        match metrics.get(key) {
+            Some(val) if val.as_f64().is_some() => {}
+            Some(_) => return Err(format!("metric {key:?} is not a number")),
+            None => return Err(format!("missing required metric {key:?}")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn smoke_cfg() -> BenchConfig {
+        let mut cfg = BenchConfig::for_preset("tiny", true).unwrap();
+        cfg.iters = 20; // keep unit tests fast; shape, not numbers
+        cfg.reps = 1;
+        cfg
+    }
+
+    #[test]
+    fn artifact_round_trips_and_checks() {
+        let cfg = smoke_cfg();
+        let metrics: Vec<(String, f64)> =
+            REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        let text = render_artifact(&cfg, &metrics, Some(&metrics));
+        check_artifact(&text).unwrap();
+        assert_eq!(parse_metrics(&text).unwrap(), metrics);
+    }
+
+    #[test]
+    fn check_rejects_broken_artifacts() {
+        assert!(check_artifact("not json").is_err());
+        assert!(check_artifact("{}").is_err());
+        let cfg = smoke_cfg();
+        let mut metrics: Vec<(String, f64)> =
+            REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        metrics.pop();
+        let text = render_artifact(&cfg, &metrics, None);
+        let err = check_artifact(&text).unwrap_err();
+        assert!(err.contains("missing required metric"), "{err}");
+    }
+
+    #[test]
+    fn microloops_produce_positive_rates() {
+        let cfg = smoke_cfg();
+        for detection in [Detection::CommitTime, Detection::EncounterTime] {
+            assert!(bench_read(&cfg, detection) > 0.0);
+            assert!(bench_read_validate(&cfg, detection) > 0.0);
+            assert!(bench_write(&cfg, detection) > 0.0);
+            assert!(bench_commit(&cfg, detection) > 0.0);
+            assert!(bench_read_own_write(&cfg, detection) > 0.0);
+            assert!(bench_abort(&cfg, detection) > 0.0);
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_rejected() {
+        assert!(BenchConfig::for_preset("huge", false).is_err());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! One module per concern:
 //!
+//! * [`bench`] — TL2 hot-path microbenchmarks and `BENCH_*.json` output;
 //! * [`config`] — sweep parameters (threads, seeds, sizes, Tfactor);
 //! * [`study`] — raw run collection (train → default runs → guided runs);
 //! * [`metrics`] — derivations (per-thread stddev, tail metric merges, …);
@@ -15,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod bench;
 pub mod config;
 pub mod metrics;
 pub mod report;

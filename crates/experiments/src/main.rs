@@ -12,6 +12,9 @@
 //!   ablate-tfactor | ablate-k | ablate-cm | ablate-train | ablate-policy | ablate-detection
 //!   train-model --bench NAME   (profile + build + save results/NAME-<threads>t.gtsa)
 //!   inspect-model FILE         (analyzer report + hottest states of a saved model)
+//!   bench [--out PATH] [--preset tiny|default] [--smoke] [--baseline FILE]
+//!         [--profile NAME]     (hot-path microbenchmarks -> BENCH_tl2_hotpath.json)
+//!   bench-check FILE           (validate a BENCH_*.json artifact's shape)
 //! ```
 //!
 //! `--metrics PATH` attaches telemetry to every measured run and writes the
@@ -31,11 +34,70 @@ use gstm_synquake::Quest;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|all|\
-         train-model|inspect-model|sites|\
+         train-model|inspect-model|sites|bench|bench-check|\
          ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast] [--bench NAME] [--metrics PATH]"
     );
     std::process::exit(2);
+}
+
+/// `bench`: run the hot-path suite and write the JSON artifact.
+fn run_bench(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let out = flag("--out").map_or("BENCH_tl2_hotpath.json", String::as_str);
+    let preset = flag("--preset").map_or("default", String::as_str);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg =
+        gstm_experiments::bench::BenchConfig::for_preset(preset, smoke).unwrap_or_else(|e| {
+            eprintln!("bench: {e}");
+            std::process::exit(2);
+        });
+    if let Some(profile) = flag("--profile") {
+        cfg.profile = profile.clone();
+    }
+    let baseline: Option<Vec<(String, f64)>> = flag("--baseline").map(|path| {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench: cannot read baseline {path}: {e}");
+            std::process::exit(2);
+        });
+        gstm_experiments::bench::parse_metrics(&text).unwrap_or_else(|e| {
+            eprintln!("bench: bad baseline {path}: {e}");
+            std::process::exit(2);
+        })
+    });
+    let started = std::time::Instant::now();
+    let mut progress = |msg: &str| {
+        eprintln!("[{:7.1}s] {msg}", started.elapsed().as_secs_f64());
+    };
+    let metrics = gstm_experiments::bench::run_suite(&cfg, &mut progress);
+    let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, baseline.as_deref());
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("bench: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("[{:7.1}s] wrote {out}", started.elapsed().as_secs_f64());
+    std::process::exit(0);
+}
+
+/// `bench-check`: validate an artifact's shape (never its numbers).
+fn run_bench_check(args: &[String]) -> ! {
+    let path = args.first().map_or("BENCH_tl2_hotpath.json", String::as_str);
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench-check: cannot read {path}: {e}");
+        std::process::exit(1);
+    });
+    match gstm_experiments::bench::check_artifact(&text) {
+        Ok(()) => {
+            eprintln!("bench-check: {path} ok");
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("bench-check: {path}: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn main() {
@@ -44,6 +106,12 @@ fn main() {
         usage();
     }
     let command = args[0].as_str();
+    match command {
+        // The bench paths never touch ExpConfig or the study machinery.
+        "bench" => run_bench(&args[1..]),
+        "bench-check" => run_bench_check(&args[1..]),
+        _ => {}
+    }
     let fast = args.iter().any(|a| a == "--fast");
     let bench_name: &'static str = args
         .iter()

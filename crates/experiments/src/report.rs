@@ -14,6 +14,14 @@ fn header(id: &str, caption: &str) -> String {
     format!("== {id}: {caption} ==\n")
 }
 
+/// Header plus table, streamed into one buffer ([`TextTable::render_to`])
+/// instead of rendering the table to an intermediate `String`.
+fn table_report(id: &str, caption: &str, t: &TextTable) -> String {
+    let mut out = header(id, caption);
+    t.render_to(&mut out).expect("writing to a String cannot fail");
+    out
+}
+
 /// Table I — model analyzer guidance metric (%), lower is better.
 pub fn table1(cfg: &ExpConfig, study: &StampStudy) -> String {
     let mut t = TextTable::new(
@@ -35,7 +43,7 @@ pub fn table1(cfg: &ExpConfig, study: &StampStudy) -> String {
         }
         t.row(row);
     }
-    header("Table I", "model analyzer guidance metric % (lower is better)") + &t.render()
+    table_report("Table I", "model analyzer guidance metric % (lower is better)", &t)
 }
 
 /// Table II — configuration of the (simulated) machines.
@@ -51,10 +59,11 @@ pub fn table2(cfg: &ExpConfig) -> String {
         cfg.test_seeds.len().to_string(),
         cfg.test_seeds.len().to_string(),
     ]);
-    header(
+    table_report(
         "Table II",
         "machine configuration (simulated; substitutes the paper's 8/16-core x86 hosts)",
-    ) + &t.render()
+        &t,
+    )
 }
 
 /// Table III — number of states in each model.
@@ -76,7 +85,7 @@ pub fn table3(cfg: &ExpConfig, study: &StampStudy) -> String {
         }
         t.row(row);
     }
-    header("Table III", "number of states in the model") + &t.render()
+    table_report("Table III", "number of states in the model", &t)
 }
 
 /// Table IV — average % improvement in the abort tail-distribution metric.
@@ -100,7 +109,7 @@ pub fn table4(cfg: &ExpConfig, study: &StampStudy) -> String {
         }
         t.row(row);
     }
-    header("Table IV", "average % improvement in the abort tail distribution") + &t.render()
+    table_report("Table IV", "average % improvement in the abort tail distribution", &t)
 }
 
 /// Figure 3 — an excerpt of the kmeans TSA: the hottest state and its
@@ -223,7 +232,7 @@ pub fn fig9(cfg: &ExpConfig, study: &StampStudy) -> String {
         }
         t.row(row);
     }
-    header("Figure 9", "% reduction in non-determinism |S| (guided vs default)") + &t.render()
+    table_report("Figure 9", "% reduction in non-determinism |S| (guided vs default)", &t)
 }
 
 /// Figure 10 — slowdown (×) of guided vs default execution.
@@ -249,7 +258,7 @@ pub fn fig10(cfg: &ExpConfig, study: &StampStudy) -> String {
         }
         t.row(row);
     }
-    header("Figure 10", "slowdown (x) of guided vs default execution") + &t.render()
+    table_report("Figure 10", "slowdown (x) of guided vs default execution", &t)
 }
 
 /// Table V — SynQuake guidance metric.
@@ -270,7 +279,7 @@ pub fn table5(cfg: &ExpConfig, study: &QuakeStudy) -> String {
         );
     }
     t.row(row);
-    header("Table V", "SynQuake guidance metric % (lower is better)") + &t.render()
+    table_report("Table V", "SynQuake guidance metric % (lower is better)", &t)
 }
 
 /// Figures 11 (4quadrants) and 12 (4center_spread6) — frame-rate variance
@@ -304,5 +313,5 @@ pub fn fig_quake(
             format!("{s:.2}x"),
         ]);
     }
-    header(figure, &format!("SynQuake quest {quest}: guided vs default")) + &t.render()
+    table_report(figure, &format!("SynQuake quest {quest}: guided vs default"), &t)
 }

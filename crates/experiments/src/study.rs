@@ -2,7 +2,9 @@
 
 use std::collections::BTreeMap;
 
-use gstm_guide::{run_workload, train, PolicyChoice, RunOptions, RunOutcome, TrainedModel};
+use gstm_guide::{
+    run_workload, train, PolicyChoice, RunOptions, RunOutcome, TrainedModel, Workload,
+};
 use gstm_stamp::benchmark;
 use gstm_synquake::{Quest, SynQuake};
 use gstm_telemetry::Snapshot;
@@ -39,6 +41,18 @@ impl StampStudy {
     }
 }
 
+/// Runs `workload` once per configured test seed — the single home of the
+/// "one measured run per seed" pattern every study and ablation shares.
+/// `opts` builds the run options for a seed; wrap telemetry/capture/policy
+/// choices inside it.
+pub fn runs_over_seeds(
+    cfg: &ExpConfig,
+    workload: &dyn Workload,
+    mut opts: impl FnMut(u64) -> RunOptions,
+) -> Vec<RunOutcome> {
+    cfg.test_seeds.iter().map(|&s| run_workload(workload, &opts(s))).collect()
+}
+
 /// Trains the model for one benchmark/thread-count (profiling runs on the
 /// training input size).
 pub fn train_stamp(cfg: &ExpConfig, name: &'static str, threads: usize) -> TrainedModel {
@@ -67,23 +81,15 @@ pub fn run_stamp_cell(
         benchmark(name, cfg.test_size).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let measured = |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
     progress(&format!("{name}/{threads}t: default runs on {}", cfg.test_size));
-    let default_runs: Vec<RunOutcome> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| run_workload(workload.as_ref(), &measured(RunOptions::new(threads, s))))
-        .collect();
+    let default_runs =
+        runs_over_seeds(cfg, workload.as_ref(), |s| measured(RunOptions::new(threads, s)));
     progress(&format!("{name}/{threads}t: guided runs on {}", cfg.test_size));
-    let guided_runs: Vec<RunOutcome> = cfg
-        .test_seeds
-        .iter()
-        .map(|&s| {
-            let opts = measured(
-                RunOptions::new(threads, s)
-                    .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&trained.model))),
-            );
-            run_workload(workload.as_ref(), &opts)
-        })
-        .collect();
+    let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+        measured(
+            RunOptions::new(threads, s)
+                .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&trained.model))),
+        )
+    });
     StampCell { name, threads, trained, default_runs, guided_runs }
 }
 
@@ -216,21 +222,14 @@ pub fn run_quake_study(cfg: &ExpConfig, progress: &mut dyn FnMut(&str)) -> Quake
             progress(&format!("synquake/{threads}t: measuring {quest}"));
             let measured =
                 |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
-            let default_runs: Vec<RunOutcome> = cfg
-                .test_seeds
-                .iter()
-                .map(|&s| run_workload(&workload, &measured(RunOptions::new(threads, s))))
-                .collect();
-            let guided_runs: Vec<RunOutcome> =
-                cfg.test_seeds
-                    .iter()
-                    .map(|&s| {
-                        let opts = measured(RunOptions::new(threads, s).with_policy(
-                            PolicyChoice::guided(std::sync::Arc::clone(&model.model)),
-                        ));
-                        run_workload(&workload, &opts)
-                    })
-                    .collect();
+            let default_runs =
+                runs_over_seeds(cfg, &workload, |s| measured(RunOptions::new(threads, s)));
+            let guided_runs = runs_over_seeds(cfg, &workload, |s| {
+                measured(
+                    RunOptions::new(threads, s)
+                        .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&model.model))),
+                )
+            });
             cells.push(QuakeCell { quest, threads, default_runs, guided_runs });
         }
         trained.insert(threads, model);

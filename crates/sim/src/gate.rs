@@ -16,6 +16,12 @@ pub(crate) const CENTI: u64 = 100;
 pub(crate) enum Msg {
     /// Worker wants to take a step of the given cost.
     Pass { thread: usize, cost: Ticks },
+    /// Worker wants to take `count` consecutive steps of the given cost as
+    /// one machine-boundary crossing. The scheduler makes the same
+    /// per-sub-step decisions (same RNG draws, clock/active/now updates and
+    /// grant counts) it would for `count` individual [`Msg::Pass`]es, but
+    /// wakes the worker only after the last one.
+    PassBatch { thread: usize, cost: Ticks, count: u64 },
     /// Worker entered a barrier.
     Barrier { thread: usize, id: u32, parties: usize },
     /// Worker finished.
@@ -68,6 +74,16 @@ pub struct SimGate {
 impl Gate for SimGate {
     fn pass(&self, thread: ThreadId, cost: Ticks) {
         self.shared.rendezvous(Msg::Pass { thread: thread.index(), cost }, thread.index());
+    }
+
+    fn pass_batch(&self, thread: ThreadId, cost: Ticks, count: u64) {
+        match count {
+            0 => {}
+            1 => self.pass(thread, cost),
+            _ => self
+                .shared
+                .rendezvous(Msg::PassBatch { thread: thread.index(), cost, count }, thread.index()),
+        }
     }
 
     fn now(&self) -> u64 {

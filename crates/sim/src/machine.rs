@@ -64,7 +64,10 @@ pub struct RunReport {
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum St {
     Running,
-    Waiting(u64),
+    /// Parked at the gate: `(cost, steps_left)`. A plain pass is a batch of
+    /// one; a [`Msg::PassBatch`] parks with its full count and is re-queued
+    /// here (without waking) until the last sub-step is granted.
+    Waiting(u64, u64),
     InBarrier(u32),
     Finished,
 }
@@ -240,7 +243,12 @@ impl SimMachine {
                 };
                 match msg {
                     Msg::Pass { thread, cost } => {
-                        status[thread] = St::Waiting(cost);
+                        status[thread] = St::Waiting(cost, 1);
+                        running -= 1;
+                    }
+                    Msg::PassBatch { thread, cost, count } => {
+                        debug_assert!(count >= 2, "gate handles count 0/1 without a message");
+                        status[thread] = St::Waiting(cost, count.max(1));
                         running -= 1;
                     }
                     Msg::Barrier { thread, id, parties } => {
@@ -276,7 +284,7 @@ impl SimMachine {
                     .unwrap_or(0);
                 for w in waiters {
                     self.shared.clocks[w].store(max_clock, Ordering::SeqCst);
-                    status[w] = St::Waiting(0);
+                    status[w] = St::Waiting(0, 1);
                 }
             }
 
@@ -289,7 +297,7 @@ impl SimMachine {
             let min_clock = status
                 .iter()
                 .enumerate()
-                .filter(|(_, s)| matches!(s, St::Waiting(_)))
+                .filter(|(_, s)| matches!(s, St::Waiting(..)))
                 .map(|(i, _)| self.shared.clocks[i].load(Ordering::SeqCst))
                 .min();
             let Some(min_clock) = min_clock else {
@@ -302,13 +310,13 @@ impl SimMachine {
                 .iter()
                 .enumerate()
                 .filter(|(i, s)| {
-                    matches!(s, St::Waiting(_))
+                    matches!(s, St::Waiting(..))
                         && self.shared.clocks[*i].load(Ordering::SeqCst) == min_clock
                 })
                 .map(|(i, _)| i)
                 .collect();
             let pick = candidates[rng.gen_range(0..candidates.len())];
-            let St::Waiting(cost) = status[pick] else { unreachable!() };
+            let St::Waiting(cost, left) = status[pick] else { unreachable!() };
 
             let active = n - finished;
             let scale = active.div_ceil(self.config.cores) as u64;
@@ -324,10 +332,19 @@ impl SimMachine {
             self.shared.active[pick].fetch_add(advance, Ordering::SeqCst);
             self.shared.now.fetch_max(new_clock, Ordering::SeqCst);
 
-            status[pick] = St::Running;
-            running = 1;
             stats.grants += 1;
-            self.grant_txs[pick].send(()).expect("worker vanished");
+            if left > 1 {
+                // Remaining sub-steps of a batched crossing: the worker is
+                // still parked, so re-queue it exactly as if it had
+                // immediately requested the next pass — the scheduler loops
+                // back through the same barrier checks, min-clock pick and
+                // RNG draws a chain of individual passes would see.
+                status[pick] = St::Waiting(cost, left - 1);
+            } else {
+                status[pick] = St::Running;
+                running = 1;
+                self.grant_txs[pick].send(()).expect("worker vanished");
+            }
         }
         stats
     }
@@ -474,6 +491,58 @@ mod tests {
         assert_eq!(reg.gauge("gstm_sim_now_ticks"), Some(9));
         assert!(reg.gauge("gstm_sim_sched_grants_total").unwrap() >= 1);
         assert_eq!(reg.gauge("gstm_sim_active_ticks{thread=\"0\"}"), Some(9));
+    }
+
+    #[test]
+    fn pass_batch_is_indistinguishable_from_looped_pass() {
+        // Two contending workers, jitter on: the batched crossing must
+        // yield the exact same clocks, makespan, and grant count as the
+        // equivalent chain of individual passes (same RNG draw sequence).
+        let run = |batched: bool| {
+            let m = SimMachine::new(SimConfig::new(2, 11));
+            let reg = Arc::new(MetricsRegistry::new(2));
+            let m = m.with_metrics(Arc::clone(&reg));
+            let gate = m.gate();
+            let workers = (0..2usize)
+                .map(|i| {
+                    let gate = Arc::clone(&gate);
+                    boxed(move || {
+                        let t = ThreadId::new(i as u16);
+                        for _ in 0..5 {
+                            gate.pass(t, 2);
+                            if batched {
+                                gate.pass_batch(t, 3, 4);
+                            } else {
+                                for _ in 0..4 {
+                                    gate.pass(t, 3);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            let report = m.run(workers);
+            (report, reg.gauge("gstm_sim_sched_grants_total"))
+        };
+        let (plain, plain_grants) = run(false);
+        let (batch, batch_grants) = run(true);
+        assert_eq!(plain, batch, "batching must not change any virtual time");
+        assert_eq!(plain_grants, batch_grants, "each sub-step is a grant");
+    }
+
+    #[test]
+    fn pass_batch_small_counts_degenerate() {
+        let m = SimMachine::new(SimConfig::new(1, 3).with_jitter(0));
+        let gate = m.gate();
+        let report = m.run(vec![boxed({
+            let gate = Arc::clone(&gate);
+            move || {
+                gate.pass_batch(ThreadId::new(0), 4, 0);
+                gate.pass_batch(ThreadId::new(0), 4, 1);
+                gate.pass_batch(ThreadId::new(0), 4, 2);
+            }
+        })]);
+        assert_eq!(report.thread_ticks, vec![12]);
     }
 
     #[test]

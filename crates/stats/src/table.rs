@@ -38,8 +38,14 @@ impl TextTable {
         self.rows.is_empty()
     }
 
-    /// Renders the table with a separator line under the header.
-    pub fn render(&self) -> String {
+    /// Streams the rendered table (separator line under the header) into
+    /// `out`, writing each cell once — no per-cell or per-row `String`
+    /// rebuilding.
+    ///
+    /// # Errors
+    ///
+    /// Propagates errors from `out` (infallible when writing to a `String`).
+    pub fn render_to(&self, out: &mut dyn std::fmt::Write) -> std::fmt::Result {
         let cols = self.rows.iter().map(|r| r.len()).chain([self.header.len()]).max().unwrap_or(0);
         let mut widths = vec![0usize; cols];
         let all = std::iter::once(&self.header).chain(self.rows.iter());
@@ -48,33 +54,44 @@ impl TextTable {
                 widths[i] = widths[i].max(cell.len());
             }
         }
-        let fmt_row = |row: &[String]| {
-            let mut line = String::new();
-            for (i, width) in widths.iter().enumerate() {
-                let cell = row.get(i).map(String::as_str).unwrap_or("");
-                line.push_str(&format!("{cell:<width$}"));
-                if i + 1 < cols {
-                    line.push_str("  ");
+        let write_row = |out: &mut dyn std::fmt::Write, row: &[String]| -> std::fmt::Result {
+            // Stop at the last non-empty cell: everything after it would be
+            // padding and separators that a trailing trim would remove.
+            let last = (0..cols).rev().find(|&i| row.get(i).is_some_and(|c| !c.is_empty()));
+            if let Some(last) = last {
+                for (i, &width) in widths.iter().enumerate().take(last + 1) {
+                    let cell = row.get(i).map(String::as_str).unwrap_or("");
+                    if i < last {
+                        write!(out, "{cell:<width$}  ")?;
+                    } else {
+                        out.write_str(cell)?;
+                    }
                 }
             }
-            line.trim_end().to_string()
+            out.write_char('\n')
         };
-        let mut out = String::new();
-        out.push_str(&fmt_row(&self.header));
-        out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
-        out.push('\n');
-        for row in &self.rows {
-            out.push_str(&fmt_row(row));
-            out.push('\n');
+        write_row(out, &self.header)?;
+        for _ in 0..widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1)) {
+            out.write_char('-')?;
         }
+        out.write_char('\n')?;
+        for row in &self.rows {
+            write_row(out, row)?;
+        }
+        Ok(())
+    }
+
+    /// Renders the table to a fresh `String` (see [`TextTable::render_to`]).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.render_to(&mut out).expect("writing to a String cannot fail");
         out
     }
 }
 
 impl std::fmt::Display for TextTable {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str(&self.render())
+        self.render_to(f)
     }
 }
 

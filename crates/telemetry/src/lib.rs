@@ -38,12 +38,14 @@
 #![warn(missing_docs)]
 
 pub mod histogram;
+pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
+pub use json::JsonValue;
 pub use recorder::{AnomalyConfig, AnomalyDump, FlightRecorder};
 pub use registry::{reason_index, MetricsRegistry, ThreadMetrics, ABORT_REASONS};
 pub use sink::{SnapshotAccumulator, TelemetrySink};

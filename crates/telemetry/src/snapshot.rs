@@ -160,6 +160,42 @@ impl Snapshot {
         out
     }
 
+    /// JSON view of the snapshot, built on the in-tree [`crate::json`]
+    /// writer (the same one the benchmark harness uses for `BENCH_*.json`).
+    ///
+    /// Counters become an object of `series name -> value`; histograms an
+    /// object of `series name -> {"sum": .., "buckets": {"i": count, ..}}`.
+    /// `BTreeMap` iteration keeps the field order — and therefore the
+    /// rendered bytes — identical across identical runs.
+    pub fn to_json(&self) -> crate::json::JsonValue {
+        use crate::json::JsonValue as J;
+        let counters = self.counters.iter().map(|(k, v)| (k.clone(), J::Num(*v as f64))).collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|(k, h)| {
+                let buckets = h
+                    .buckets
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &c)| c > 0)
+                    .map(|(i, &c)| (i.to_string(), J::Num(c as f64)))
+                    .collect();
+                let fields = vec![
+                    ("sum".to_string(), J::Num(h.sum as f64)),
+                    ("buckets".to_string(), J::Obj(buckets)),
+                ];
+                (k.clone(), J::Obj(fields))
+            })
+            .collect();
+        J::Obj(vec![
+            ("schema".to_string(), J::Str("gstm-telemetry".to_string())),
+            ("version".to_string(), J::Num(f64::from(MACHINE_FORMAT_VERSION))),
+            ("counters".to_string(), J::Obj(counters)),
+            ("histograms".to_string(), J::Obj(histograms)),
+        ])
+    }
+
     /// Parses a dump produced by [`Snapshot::to_machine`].
     pub fn from_machine(text: &str) -> Result<Snapshot, String> {
         let mut lines = text.lines();
@@ -274,6 +310,23 @@ mod tests {
         assert_eq!(d.counter("gstm_tx_commits_total", 0), 15);
         assert_eq!(d.counter("gstm_tx_commits_total", 1), 0);
         assert_eq!(later.total("gstm_tx_commits_total"), 32);
+    }
+
+    #[test]
+    fn json_export_is_deterministic_and_parseable() {
+        let s = sample();
+        let rendered = s.to_json().render_pretty(2);
+        assert_eq!(rendered, sample().to_json().render_pretty(2));
+        let v = crate::json::JsonValue::parse(&rendered).unwrap();
+        assert_eq!(v.get("schema").and_then(|x| x.as_str()), Some("gstm-telemetry"));
+        let counters = v.get("counters").unwrap();
+        assert_eq!(
+            counters.get("gstm_tx_commits_total{thread=\"0\"}").and_then(|x| x.as_f64()),
+            Some(10.0)
+        );
+        let h = v.get("histograms").unwrap().get("gstm_tx_retries{thread=\"0\"}").unwrap();
+        assert_eq!(h.get("sum").and_then(|x| x.as_f64()), Some(10.0));
+        assert_eq!(h.get("buckets").unwrap().get("1").and_then(|x| x.as_f64()), Some(4.0));
     }
 
     #[test]

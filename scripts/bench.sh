@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# TL2 hot-path benchmark driver.
+#
+# Builds the experiments binary under the opt-in `release-bench` profile
+# (thin LTO, one codegen unit — see the workspace Cargo.toml) and runs the
+# microloop + STAMP suite, writing a versioned BENCH_*.json artifact.
+#
+# Usage:
+#   scripts/bench.sh [--preset tiny|default] [--smoke] [--out FILE]
+#                    [--baseline FILE]
+#
+# Flags are passed through to `experiments bench`; the artifact defaults to
+# BENCH_tl2_hotpath.json in the repo root. To produce a before/after pair,
+# run once on the old tree with `--out /tmp/base.json`, then on the new tree
+# with `--baseline /tmp/base.json`.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PROFILE=release-bench
+
+echo "==> building ($PROFILE profile)"
+cargo build --offline --profile "$PROFILE" -p gstm-experiments
+
+echo "==> running bench suite"
+./target/"$PROFILE"/experiments bench --profile "$PROFILE" "$@"

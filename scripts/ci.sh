@@ -17,4 +17,9 @@ cargo build --release --offline
 echo "==> tier-1: tests"
 cargo test -q --workspace --offline
 
+echo "==> bench smoke (tiny preset): artifact must be well-formed"
+./target/release/experiments bench --preset tiny --smoke --profile release \
+    --out target/BENCH_smoke.json
+./target/release/experiments bench-check target/BENCH_smoke.json
+
 echo "CI gate passed."

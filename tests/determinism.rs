@@ -1,0 +1,102 @@
+//! Golden-digest determinism regression test.
+//!
+//! The TL2 hot-path work (scratch buffers, flat read sets, Gate batching)
+//! is only admissible if it provably does not move scheduling: identical
+//! seeds must produce identical Tseqs, per-thread virtual times and
+//! telemetry. This test pins that property to committed FNV-1a digests
+//! captured on the pre-optimization engine — any engine change that
+//! perturbs a schedule, a Tseq or a snapshot shows up as a digest
+//! mismatch, not as a silent variance shift.
+//!
+//! Everything runs inside ONE `#[test]`: `TVar` ids come from a
+//! process-global counter, so workload instantiation order must be fixed
+//! — parallel test functions would shuffle stripe assignments and the
+//! digests with them.
+
+use std::sync::Arc;
+
+use gstm::guide::{run_workload, train, PolicyChoice, RunOptions, RunOutcome};
+use gstm::model::{parse_states, Grouping};
+use gstm::stamp::{benchmark, InputSize};
+use gstm::synquake::{Quest, SynQuake};
+
+/// FNV-1a 64-bit over the rendered run record (stable, dependency-free).
+fn fnv1a(text: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in text.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Renders everything schedule-visible about one run: the full Tseq, the
+/// per-thread virtual finish times (active and wall), makespan, and the
+/// commit/abort tallies plus the telemetry snapshot text.
+fn digest_outcome(label: &str, out: &RunOutcome) -> String {
+    let mut text = format!("== {label} ==\n");
+    let events = out.events.as_ref().expect("capture_events was set");
+    for (i, tts) in parse_states(events, Grouping::Arrival).iter().enumerate() {
+        text.push_str(&format!("tseq[{i}] {tts}\n"));
+    }
+    text.push_str(&format!(
+        "ticks {:?}\nwall {:?}\nmakespan {}\ncommits {:?}\naborts {:?}\n",
+        out.thread_ticks, out.thread_wall_ticks, out.makespan, out.commits, out.aborts,
+    ));
+    let snapshot = out.telemetry.as_ref().expect("telemetry was set");
+    text.push_str(&snapshot.to_text());
+    text
+}
+
+fn measured(threads: usize, seed: u64) -> RunOptions {
+    RunOptions::new(threads, seed).capturing().with_telemetry()
+}
+
+/// Golden digests captured on the pre-optimization engine (seed 7,
+/// 4 threads). If an engine change moves any of these, it changed a
+/// schedule, a Tseq or a telemetry snapshot — exactly what the hot-path
+/// work must never do.
+const GOLDEN: [(&str, u64); 4] = [
+    ("kmeans/default", 0xc420_75b6_490b_74c8),
+    ("kmeans/guided", 0xf750_7110_4459_dfd9),
+    ("synquake/default", 0x5aa3_8f6c_ef38_32ae),
+    ("synquake/guided", 0x0303_e712_3b79_ff13),
+];
+
+#[test]
+fn golden_digests_are_stable() {
+    let threads = 4;
+    let mut digests: Vec<(&str, u64)> = Vec::new();
+
+    // One STAMP benchmark: kmeans, small input, default then guided.
+    let kmeans = benchmark("kmeans", InputSize::Small).expect("kmeans is known");
+    let trained = train(kmeans.as_ref(), &RunOptions::new(threads, 0), &[1, 2, 3], 4.0);
+    let out = run_workload(kmeans.as_ref(), &measured(threads, 7));
+    digests.push(("kmeans/default", fnv1a(&digest_outcome("kmeans/default", &out))));
+    let guided = measured(threads, 7).with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
+    let out = run_workload(kmeans.as_ref(), &guided);
+    digests.push(("kmeans/guided", fnv1a(&digest_outcome("kmeans/guided", &out))));
+
+    // One SynQuake quest: first testing quest, tiny config, default then
+    // guided (trained on the first training quest at the same size).
+    let quake = SynQuake::tiny(Quest::testing()[0]);
+    let trainer = SynQuake::tiny(Quest::training()[0]);
+    let trained = train(&trainer, &RunOptions::new(threads, 0), &[1, 2, 3], 4.0);
+    let out = run_workload(&quake, &measured(threads, 7));
+    digests.push(("synquake/default", fnv1a(&digest_outcome("synquake/default", &out))));
+    let guided = measured(threads, 7).with_policy(PolicyChoice::guided(Arc::clone(&trained.model)));
+    let out = run_workload(&quake, &guided);
+    digests.push(("synquake/guided", fnv1a(&digest_outcome("synquake/guided", &out))));
+
+    for (label, digest) in &digests {
+        eprintln!("digest {label} {digest:#018x}");
+    }
+    for ((label, digest), (golden_label, golden)) in digests.iter().zip(GOLDEN.iter()) {
+        assert_eq!(label, golden_label);
+        assert_eq!(
+            *digest, *golden,
+            "{label}: digest {digest:#018x} != golden {golden:#018x} — \
+             the engine's schedule, Tseq or telemetry changed"
+        );
+    }
+}
