@@ -65,4 +65,4 @@ pub use ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
 pub use policy::{AdmissionPolicy, AdmitAll};
 pub use site_stats::{SiteStats, SiteStatsSink};
 pub use stm::{retry, CommitInfo, Stm, Txn};
-pub use tvar::TVar;
+pub use tvar::{TVar, VarIdDomain, VarIdDomainGuard};

@@ -14,6 +14,80 @@ pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
 
+thread_local! {
+    /// The allocation domain installed on this thread, if any.
+    static INSTALLED_DOMAIN: std::cell::RefCell<Option<Arc<AtomicU64>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// A scoped [`VarId`] allocation namespace.
+///
+/// By default every [`TVar::new`] draws its id from one process-wide
+/// counter, so the ids a run sees depend on everything allocated before it
+/// — harmless for correctness (ids only need to be unique within the
+/// variables that can meet inside one [`crate::Stm`]), but fatal for
+/// reproducibility: the id is hashed into the striped lock table, so two
+/// executions of the *same* workload/seed collide on different stripes if
+/// their allocation history differs.
+///
+/// Installing a fresh domain on every thread that allocates for one run
+/// makes that run's ids a pure function of the run itself (`1..=N` in
+/// allocation order), independent of process history and of other runs
+/// executing concurrently. The experiment pipeline relies on this to cache
+/// run outcomes and to fan runs out across OS threads without perturbing
+/// schedules.
+///
+/// ```
+/// use gstm_core::{TVar, VarIdDomain};
+/// let ids = || {
+///     let domain = VarIdDomain::new();
+///     let _guard = domain.install();
+///     (TVar::new(0u8).id().raw(), TVar::new(0u8).id().raw())
+/// };
+/// assert_eq!(ids(), (1, 2));
+/// assert_eq!(ids(), (1, 2)); // a fresh domain replays the same sequence
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct VarIdDomain {
+    counter: Arc<AtomicU64>,
+}
+
+impl VarIdDomain {
+    /// Creates a domain whose ids start at 1.
+    pub fn new() -> Self {
+        VarIdDomain { counter: Arc::new(AtomicU64::new(1)) }
+    }
+
+    /// Installs this domain on the current thread until the returned guard
+    /// drops; [`TVar::new`] on this thread then allocates from the domain.
+    /// Nested installs stack (the previous domain is restored on drop).
+    #[must_use]
+    pub fn install(&self) -> VarIdDomainGuard {
+        let previous = INSTALLED_DOMAIN.with(|d| d.borrow_mut().replace(Arc::clone(&self.counter)));
+        VarIdDomainGuard { previous }
+    }
+}
+
+/// Restores the previously installed domain (or none) on drop.
+#[derive(Debug)]
+pub struct VarIdDomainGuard {
+    previous: Option<Arc<AtomicU64>>,
+}
+
+impl Drop for VarIdDomainGuard {
+    fn drop(&mut self) {
+        INSTALLED_DOMAIN.with(|d| *d.borrow_mut() = self.previous.take());
+    }
+}
+
+/// Allocates the next id from the installed domain, falling back to the
+/// process-wide counter.
+fn next_var_id() -> VarId {
+    let raw =
+        INSTALLED_DOMAIN.with(|d| d.borrow().as_ref().map(|c| c.fetch_add(1, Ordering::Relaxed)));
+    VarId::from_raw(raw.unwrap_or_else(|| NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed)))
+}
+
 /// Type-erased storage cell shared by all clones of a [`TVar`].
 ///
 /// The cell holds the current value as an `Arc` snapshot behind a very short
@@ -75,7 +149,7 @@ pub struct TVar<T> {
 impl<T: Send + Sync + 'static> TVar<T> {
     /// Creates a new transactional variable holding `value`.
     pub fn new(value: T) -> Self {
-        let id = VarId::from_raw(NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed));
+        let id = next_var_id();
         TVar {
             cell: Arc::new(VarCell { id, data: Mutex::new(Arc::new(value)) }),
             _marker: PhantomData,
@@ -185,6 +259,34 @@ mod tests {
         let v = TVar::new(42u8);
         let s = format!("{v:?}");
         assert!(s.contains("42"), "{s}");
+    }
+
+    #[test]
+    fn domain_ids_are_deterministic_and_scoped() {
+        let ids = || {
+            let domain = VarIdDomain::new();
+            let _guard = domain.install();
+            [TVar::new(0u8).id(), TVar::new(0u8).id(), TVar::new(0u8).id()]
+        };
+        assert_eq!(ids(), ids(), "fresh domains must replay the same id sequence");
+        // The guard dropped: allocation returns to the global counter.
+        let a = TVar::new(0u8).id();
+        let b = TVar::new(0u8).id();
+        assert_eq!(b.raw(), a.raw() + 1);
+        assert!(a.raw() > 3, "global counter must not be the domain counter");
+    }
+
+    #[test]
+    fn domain_installs_nest() {
+        let outer = VarIdDomain::new();
+        let _o = outer.install();
+        let first = TVar::new(0u8).id();
+        {
+            let inner = VarIdDomain::new();
+            let _i = inner.install();
+            assert_eq!(TVar::new(0u8).id().raw(), 1, "inner domain starts fresh");
+        }
+        assert_eq!(TVar::new(0u8).id().raw(), first.raw() + 1, "outer domain restored");
     }
 
     #[test]

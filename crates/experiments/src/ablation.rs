@@ -1,26 +1,29 @@
 //! Ablations over the design knobs DESIGN.md calls out.
+//!
+//! Every ablation resolves its runs through the [`Pipeline`], so baselines
+//! and trained models are shared with the main studies (and with each
+//! other) via the in-process memo and the content-addressed cache, and
+//! repeated sweeps are warm-cache no-ops.
 
 use std::sync::Arc;
 
-use gstm_guide::{CmChoice, PolicyChoice, RunOptions};
+use gstm_guide::{CmChoice, PolicyChoice, RunOptions, DEFAULT_K};
 use gstm_stamp::benchmark;
 use gstm_stats::{mean, percent_reduction, slowdown, TextTable};
 
-use crate::config::ExpConfig;
 use crate::metrics::{mean_makespan, mean_nondeterminism, per_thread_improvement};
-use crate::study::{runs_over_seeds, train_stamp};
+use crate::pipeline::{guided_tag, Pipeline, TAG_DEFAULT};
 
 /// Tfactor sweep (§VI: "experimenting with Tfactor values of between 1 to
 /// 10, we found that ... 4 strikes a balance"): variance reduction vs
 /// slowdown at each setting.
-pub fn ablate_tfactor(
-    cfg: &ExpConfig,
-    name: &'static str,
-    progress: &mut dyn FnMut(&str),
-) -> String {
+pub fn ablate_tfactor(pipe: &Pipeline<'_>, name: &'static str) -> String {
+    let cfg = pipe.cfg();
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let default_runs = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
+    let wkey = format!("stamp:{name}:{}", cfg.test_size);
+    let default_runs =
+        pipe.measured_runs(&wkey, workload.as_ref(), TAG_DEFAULT, |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "Tfactor".into(),
         "mean variance improvement".into(),
@@ -28,11 +31,14 @@ pub fn ablate_tfactor(
         "slowdown (x)".into(),
     ]);
     for tfactor in [1.0, 2.0, 4.0, 6.0, 8.0, 10.0] {
-        progress(&format!("ablate-tfactor: {name} Tfactor={tfactor}"));
+        pipe.progress().report(&format!("ablate-tfactor: {name} Tfactor={tfactor}"));
         let mut sweep_cfg = cfg.clone();
         sweep_cfg.tfactor = tfactor;
-        let trained = train_stamp(&sweep_cfg, name, threads);
-        let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+        let trained = pipe.trained_stamp_with(&sweep_cfg, name, threads);
+        // The TSA is tfactor-independent (profiling is unguided), so the
+        // sweep value must enter the tag explicitly or runs would collide.
+        let tag = guided_tag(&trained, DEFAULT_K, tfactor);
+        let guided_runs = pipe.measured_runs(&wkey, workload.as_ref(), &tag, |s| {
             RunOptions::new(threads, s)
                 .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)))
         });
@@ -53,11 +59,14 @@ pub fn ablate_tfactor(
 }
 
 /// Hold-bound `k` sweep: guidance strength vs progress cost.
-pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+pub fn ablate_k(pipe: &Pipeline<'_>, name: &'static str) -> String {
+    let cfg = pipe.cfg();
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let trained = train_stamp(cfg, name, threads);
-    let default_runs = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
+    let wkey = format!("stamp:{name}:{}", cfg.test_size);
+    let trained = pipe.trained_stamp(name, threads);
+    let default_runs =
+        pipe.measured_runs(&wkey, workload.as_ref(), TAG_DEFAULT, |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "k".into(),
         "mean variance improvement".into(),
@@ -65,8 +74,9 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
         "slowdown (x)".into(),
     ]);
     for k in [4u32, 16, 64, 256] {
-        progress(&format!("ablate-k: {name} k={k}"));
-        let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+        pipe.progress().report(&format!("ablate-k: {name} k={k}"));
+        let tag = guided_tag(&trained, k, cfg.tfactor);
+        let guided_runs = pipe.measured_runs(&wkey, workload.as_ref(), &tag, |s| {
             RunOptions::new(threads, s)
                 .with_policy(PolicyChoice::Guided { model: Arc::clone(&trained.model), k })
         });
@@ -81,10 +91,13 @@ pub fn ablate_k(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&s
 
 /// Contention managers vs guided execution (§IX's claim: CMs raise
 /// throughput but not repeatability).
-pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+pub fn ablate_cm(pipe: &Pipeline<'_>, name: &'static str) -> String {
+    let cfg = pipe.cfg();
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let baseline = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
+    let wkey = format!("stamp:{name}:{}", cfg.test_size);
+    let baseline =
+        pipe.measured_runs(&wkey, workload.as_ref(), TAG_DEFAULT, |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "Policy".into(),
         "mean variance improvement".into(),
@@ -98,17 +111,20 @@ pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&
         t.row(vec![label, format!("{imp:+.1}%"), format!("{nd:+.1}%"), format!("{s:.2}x")]);
     };
     for cm in [CmChoice::Polite, CmChoice::Karma, CmChoice::Greedy] {
-        progress(&format!("ablate-cm: {name} {cm:?}"));
-        let runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+        pipe.progress().report(&format!("ablate-cm: {name} {cm:?}"));
+        // The CM is part of the run key (RunOptions::cm), so TAG_DEFAULT
+        // still addresses each variant distinctly.
+        let runs = pipe.measured_runs(&wkey, workload.as_ref(), TAG_DEFAULT, |s| {
             let mut opts = RunOptions::new(threads, s);
             opts.cm = cm;
             opts
         });
         push(format!("{cm:?}"), &runs);
     }
-    progress(&format!("ablate-cm: {name} guided"));
-    let trained = train_stamp(cfg, name, threads);
-    let guided = runs_over_seeds(cfg, workload.as_ref(), |s| {
+    pipe.progress().report(&format!("ablate-cm: {name} guided"));
+    let trained = pipe.trained_stamp(name, threads);
+    let tag = guided_tag(&trained, DEFAULT_K, cfg.tfactor);
+    let guided = pipe.measured_runs(&wkey, workload.as_ref(), &tag, |s| {
         RunOptions::new(threads, s).with_policy(PolicyChoice::guided(Arc::clone(&trained.model)))
     });
     push("Guided".into(), &guided);
@@ -122,15 +138,14 @@ pub fn ablate_cm(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&
 /// eager detection mechanism is easily implied by the testimony on lazy
 /// conflict detection"): run default and guided under both commit-time and
 /// encounter-time locking and compare abort profiles and variance.
-pub fn ablate_detection(
-    cfg: &ExpConfig,
-    name: &'static str,
-    progress: &mut dyn FnMut(&str),
-) -> String {
+pub fn ablate_detection(pipe: &Pipeline<'_>, name: &'static str) -> String {
     use gstm_core::Detection;
+    let cfg = pipe.cfg();
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let trained = train_stamp(cfg, name, threads);
+    let wkey = format!("stamp:{name}:{}", cfg.test_size);
+    let trained = pipe.trained_stamp(name, threads);
+    let guided = guided_tag(&trained, DEFAULT_K, cfg.tfactor);
     let mut t = TextTable::new(vec![
         "Detection".into(),
         "policy".into(),
@@ -138,29 +153,26 @@ pub fn ablate_detection(
         "mean variance improvement".into(),
         "slowdown vs lazy default (x)".into(),
     ]);
-    let run_set = |detection: Detection, policy: PolicyChoice| -> Vec<gstm_guide::RunOutcome> {
-        runs_over_seeds(cfg, workload.as_ref(), |s| {
+    let run_set = |detection: Detection, policy: PolicyChoice, tag: &str| {
+        pipe.measured_runs(&wkey, workload.as_ref(), tag, |s| {
             let mut opts = RunOptions::new(threads, s).with_policy(policy.clone());
             opts.detection = Some(detection);
             opts
         })
     };
-    progress(&format!("ablate-detection: {name} lazy default"));
-    let lazy_default = run_set(Detection::CommitTime, PolicyChoice::Default);
+    pipe.progress().report(&format!("ablate-detection: {name} lazy default"));
+    let lazy_default = run_set(Detection::CommitTime, PolicyChoice::Default, TAG_DEFAULT);
     let base_time = mean_makespan(&lazy_default);
     for detection in [Detection::CommitTime, Detection::EncounterTime] {
-        for guided in [false, true] {
-            let label = if guided { "guided" } else { "default" };
-            progress(&format!("ablate-detection: {name} {detection:?} {label}"));
-            let policy = if guided {
-                PolicyChoice::guided(Arc::clone(&trained.model))
-            } else {
-                PolicyChoice::Default
-            };
-            let runs = if matches!(detection, Detection::CommitTime) && !guided {
+        for is_guided in [false, true] {
+            let label = if is_guided { "guided" } else { "default" };
+            pipe.progress().report(&format!("ablate-detection: {name} {detection:?} {label}"));
+            let runs = if matches!(detection, Detection::CommitTime) && !is_guided {
                 lazy_default.clone()
+            } else if is_guided {
+                run_set(detection, PolicyChoice::guided(Arc::clone(&trained.model)), &guided)
             } else {
-                run_set(detection, policy)
+                run_set(detection, PolicyChoice::Default, TAG_DEFAULT)
             };
             let ar = crate::metrics::mean_abort_ratio(&runs);
             let imp = mean(&per_thread_improvement(&lazy_default, &runs));
@@ -184,23 +196,22 @@ pub fn ablate_detection(
 /// (§I), DeSTM-style determinism (§IX) and guided execution — variance,
 /// non-determinism and throughput cost of each point on the
 /// speculation/repeatability spectrum.
-pub fn ablate_policy(
-    cfg: &ExpConfig,
-    name: &'static str,
-    progress: &mut dyn FnMut(&str),
-) -> String {
+pub fn ablate_policy(pipe: &Pipeline<'_>, name: &'static str) -> String {
+    let cfg = pipe.cfg();
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
-    let baseline = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
+    let wkey = format!("stamp:{name}:{}", cfg.test_size);
+    let baseline =
+        pipe.measured_runs(&wkey, workload.as_ref(), TAG_DEFAULT, |s| RunOptions::new(threads, s));
     let mut t = TextTable::new(vec![
         "Policy".into(),
         "mean variance improvement".into(),
         "nondeterminism reduction".into(),
         "slowdown (x)".into(),
     ]);
-    let mut measure = |label: &str, policy: PolicyChoice, progress: &mut dyn FnMut(&str)| {
-        progress(&format!("ablate-policy: {name} {label}"));
-        let runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+    let mut measure = |label: &str, policy: PolicyChoice, tag: &str| {
+        pipe.progress().report(&format!("ablate-policy: {name} {label}"));
+        let runs = pipe.measured_runs(&wkey, workload.as_ref(), tag, |s| {
             RunOptions::new(threads, s).with_policy(policy.clone())
         });
         let imp = mean(&per_thread_improvement(&baseline, &runs));
@@ -213,10 +224,15 @@ pub fn ablate_policy(
             format!("{s:.2}x"),
         ]);
     };
-    measure("bounded-aborts(3)", PolicyChoice::BoundedAborts { limit: 3 }, progress);
-    measure("deterministic", PolicyChoice::Deterministic, progress);
-    let trained = train_stamp(cfg, name, threads);
-    measure("guided", PolicyChoice::guided(trained.model), progress);
+    measure(
+        "bounded-aborts(3)",
+        PolicyChoice::BoundedAborts { limit: 3 },
+        "policy=bounded-aborts;limit=3",
+    );
+    measure("deterministic", PolicyChoice::Deterministic, "policy=deterministic");
+    let trained = pipe.trained_stamp(name, threads);
+    let tag = guided_tag(&trained, DEFAULT_K, cfg.tfactor);
+    measure("guided", PolicyChoice::guided(Arc::clone(&trained.model)), &tag);
     format!(
         "== Ablation: admission-policy spectrum on {name}, {threads} threads ==\n{}",
         t.render()
@@ -226,23 +242,27 @@ pub fn ablate_policy(
 /// Training-size ablation (the paper's "medium sized training set is not
 /// usually a representative input" remark): how model coverage changes
 /// with the training input.
-pub fn ablate_train(cfg: &ExpConfig, name: &'static str, progress: &mut dyn FnMut(&str)) -> String {
+pub fn ablate_train(pipe: &Pipeline<'_>, name: &'static str) -> String {
     use gstm_stamp::InputSize;
+    let cfg = pipe.cfg();
     let threads = cfg.threads_list[0];
     let workload = benchmark(name, cfg.test_size).expect("known benchmark");
+    let wkey = format!("stamp:{name}:{}", cfg.test_size);
     let mut t = TextTable::new(vec![
         "Training size".into(),
         "model states".into(),
         "unknown-state rate".into(),
         "mean variance improvement".into(),
     ]);
-    let default_runs = runs_over_seeds(cfg, workload.as_ref(), |s| RunOptions::new(threads, s));
+    let default_runs =
+        pipe.measured_runs(&wkey, workload.as_ref(), TAG_DEFAULT, |s| RunOptions::new(threads, s));
     for size in [InputSize::Small, InputSize::Medium] {
-        progress(&format!("ablate-train: {name} trained on {size}"));
+        pipe.progress().report(&format!("ablate-train: {name} trained on {size}"));
         let mut sweep = cfg.clone();
         sweep.train_size = size;
-        let trained = train_stamp(&sweep, name, threads);
-        let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
+        let trained = pipe.trained_stamp_with(&sweep, name, threads);
+        let tag = guided_tag(&trained, DEFAULT_K, cfg.tfactor);
+        let guided_runs = pipe.measured_runs(&wkey, workload.as_ref(), &tag, |s| {
             RunOptions::new(threads, s)
                 .with_policy(PolicyChoice::guided(Arc::clone(&trained.model)))
         });

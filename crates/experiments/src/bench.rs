@@ -35,13 +35,21 @@ use gstm_core::{Detection, Stm, StmConfig, TVar, ThreadId, TxId};
 use gstm_guide::{run_workload, RunOptions};
 use gstm_telemetry::JsonValue;
 
+use crate::progress::Progress;
+
 /// Schema tag of the bench artifact.
 pub const BENCH_SCHEMA: &str = "gstm-bench";
 /// Version of the bench artifact layout.
 pub const BENCH_VERSION: u32 = 1;
 
-/// Metric keys every valid artifact must contain (`bench-check` gates on
-/// presence, never on values).
+/// Suite tag of the TL2 hot-path artifact (the default when an artifact
+/// predates the `suite` field).
+pub const SUITE_HOTPATH: &str = "tl2_hotpath";
+/// Suite tag of the experiment-pipeline artifact (`BENCH_pipeline.json`).
+pub const SUITE_PIPELINE: &str = "pipeline";
+
+/// Metric keys every valid hot-path artifact must contain (`bench-check`
+/// gates on presence, never on values).
 pub const REQUIRED_METRICS: &[&str] = &[
     "lazy.read_ops_per_sec",
     "lazy.read_validate_ops_per_sec",
@@ -61,10 +69,29 @@ pub const REQUIRED_METRICS: &[&str] = &[
     "stamp.kmeans.eager.commits_per_sec",
 ];
 
+/// Metric keys every valid pipeline artifact must contain.
+pub const PIPELINE_REQUIRED_METRICS: &[&str] = &[
+    "pipeline.cold_wall_ms",
+    "pipeline.warm_wall_ms",
+    "pipeline.warm_speedup",
+    "pipeline.cells",
+    "pipeline.cold_model_misses",
+    "pipeline.cold_train_wall_ms",
+    "pipeline.warm_model_hits",
+    "pipeline.warm_model_misses",
+    "pipeline.warm_run_hits",
+    "pipeline.warm_run_misses",
+    "pipeline.warm_train_wall_ms",
+];
+
 /// Harness parameters (iteration counts scale with the preset, repetition
 /// counts with smoke mode).
 #[derive(Clone, Debug)]
 pub struct BenchConfig {
+    /// Suite tag recorded in the artifact ([`SUITE_HOTPATH`] or
+    /// [`SUITE_PIPELINE`]); selects which metric keys `bench-check`
+    /// requires.
+    pub suite: String,
     /// Preset name recorded in the artifact: `tiny` (CI smoke) or `default`.
     pub preset: String,
     /// Smoke mode: fewest reps, smallest loops; checks plumbing, not perf.
@@ -91,6 +118,7 @@ impl BenchConfig {
             other => return Err(format!("unknown bench preset {other:?} (tiny|default)")),
         };
         Ok(BenchConfig {
+            suite: SUITE_HOTPATH.to_string(),
             preset: preset.to_string(),
             smoke,
             profile: "unknown".to_string(),
@@ -280,7 +308,7 @@ fn mode_name(detection: Detection) -> &'static str {
 
 /// Runs the full suite and returns the flat `metrics` map in artifact key
 /// order. `progress` receives one line per completed metric group.
-pub fn run_suite(cfg: &BenchConfig, progress: &mut dyn FnMut(&str)) -> Vec<(String, f64)> {
+pub fn run_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String, f64)> {
     let mut metrics: Vec<(String, f64)> = Vec::new();
     for detection in [Detection::CommitTime, Detection::EncounterTime] {
         let mode = mode_name(detection);
@@ -294,20 +322,83 @@ pub fn run_suite(cfg: &BenchConfig, progress: &mut dyn FnMut(&str)) -> Vec<(Stri
         ];
         for (name, f) in loops {
             let value = f(cfg, detection);
-            progress(&format!("{mode}.{name}: {value:.0}"));
+            progress.report(&format!("{mode}.{name}: {value:.0}"));
             metrics.push((format!("{mode}.{name}"), value));
         }
     }
     for detection in [Detection::CommitTime, Detection::EncounterTime] {
         let mode = mode_name(detection);
         let (makespan, commits_per_sec) = bench_stamp(cfg, detection);
-        progress(&format!(
+        progress.report(&format!(
             "stamp.kmeans.{mode}: makespan {makespan:.0} ticks, {commits_per_sec:.0} commits/s"
         ));
         metrics.push((format!("stamp.kmeans.{mode}.makespan_ticks"), makespan));
         metrics.push((format!("stamp.kmeans.{mode}.commits_per_sec"), commits_per_sec));
     }
     metrics
+}
+
+/// Runs the pipeline cold-vs-warm benchmark: a tiny study resolved twice
+/// against a fresh cache at `cache_root`. The cold pass trains and
+/// measures everything; the warm pass must hit the cache for every model
+/// and every run. Returns the [`PIPELINE_REQUIRED_METRICS`] map.
+///
+/// # Panics
+///
+/// Panics if the warm pass misses the cache — that means run keys are
+/// unstable, which the pipeline's correctness story does not allow.
+pub fn run_pipeline_suite(
+    progress: &dyn Progress,
+    cache_root: &std::path::Path,
+) -> Vec<(String, f64)> {
+    use std::sync::atomic::Ordering;
+
+    use crate::cache::DiskCache;
+    use crate::config::ExpConfig;
+    use crate::pipeline::{Pipeline, StudyPlan};
+
+    let cfg = ExpConfig::tiny();
+    let mut plan = StudyPlan::new();
+    plan.stamp_cell("kmeans", cfg.threads_list[0]).quake(cfg.threads_list[0]);
+
+    let mut passes: Vec<(f64, Vec<u64>)> = Vec::new();
+    for label in ["cold", "warm"] {
+        let pipe =
+            Pipeline::new(&cfg, progress).with_cache(DiskCache::new(cache_root.to_path_buf()));
+        let start = Instant::now();
+        let _result = pipe.resolve(&plan);
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let g = pipe.gauges();
+        progress.report(&format!("pipeline.{label}: {:.0} ms, {}", wall_ms, g.summary()));
+        passes.push((
+            wall_ms,
+            vec![
+                g.cells.load(Ordering::Relaxed),
+                g.model_hits.load(Ordering::Relaxed),
+                g.model_misses.load(Ordering::Relaxed),
+                g.run_hits.load(Ordering::Relaxed),
+                g.run_misses.load(Ordering::Relaxed),
+                g.train_wall_ms.load(Ordering::Relaxed),
+            ],
+        ));
+    }
+    let (cold_ms, cold) = &passes[0];
+    let (warm_ms, warm) = &passes[1];
+    assert_eq!(warm[2], 0, "warm pass trained a model — unstable model keys");
+    assert_eq!(warm[4], 0, "warm pass executed a run — unstable run keys");
+    vec![
+        ("pipeline.cold_wall_ms".into(), *cold_ms),
+        ("pipeline.warm_wall_ms".into(), *warm_ms),
+        ("pipeline.warm_speedup".into(), cold_ms / warm_ms.max(1e-9)),
+        ("pipeline.cells".into(), cold[0] as f64),
+        ("pipeline.cold_model_misses".into(), cold[2] as f64),
+        ("pipeline.cold_train_wall_ms".into(), cold[5] as f64),
+        ("pipeline.warm_model_hits".into(), warm[1] as f64),
+        ("pipeline.warm_model_misses".into(), warm[2] as f64),
+        ("pipeline.warm_run_hits".into(), warm[3] as f64),
+        ("pipeline.warm_run_misses".into(), warm[4] as f64),
+        ("pipeline.warm_train_wall_ms".into(), warm[5] as f64),
+    ]
 }
 
 /// Assembles the versioned artifact. `baseline` carries an earlier
@@ -323,6 +414,7 @@ pub fn render_artifact(
     let mut fields = vec![
         ("schema".to_string(), JsonValue::Str(BENCH_SCHEMA.to_string())),
         ("version".to_string(), JsonValue::Num(f64::from(BENCH_VERSION))),
+        ("suite".to_string(), JsonValue::Str(cfg.suite.clone())),
         ("preset".to_string(), JsonValue::Str(cfg.preset.clone())),
         ("smoke".to_string(), JsonValue::Bool(cfg.smoke)),
         ("profile".to_string(), JsonValue::Str(cfg.profile.clone())),
@@ -353,7 +445,9 @@ pub fn parse_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
 }
 
 /// Validates a committed artifact: parseable JSON, correct schema/version,
-/// and every [`REQUIRED_METRICS`] key present and numeric. Absolute values
+/// and every required key of its suite present and numeric (the `suite`
+/// field picks [`REQUIRED_METRICS`] or [`PIPELINE_REQUIRED_METRICS`];
+/// artifacts predating the field are hot-path artifacts). Absolute values
 /// are never gated — this protects the artifact's shape, not its numbers.
 ///
 /// # Errors
@@ -369,11 +463,16 @@ pub fn check_artifact(text: &str) -> Result<(), String> {
         Some(ver) if ver == f64::from(BENCH_VERSION) => {}
         other => return Err(format!("unsupported version: {other:?}")),
     }
+    let required: &[&str] = match v.get("suite").map(|s| s.as_str().ok_or(s)) {
+        None | Some(Ok(SUITE_HOTPATH)) => REQUIRED_METRICS,
+        Some(Ok(SUITE_PIPELINE)) => PIPELINE_REQUIRED_METRICS,
+        Some(other) => return Err(format!("unknown suite: {other:?}")),
+    };
     let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
     if metrics.as_obj().is_none() {
         return Err("\"metrics\" is not an object".to_string());
     }
-    for key in REQUIRED_METRICS {
+    for key in required {
         match metrics.get(key) {
             Some(val) if val.as_f64().is_some() => {}
             Some(_) => return Err(format!("metric {key:?} is not a number")),
@@ -433,5 +532,29 @@ mod tests {
     #[test]
     fn unknown_preset_is_rejected() {
         assert!(BenchConfig::for_preset("huge", false).is_err());
+    }
+
+    #[test]
+    fn suite_field_selects_required_metrics() {
+        let mut cfg = smoke_cfg();
+        cfg.suite = SUITE_PIPELINE.to_string();
+        let pipeline: Vec<(String, f64)> =
+            PIPELINE_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &pipeline, None)).unwrap();
+        // Hot-path keys do not satisfy a pipeline artifact...
+        let hot: Vec<(String, f64)> =
+            REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
+        assert!(err.contains("pipeline."), "{err}");
+        // ...an unknown suite is rejected outright...
+        cfg.suite = "nonsense".to_string();
+        let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
+        assert!(err.contains("unknown suite"), "{err}");
+        // ...and an artifact with no suite field is a hot-path artifact.
+        let legacy = format!(
+            "{{\"schema\":\"gstm-bench\",\"version\":1,\"metrics\":{{{}}}}}",
+            REQUIRED_METRICS.iter().map(|k| format!("\"{k}\":1")).collect::<Vec<_>>().join(",")
+        );
+        check_artifact(&legacy).unwrap();
     }
 }

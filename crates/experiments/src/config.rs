@@ -28,6 +28,12 @@ pub struct ExpConfig {
     /// Collect telemetry snapshots on every measured run (the CLI's
     /// `--metrics <path>` sets this and writes the merged snapshot there).
     pub telemetry: bool,
+    /// Worker-pool width for the pipeline (`--jobs N`; 1 = sequential).
+    /// Results are collected by index, so output is identical at any width.
+    pub jobs: usize,
+    /// Content-addressed cache directory (`--cache-dir PATH`); `None`
+    /// (`--no-cache`) disables caching of trained models and run outcomes.
+    pub cache_dir: Option<std::path::PathBuf>,
 }
 
 impl ExpConfig {
@@ -45,6 +51,8 @@ impl ExpConfig {
             synquake_players: 600,
             out_dir: "results".into(),
             telemetry: false,
+            jobs: 1,
+            cache_dir: Some(std::path::PathBuf::from("target/gstm-cache")),
         }
     }
 
@@ -57,6 +65,19 @@ impl ExpConfig {
             synquake_frames: (5, 10),
             synquake_players: 150,
             ..ExpConfig::full()
+        }
+    }
+
+    /// A minimal configuration for CI smoke runs and golden tests: one
+    /// small thread count, two seeds each way, tiny SynQuake.
+    pub fn tiny() -> Self {
+        ExpConfig {
+            threads_list: vec![2],
+            test_seeds: vec![1000, 1001],
+            train_seeds: vec![1, 2],
+            synquake_frames: (2, 3),
+            synquake_players: 40,
+            ..ExpConfig::fast()
         }
     }
 }
@@ -81,5 +102,14 @@ mod tests {
         let f = ExpConfig::fast();
         assert!(f.test_seeds.len() < 20);
         assert!(f.synquake_players < 1000);
+    }
+
+    #[test]
+    fn tiny_is_smallest_and_defaults_are_pipeline_safe() {
+        let t = ExpConfig::tiny();
+        assert_eq!(t.threads_list, vec![2]);
+        assert!(t.test_seeds.len() <= ExpConfig::fast().test_seeds.len());
+        assert_eq!(t.jobs, 1, "sequential unless --jobs is given");
+        assert!(t.cache_dir.is_some(), "caching is on by default");
     }
 }

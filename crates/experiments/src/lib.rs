@@ -4,7 +4,12 @@
 //!
 //! * [`bench`] — TL2 hot-path microbenchmarks and `BENCH_*.json` output;
 //! * [`config`] — sweep parameters (threads, seeds, sizes, Tfactor);
-//! * [`study`] — raw run collection (train → default runs → guided runs);
+//! * [`study`] — study data types and the training passes;
+//! * [`pipeline`] — [`pipeline::StudyPlan`] / [`pipeline::Pipeline`]: the
+//!   declarative study runner with a content-addressed cache and a bounded
+//!   worker pool (`--jobs N`);
+//! * [`cache`] — the content-addressed disk cache itself;
+//! * [`progress`] — the [`progress::Progress`] status-line sink;
 //! * [`metrics`] — derivations (per-thread stddev, tail metric merges, …);
 //! * [`report`] — one renderer per paper table/figure;
 //! * [`ablation`] — sweeps over the design knobs (Tfactor, k, CMs,
@@ -17,7 +22,10 @@
 
 pub mod ablation;
 pub mod bench;
+pub mod cache;
 pub mod config;
 pub mod metrics;
+pub mod pipeline;
+pub mod progress;
 pub mod report;
 pub mod study;

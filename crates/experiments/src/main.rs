@@ -1,7 +1,9 @@
 //! The experiments CLI: regenerate any table or figure of the paper.
 //!
 //! ```text
-//! cargo run -p gstm-experiments --release -- <command> [--fast] [--bench NAME] [--metrics PATH]
+//! cargo run -p gstm-experiments --release -- <command>
+//!     [--fast | --tiny] [--bench NAME] [--metrics PATH]
+//!     [--jobs N] [--cache-dir PATH] [--no-cache]
 //!
 //! commands:
 //!   table1 table2 table3 table4 table5
@@ -9,34 +11,48 @@
 //!   stamp      (table1+3+4, fig3..10 from one shared study)
 //!   quake      (table5, fig11, fig12)
 //!   all        (everything above)
+//!   cell --bench NAME          (one STAMP cell; deterministic summary — CI smoke)
 //!   ablate-tfactor | ablate-k | ablate-cm | ablate-train | ablate-policy | ablate-detection
 //!   train-model --bench NAME   (profile + build + save results/NAME-<threads>t.gtsa)
 //!   inspect-model FILE         (analyzer report + hottest states of a saved model)
 //!   bench [--out PATH] [--preset tiny|default] [--smoke] [--baseline FILE]
 //!         [--profile NAME]     (hot-path microbenchmarks -> BENCH_tl2_hotpath.json)
+//!   bench-pipeline [--out PATH] [--cache-dir PATH] [--profile NAME]
+//!                              (cold-vs-warm pipeline timing -> BENCH_pipeline.json)
 //!   bench-check FILE           (validate a BENCH_*.json artifact's shape)
 //! ```
 //!
+//! Every study command resolves through the experiment pipeline: trained
+//! models and measured run outcomes are cached content-addressed under
+//! `--cache-dir` (default `target/gstm-cache`; `--no-cache` disables), and
+//! independent cells/seeds fan out over `--jobs N` worker threads. Output
+//! is byte-identical whatever the jobs count or cache state.
+//!
 //! `--metrics PATH` attaches telemetry to every measured run and writes the
-//! merged snapshot as Prometheus-style text to PATH plus a compact machine
-//! dump to PATH.machine (parse with `gstm_stats::telemetry_dump`).
+//! merged snapshot (including the pipeline's cache gauges) as
+//! Prometheus-style text to PATH plus a compact machine dump to
+//! PATH.machine (parse with `gstm_stats::telemetry_dump`).
 //!
 //! Output is printed and archived under `results/`.
 
 use std::io::Write as _;
 
 use gstm_experiments::ablation;
+use gstm_experiments::cache::DiskCache;
 use gstm_experiments::config::ExpConfig;
+use gstm_experiments::pipeline::{Pipeline, StudyPlan};
+use gstm_experiments::progress::{Progress, StderrProgress};
 use gstm_experiments::report;
-use gstm_experiments::study::{run_quake_study, run_stamp_study};
+use gstm_experiments::study::StampCell;
 use gstm_synquake::Quest;
 
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|all|\
-         train-model|inspect-model|sites|bench|bench-check|\
+         cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-check|\
          ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
-         [--fast] [--bench NAME] [--metrics PATH]"
+         [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
+         [--cache-dir PATH] [--no-cache]"
     );
     std::process::exit(2);
 }
@@ -67,17 +83,53 @@ fn run_bench(args: &[String]) -> ! {
             std::process::exit(2);
         })
     });
-    let started = std::time::Instant::now();
-    let mut progress = |msg: &str| {
-        eprintln!("[{:7.1}s] {msg}", started.elapsed().as_secs_f64());
-    };
-    let metrics = gstm_experiments::bench::run_suite(&cfg, &mut progress);
+    let progress = StderrProgress::new();
+    let metrics = gstm_experiments::bench::run_suite(&cfg, &progress);
     let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, baseline.as_deref());
     std::fs::write(out, &text).unwrap_or_else(|e| {
         eprintln!("bench: cannot write {out}: {e}");
         std::process::exit(2);
     });
-    eprintln!("[{:7.1}s] wrote {out}", started.elapsed().as_secs_f64());
+    progress.report(&format!("wrote {out}"));
+    std::process::exit(0);
+}
+
+/// `bench-pipeline`: time the tiny study cold-vs-warm and write the JSON
+/// artifact.
+fn run_bench_pipeline(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let out = flag("--out").map_or("BENCH_pipeline.json", String::as_str);
+    let (cache_root, ephemeral) = match flag("--cache-dir") {
+        Some(dir) => (std::path::PathBuf::from(dir), false),
+        None => {
+            // A fresh directory so the first pass is genuinely cold.
+            let dir = std::path::PathBuf::from(format!(
+                "target/gstm-bench-pipeline-cache-{}",
+                std::process::id()
+            ));
+            let _ = std::fs::remove_dir_all(&dir);
+            (dir, true)
+        }
+    };
+    let mut cfg = gstm_experiments::bench::BenchConfig::for_preset("tiny", false)
+        .expect("tiny is a known preset");
+    cfg.suite = gstm_experiments::bench::SUITE_PIPELINE.to_string();
+    if let Some(profile) = flag("--profile") {
+        cfg.profile = profile.clone();
+    }
+    let progress = StderrProgress::new();
+    let metrics = gstm_experiments::bench::run_pipeline_suite(&progress, &cache_root);
+    if ephemeral {
+        let _ = std::fs::remove_dir_all(&cache_root);
+    }
+    let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("bench-pipeline: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    progress.report(&format!("wrote {out}"));
     std::process::exit(0);
 }
 
@@ -100,6 +152,37 @@ fn run_bench_check(args: &[String]) -> ! {
     }
 }
 
+/// Deterministic per-seed summary of one STAMP cell — the `cell` command's
+/// output, diffed byte-for-byte by the CI pipeline smoke (jobs/cache
+/// invariance).
+fn render_cell(cfg: &ExpConfig, cell: &StampCell) -> String {
+    use gstm_experiments::metrics::per_thread_improvement;
+    use gstm_stats::mean;
+    let mut body = format!(
+        "== Cell: {} @ {} threads ({} seeds) ==\n",
+        cell.name,
+        cell.threads,
+        cfg.test_seeds.len()
+    );
+    for (label, runs) in [("default", &cell.default_runs), ("guided", &cell.guided_runs)] {
+        for (seed, run) in cfg.test_seeds.iter().zip(runs.iter()) {
+            body.push_str(&format!(
+                "{label} seed {seed}: makespan {} commits {} aborts {} nondet {}\n",
+                run.makespan,
+                run.total_commits(),
+                run.total_aborts(),
+                run.nondeterminism
+            ));
+        }
+    }
+    let imp = mean(&per_thread_improvement(&cell.default_runs, &cell.guided_runs));
+    body.push_str(&format!(
+        "model states {} | mean variance improvement {imp:+.1}%\n",
+        cell.trained.tsa.state_count()
+    ));
+    body
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -109,14 +192,22 @@ fn main() {
     match command {
         // The bench paths never touch ExpConfig or the study machinery.
         "bench" => run_bench(&args[1..]),
+        "bench-pipeline" => run_bench_pipeline(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         _ => {}
     }
     let fast = args.iter().any(|a| a == "--fast");
-    let bench_name: &'static str = args
-        .iter()
-        .position(|a| a == "--bench")
-        .and_then(|i| args.get(i + 1))
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let no_cache = args.iter().any(|a| a == "--no-cache");
+    let flag_value = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).filter(|v| !v.starts_with("--")).unwrap_or_else(|| {
+                eprintln!("{name} requires an argument");
+                std::process::exit(2);
+            })
+        })
+    };
+    let bench_name: &'static str = flag_value("--bench")
         .map(|s| {
             gstm_stamp::BENCHMARK_NAMES.iter().copied().find(|n| *n == s.as_str()).unwrap_or_else(
                 || {
@@ -127,23 +218,33 @@ fn main() {
         })
         .unwrap_or("kmeans");
     let metrics_path: Option<std::path::PathBuf> =
-        args.iter().position(|a| a == "--metrics").map(|i| {
-            args.get(i + 1)
-                .filter(|p| !p.starts_with("--"))
-                .map(std::path::PathBuf::from)
-                .unwrap_or_else(|| {
-                    eprintln!("--metrics requires a path argument");
-                    std::process::exit(2);
-                })
-        });
-    let mut cfg = if fast { ExpConfig::fast() } else { ExpConfig::full() };
+        flag_value("--metrics").map(std::path::PathBuf::from);
+    let mut cfg = if tiny {
+        ExpConfig::tiny()
+    } else if fast {
+        ExpConfig::fast()
+    } else {
+        ExpConfig::full()
+    };
     cfg.telemetry = metrics_path.is_some();
+    if let Some(jobs) = flag_value("--jobs") {
+        cfg.jobs = jobs.parse().unwrap_or_else(|_| {
+            eprintln!("--jobs requires a positive integer, got {jobs}");
+            std::process::exit(2);
+        });
+    }
+    if no_cache {
+        cfg.cache_dir = None;
+    } else if let Some(dir) = flag_value("--cache-dir") {
+        cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
     std::fs::create_dir_all(&cfg.out_dir).expect("create results dir");
 
-    let started = std::time::Instant::now();
-    let mut progress = |msg: &str| {
-        eprintln!("[{:7.1}s] {msg}", started.elapsed().as_secs_f64());
-    };
+    let progress = StderrProgress::new();
+    let mut pipe = Pipeline::new(&cfg, &progress).with_jobs(cfg.jobs);
+    if let Some(dir) = &cfg.cache_dir {
+        pipe = pipe.with_cache(DiskCache::new(dir.clone()));
+    }
 
     let mut outputs: Vec<(String, String)> = Vec::new();
     let needs_stamp = matches!(
@@ -164,12 +265,23 @@ fn main() {
     );
     let needs_quake = matches!(command, "table5" | "fig11" | "fig12" | "quake" | "all");
 
-    let stamp = needs_stamp.then(|| {
+    // Declare everything the command needs, then resolve the whole plan in
+    // one pass: shared training, cached outcomes, `--jobs` fan-out.
+    let mut plan = StudyPlan::new();
+    if needs_stamp {
         // table1/table3/fig3 only need training; everything else needs the
         // full study. Training dominates anyway, so share one full study.
-        run_stamp_study(&cfg, &gstm_stamp::BENCHMARK_NAMES, &mut progress)
-    });
-    let quake = needs_quake.then(|| run_quake_study(&cfg, &mut progress));
+        plan.stamp_study(&cfg, &gstm_stamp::BENCHMARK_NAMES);
+    }
+    if needs_quake {
+        plan.quake_study(&cfg);
+    }
+    if command == "cell" {
+        plan.stamp_cell(bench_name, cfg.threads_list[0]);
+    }
+    let result = (!plan.is_empty()).then(|| pipe.resolve(&plan));
+    let stamp = result.as_ref().map(|r| &r.stamp).filter(|s| !s.cells.is_empty());
+    let quake = result.as_ref().map(|r| &r.quake).filter(|q| !q.cells.is_empty());
 
     let threads_a = cfg.threads_list[0];
     let threads_b = *cfg.threads_list.last().expect("nonempty threads list");
@@ -186,37 +298,34 @@ fn main() {
     };
     match command {
         "table2" => emit("table2", report::table2(&cfg)),
-        "table1" => emit("table1", report::table1(&cfg, stamp.as_ref().unwrap())),
-        "table3" => emit("table3", report::table3(&cfg, stamp.as_ref().unwrap())),
-        "table4" => emit("table4", report::table4(&cfg, stamp.as_ref().unwrap())),
-        "fig3" => emit("fig3", report::fig3(&cfg, stamp.as_ref().unwrap())),
-        "fig4" => {
-            emit("fig4", report::fig_variance(threads_a, stamp.as_ref().unwrap(), "Figure 4"))
+        "table1" => emit("table1", report::table1(&cfg, stamp.unwrap())),
+        "table3" => emit("table3", report::table3(&cfg, stamp.unwrap())),
+        "table4" => emit("table4", report::table4(&cfg, stamp.unwrap())),
+        "fig3" => emit("fig3", report::fig3(&cfg, stamp.unwrap())),
+        "fig4" => emit("fig4", report::fig_variance(threads_a, stamp.unwrap(), "Figure 4")),
+        "fig6" => emit("fig6", report::fig_variance(threads_b, stamp.unwrap(), "Figure 6")),
+        "fig5" => emit("fig5", report::fig_tails(threads_a, stamp.unwrap(), "Figure 5", 0)),
+        "fig7" => {
+            emit("fig7", report::fig_tails(threads_b, stamp.unwrap(), "Figure 7", threads_b / 2))
         }
-        "fig6" => {
-            emit("fig6", report::fig_variance(threads_b, stamp.as_ref().unwrap(), "Figure 6"))
+        "fig8" => emit("fig8", report::fig8(&cfg, stamp.unwrap())),
+        "fig9" => emit("fig9", report::fig9(&cfg, stamp.unwrap())),
+        "fig10" => emit("fig10", report::fig10(&cfg, stamp.unwrap())),
+        "table5" => emit("table5", report::table5(&cfg, quake.unwrap())),
+        "fig11" => {
+            emit("fig11", report::fig_quake(&cfg, quake.unwrap(), Quest::Quadrants4, "Figure 11"))
         }
-        "fig5" => {
-            emit("fig5", report::fig_tails(threads_a, stamp.as_ref().unwrap(), "Figure 5", 0))
-        }
-        "fig7" => emit(
-            "fig7",
-            report::fig_tails(threads_b, stamp.as_ref().unwrap(), "Figure 7", threads_b / 2),
-        ),
-        "fig8" => emit("fig8", report::fig8(&cfg, stamp.as_ref().unwrap())),
-        "fig9" => emit("fig9", report::fig9(&cfg, stamp.as_ref().unwrap())),
-        "fig10" => emit("fig10", report::fig10(&cfg, stamp.as_ref().unwrap())),
-        "table5" => emit("table5", report::table5(&cfg, quake.as_ref().unwrap())),
-        "fig11" => emit(
-            "fig11",
-            report::fig_quake(&cfg, quake.as_ref().unwrap(), Quest::Quadrants4, "Figure 11"),
-        ),
         "fig12" => emit(
             "fig12",
-            report::fig_quake(&cfg, quake.as_ref().unwrap(), Quest::CenterSpread6, "Figure 12"),
+            report::fig_quake(&cfg, quake.unwrap(), Quest::CenterSpread6, "Figure 12"),
         ),
+        "cell" => {
+            let study = stamp.expect("cell was planned");
+            let cell = study.cell(bench_name, threads_a).expect("planned cell resolved");
+            emit("cell", render_cell(&cfg, cell));
+        }
         "stamp" | "quake" | "all" => {
-            if let Some(stamp) = &stamp {
+            if let Some(stamp) = stamp {
                 emit("table1", report::table1(&cfg, stamp));
                 emit("table2", report::table2(&cfg));
                 emit("table3", report::table3(&cfg, stamp));
@@ -230,32 +339,26 @@ fn main() {
                 emit("fig9", report::fig9(&cfg, stamp));
                 emit("fig10", report::fig10(&cfg, stamp));
             }
-            if let Some(quake) = &quake {
+            if let Some(quake) = quake {
                 emit("table5", report::table5(&cfg, quake));
                 emit("fig11", report::fig_quake(&cfg, quake, Quest::Quadrants4, "Figure 11"));
                 emit("fig12", report::fig_quake(&cfg, quake, Quest::CenterSpread6, "Figure 12"));
             }
         }
-        "ablate-tfactor" => {
-            emit("ablate-tfactor", ablation::ablate_tfactor(&cfg, bench_name, &mut progress))
-        }
-        "ablate-k" => emit("ablate-k", ablation::ablate_k(&cfg, bench_name, &mut progress)),
-        "ablate-cm" => emit("ablate-cm", ablation::ablate_cm(&cfg, bench_name, &mut progress)),
-        "ablate-train" => {
-            emit("ablate-train", ablation::ablate_train(&cfg, bench_name, &mut progress))
-        }
-        "ablate-policy" => {
-            emit("ablate-policy", ablation::ablate_policy(&cfg, bench_name, &mut progress))
-        }
+        "ablate-tfactor" => emit("ablate-tfactor", ablation::ablate_tfactor(&pipe, bench_name)),
+        "ablate-k" => emit("ablate-k", ablation::ablate_k(&pipe, bench_name)),
+        "ablate-cm" => emit("ablate-cm", ablation::ablate_cm(&pipe, bench_name)),
+        "ablate-train" => emit("ablate-train", ablation::ablate_train(&pipe, bench_name)),
+        "ablate-policy" => emit("ablate-policy", ablation::ablate_policy(&pipe, bench_name)),
         "ablate-detection" => {
-            emit("ablate-detection", ablation::ablate_detection(&cfg, bench_name, &mut progress))
+            emit("ablate-detection", ablation::ablate_detection(&pipe, bench_name))
         }
         "train-model" => {
             // Artifact parity: the paper's `exec.sh ... mcmc_data` phase
             // produces a `state_data` model file; this saves our binary form.
             let threads = cfg.threads_list[0];
-            progress(&format!("training {bench_name} at {threads} threads"));
-            let trained = gstm_experiments::study::train_stamp(&cfg, bench_name, threads);
+            progress.report(&format!("training {bench_name} at {threads} threads"));
+            let trained = pipe.trained_stamp(bench_name, threads);
             let path = cfg.out_dir.join(format!("{bench_name}-{threads}t.gtsa"));
             gstm_model::serialize::save(&trained.tsa, &path).expect("save model");
             emit(
@@ -272,6 +375,8 @@ fn main() {
         }
         "sites" => {
             // Per-site diagnostics: which atomic block drives the aborts.
+            // Capturing runs bypass the cache by design, so this path calls
+            // the harness directly.
             use gstm_core::{EventSink, SiteStatsSink};
             use gstm_guide::{run_workload, RunOptions};
             let threads = cfg.threads_list[0];
@@ -314,15 +419,20 @@ fn main() {
 
     if let Some(path) = &metrics_path {
         use gstm_experiments::study::{merge_run_telemetry, quake_runs, stamp_runs};
-        let stamp_snap = stamp.as_ref().and_then(|s| merge_run_telemetry(stamp_runs(s)));
-        let quake_snap = quake.as_ref().and_then(|q| merge_run_telemetry(quake_runs(q)));
-        let merged = match (stamp_snap, quake_snap) {
+        use gstm_telemetry::Snapshot;
+        let stamp_snap = stamp.and_then(|s| merge_run_telemetry(stamp_runs(s)));
+        let quake_snap = quake.and_then(|q| merge_run_telemetry(quake_runs(q)));
+        let mut merged = match (stamp_snap, quake_snap) {
             (Some(mut a), Some(b)) => {
                 a.merge(&b);
                 Some(a)
             }
             (a, b) => a.or(b),
         };
+        if result.is_some() {
+            // The pipeline's cache gauges ride along with the run telemetry.
+            merged.get_or_insert_with(Snapshot::new).merge(&pipe.gauges().snapshot());
+        }
         match merged {
             Some(snap) => {
                 let machine = path.with_extension(match path.extension() {
@@ -350,9 +460,12 @@ fn main() {
     for (_, body) in &outputs {
         println!("{body}");
     }
+    if result.is_some() {
+        progress.report(&pipe.gauges().summary());
+    }
     eprintln!(
         "[{:7.1}s] wrote {} result file(s) to {}",
-        started.elapsed().as_secs_f64(),
+        progress.elapsed_secs(),
         outputs.len(),
         cfg.out_dir.display()
     );

@@ -1,0 +1,119 @@
+//! Progress reporting for studies, ablations and the pipeline.
+//!
+//! Every long-running phase used to take its own `&mut dyn FnMut(&str)`
+//! callback, which cannot cross the pipeline's worker-pool threads. One
+//! shared-reference [`Progress`] sink (`Send + Sync`) replaces them all:
+//! the CLI installs [`StderrProgress`], tests install [`CollectingProgress`]
+//! to assert on phase ordering, and library callers that don't care pass
+//! [`NoProgress`].
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// A sink for human-readable status lines emitted by long-running phases.
+///
+/// Implementations must tolerate concurrent `report` calls: the pipeline's
+/// worker pool reports from several OS threads at once.
+pub trait Progress: Send + Sync {
+    /// Reports one status line (no trailing newline).
+    fn report(&self, msg: &str);
+}
+
+/// Discards all progress.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoProgress;
+
+impl Progress for NoProgress {
+    fn report(&self, _msg: &str) {}
+}
+
+/// Prints `[  123.4s] msg` lines to stderr, timed from construction —
+/// the CLI's historical format, kept byte-compatible.
+#[derive(Debug)]
+pub struct StderrProgress {
+    started: Instant,
+}
+
+impl StderrProgress {
+    /// Starts the clock now.
+    pub fn new() -> Self {
+        StderrProgress { started: Instant::now() }
+    }
+
+    /// Seconds elapsed since construction.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for StderrProgress {
+    fn default() -> Self {
+        StderrProgress::new()
+    }
+}
+
+impl Progress for StderrProgress {
+    fn report(&self, msg: &str) {
+        eprintln!("[{:7.1}s] {msg}", self.elapsed_secs());
+    }
+}
+
+/// Buffers every line for later inspection (tests).
+#[derive(Debug, Default)]
+pub struct CollectingProgress {
+    lines: Mutex<Vec<String>>,
+}
+
+impl CollectingProgress {
+    /// An empty collector.
+    pub fn new() -> Self {
+        CollectingProgress::default()
+    }
+
+    /// All lines reported so far, in arrival order.
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().expect("progress lock").clone()
+    }
+
+    /// Whether any reported line contains `needle`.
+    pub fn contains(&self, needle: &str) -> bool {
+        self.lines.lock().expect("progress lock").iter().any(|l| l.contains(needle))
+    }
+}
+
+impl Progress for CollectingProgress {
+    fn report(&self, msg: &str) {
+        self.lines.lock().expect("progress lock").push(msg.to_string());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collecting_progress_records_in_order() {
+        let p = CollectingProgress::new();
+        p.report("one");
+        p.report("two");
+        assert_eq!(p.lines(), vec!["one".to_string(), "two".to_string()]);
+        assert!(p.contains("two"));
+        assert!(!p.contains("three"));
+    }
+
+    #[test]
+    fn sinks_are_shareable_across_threads() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NoProgress>();
+        assert_send_sync::<StderrProgress>();
+        assert_send_sync::<CollectingProgress>();
+        let p = CollectingProgress::new();
+        std::thread::scope(|s| {
+            for i in 0..4 {
+                let p = &p;
+                s.spawn(move || p.report(&format!("thread {i}")));
+            }
+        });
+        assert_eq!(p.lines().len(), 4);
+    }
+}

@@ -1,10 +1,15 @@
-//! Study runners: collect the raw runs every table/figure derives from.
+//! Study data types and training primitives.
+//!
+//! The cell/study structs every table and figure renders from live here,
+//! together with the two training passes (STAMP and SynQuake). *Running*
+//! studies is the pipeline's job: build a [`crate::pipeline::StudyPlan`]
+//! and resolve it with [`crate::pipeline::Pipeline::resolve`], which shares
+//! training passes, caches outcomes and fans independent cells out across
+//! worker threads.
 
 use std::collections::BTreeMap;
 
-use gstm_guide::{
-    run_workload, train, PolicyChoice, RunOptions, RunOutcome, TrainedModel, Workload,
-};
+use gstm_guide::{run_workload, train, RunOptions, RunOutcome, TrainedModel};
 use gstm_stamp::benchmark;
 use gstm_synquake::{Quest, SynQuake};
 use gstm_telemetry::Snapshot;
@@ -41,18 +46,6 @@ impl StampStudy {
     }
 }
 
-/// Runs `workload` once per configured test seed — the single home of the
-/// "one measured run per seed" pattern every study and ablation shares.
-/// `opts` builds the run options for a seed; wrap telemetry/capture/policy
-/// choices inside it.
-pub fn runs_over_seeds(
-    cfg: &ExpConfig,
-    workload: &dyn Workload,
-    mut opts: impl FnMut(u64) -> RunOptions,
-) -> Vec<RunOutcome> {
-    cfg.test_seeds.iter().map(|&s| run_workload(workload, &opts(s))).collect()
-}
-
 /// Trains the model for one benchmark/thread-count (profiling runs on the
 /// training input size).
 pub fn train_stamp(cfg: &ExpConfig, name: &'static str, threads: usize) -> TrainedModel {
@@ -60,53 +53,6 @@ pub fn train_stamp(cfg: &ExpConfig, name: &'static str, threads: usize) -> Train
         benchmark(name, cfg.train_size).unwrap_or_else(|| panic!("unknown benchmark {name}"));
     let base = RunOptions::new(threads, 0);
     train(workload.as_ref(), &base, &cfg.train_seeds, cfg.tfactor)
-}
-
-/// Runs the full default-vs-guided comparison for one benchmark at one
-/// thread count. `progress` is invoked with a short status line per phase.
-pub fn run_stamp_cell(
-    cfg: &ExpConfig,
-    name: &'static str,
-    threads: usize,
-    progress: &mut dyn FnMut(&str),
-) -> StampCell {
-    progress(&format!(
-        "{name}/{threads}t: training on {} ({} seeds)",
-        cfg.train_size,
-        cfg.train_seeds.len()
-    ));
-    let trained = train_stamp(cfg, name, threads);
-
-    let workload =
-        benchmark(name, cfg.test_size).unwrap_or_else(|| panic!("unknown benchmark {name}"));
-    let measured = |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
-    progress(&format!("{name}/{threads}t: default runs on {}", cfg.test_size));
-    let default_runs =
-        runs_over_seeds(cfg, workload.as_ref(), |s| measured(RunOptions::new(threads, s)));
-    progress(&format!("{name}/{threads}t: guided runs on {}", cfg.test_size));
-    let guided_runs = runs_over_seeds(cfg, workload.as_ref(), |s| {
-        measured(
-            RunOptions::new(threads, s)
-                .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&trained.model))),
-        )
-    });
-    StampCell { name, threads, trained, default_runs, guided_runs }
-}
-
-/// Runs [`run_stamp_cell`] for every requested benchmark and thread count.
-pub fn run_stamp_study(
-    cfg: &ExpConfig,
-    names: &[&'static str],
-    progress: &mut dyn FnMut(&str),
-) -> StampStudy {
-    let mut study = StampStudy::default();
-    for &name in names {
-        for &threads in &cfg.threads_list {
-            let cell = run_stamp_cell(cfg, name, threads, progress);
-            study.cells.insert((name.to_string(), threads), cell);
-        }
-    }
-    study
 }
 
 /// Merges per-run telemetry snapshots (deterministic order: map order, then
@@ -172,7 +118,7 @@ pub struct QuakeCell {
 }
 
 /// The SynQuake half of the evaluation.
-#[derive(Debug)]
+#[derive(Debug, Default)]
 pub struct QuakeStudy {
     /// Model per thread count (trained on the two training quests).
     pub trained: BTreeMap<usize, TrainedModel>,
@@ -201,38 +147,4 @@ pub fn train_quake(cfg: &ExpConfig, threads: usize) -> TrainedModel {
     let analysis = analyze(&tsa, cfg.tfactor);
     let model = std::sync::Arc::new(GuidedModel::compile(tsa.clone(), cfg.tfactor));
     TrainedModel { tsa, analysis, model }
-}
-
-/// Runs the full SynQuake study: train per thread count, then measure both
-/// test quests, default vs guided.
-pub fn run_quake_study(cfg: &ExpConfig, progress: &mut dyn FnMut(&str)) -> QuakeStudy {
-    let mut trained = BTreeMap::new();
-    let mut cells = Vec::new();
-    for &threads in &cfg.threads_list {
-        progress(&format!(
-            "synquake/{threads}t: training on {} + {} ({} seeds each)",
-            Quest::training()[0],
-            Quest::training()[1],
-            cfg.train_seeds.len()
-        ));
-        let model = train_quake(cfg, threads);
-        for quest in Quest::testing() {
-            let workload =
-                SynQuake { players: cfg.synquake_players, frames: cfg.synquake_frames.1, quest };
-            progress(&format!("synquake/{threads}t: measuring {quest}"));
-            let measured =
-                |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
-            let default_runs =
-                runs_over_seeds(cfg, &workload, |s| measured(RunOptions::new(threads, s)));
-            let guided_runs = runs_over_seeds(cfg, &workload, |s| {
-                measured(
-                    RunOptions::new(threads, s)
-                        .with_policy(PolicyChoice::guided(std::sync::Arc::clone(&model.model))),
-                )
-            });
-            cells.push(QuakeCell { quest, threads, default_runs, guided_runs });
-        }
-        trained.insert(threads, model);
-    }
-    QuakeStudy { trained, cells }
 }

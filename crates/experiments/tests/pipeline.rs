@@ -1,0 +1,63 @@
+//! End-to-end pipeline invariants (golden tests): neither the fan-out
+//! width (`--jobs`) nor the cache state (cold vs warm) may change a single
+//! byte of the rendered reports.
+
+use std::sync::atomic::Ordering;
+
+use gstm_experiments::cache::DiskCache;
+use gstm_experiments::config::ExpConfig;
+use gstm_experiments::pipeline::{Pipeline, StudyPlan, StudyResult};
+use gstm_experiments::progress::NoProgress;
+use gstm_experiments::report;
+
+fn plan(cfg: &ExpConfig) -> StudyPlan {
+    let mut p = StudyPlan::new();
+    p.stamp_study(cfg, &["kmeans", "ssca2"]);
+    p.quake_study(cfg);
+    p
+}
+
+/// Reports covering both study halves and every aggregate we print
+/// (means, stddevs, tails) — a byte-level fingerprint of the outcomes.
+fn render(cfg: &ExpConfig, r: &StudyResult) -> String {
+    let threads = cfg.threads_list[0];
+    let mut out = String::new();
+    out.push_str(&report::table1(cfg, &r.stamp));
+    out.push_str(&report::table4(cfg, &r.stamp));
+    out.push_str(&report::fig_variance(threads, &r.stamp, "Figure 4"));
+    out.push_str(&report::table5(cfg, &r.quake));
+    out
+}
+
+#[test]
+fn fan_out_width_is_invisible_in_output() {
+    let cfg = ExpConfig::tiny();
+    let p = plan(&cfg);
+    let seq = Pipeline::new(&cfg, &NoProgress).resolve(&p);
+    let par = Pipeline::new(&cfg, &NoProgress).with_jobs(4).resolve(&p);
+    assert_eq!(render(&cfg, &seq), render(&cfg, &par), "--jobs 4 diverged from --jobs 1");
+}
+
+#[test]
+fn warm_cache_reproduces_cold_output_without_training() {
+    let cfg = ExpConfig::tiny();
+    let p = plan(&cfg);
+    let root = std::env::temp_dir().join(format!("gstm-pipeline-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    let cold_pipe = Pipeline::new(&cfg, &NoProgress).with_cache(DiskCache::new(root.clone()));
+    let cold = cold_pipe.resolve(&p);
+    assert!(cold_pipe.gauges().model_misses.load(Ordering::Relaxed) > 0, "cold run should train");
+
+    let warm_pipe = Pipeline::new(&cfg, &NoProgress).with_cache(DiskCache::new(root.clone()));
+    let warm = warm_pipe.resolve(&p);
+    let g = warm_pipe.gauges();
+    assert_eq!(g.model_misses.load(Ordering::Relaxed), 0, "warm run retrained a model");
+    assert_eq!(g.run_misses.load(Ordering::Relaxed), 0, "warm run re-measured a run");
+    assert!(g.model_hits.load(Ordering::Relaxed) > 0);
+    assert!(g.run_hits.load(Ordering::Relaxed) > 0);
+    assert_eq!(g.train_wall_ms.load(Ordering::Relaxed), 0, "warm run spent wall-clock on training");
+    assert_eq!(render(&cfg, &cold), render(&cfg, &warm), "warm rerun diverged from cold run");
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -60,7 +60,11 @@ pub trait WorkloadRun: Send + Sync {
 }
 
 /// A benchmark: instantiates fresh [`WorkloadRun`]s, one per run/seed.
-pub trait Workload: Sync {
+///
+/// `Send + Sync` so a `Box<dyn Workload>` (and `&dyn Workload`) can cross
+/// the experiment pipeline's worker-pool threads: independent cells and
+/// seeds of a study fan out across OS threads sharing one workload.
+pub trait Workload: Send + Sync {
     /// Benchmark name (table/figure row label).
     fn name(&self) -> &'static str;
 
@@ -285,6 +289,11 @@ impl RunOutcome {
 /// in the STM or the benchmark, never an expected outcome.
 pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
     let threads = opts.threads;
+    // Every run allocates its TVars in a fresh id domain, so its stripe
+    // assignments — and therefore its schedule — are a pure function of
+    // (workload, threads, seed): independent of process history and of
+    // other runs executing concurrently on the pipeline's worker pool.
+    let var_domain = gstm_core::VarIdDomain::new();
     let mut machine =
         SimMachine::new(SimConfig::new(threads, opts.seed).with_jitter(opts.jitter_pct));
     let telemetry = opts.telemetry.then(|| Arc::new(TelemetrySink::new(threads)));
@@ -352,7 +361,10 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
         opts.cm.build(threads),
     ));
 
-    let run = workload.instantiate(threads, opts.seed);
+    let run = {
+        let _ids = var_domain.install();
+        workload.instantiate(threads, opts.seed)
+    };
     let barrier: Arc<dyn WaitBarrier> = Arc::new(machine.barrier(threads));
     let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads)
         .map(|i| {
@@ -362,7 +374,15 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
                 threads,
                 barrier: Arc::clone(&barrier),
             };
-            let boxed: Box<dyn FnOnce() + Send + '_> = run.worker(env);
+            let inner: Box<dyn FnOnce() + Send + '_> = run.worker(env);
+            // Workers run on their own OS threads; install the run's id
+            // domain there too so mid-run allocations (if a workload ever
+            // makes any) stay inside the run's namespace.
+            let domain = var_domain.clone();
+            let boxed: Box<dyn FnOnce() + Send + '_> = Box::new(move || {
+                let _ids = domain.install();
+                inner();
+            });
             boxed
         })
         .collect();

@@ -92,7 +92,7 @@ fn per_thread_stddevs(outcomes: &[gstm_guide::RunOutcome]) -> Vec<f64> {
 
 #[test]
 fn guidance_reduces_nondeterminism_and_variance() {
-    let workload = Mixed { iters: 50 };
+    let workload = Mixed { iters: 80 };
     let base = RunOptions::new(THREADS, 0);
     let trained = train(&workload, &base, &(1..=10).collect::<Vec<_>>(), 4.0);
     assert!(trained.tsa.state_count() > 4, "model too small: {:?}", trained.analysis);

@@ -229,6 +229,31 @@ pub fn load(path: &Path) -> Result<Tsa, DecodeError> {
     from_bytes(&std::fs::read(path)?)
 }
 
+/// Stable 128-bit content fingerprint, hex-encoded: two independent FNV-1a
+/// lanes (the second with a different offset basis over bit-rotated bytes),
+/// finalized with the input length. Used by the experiment pipeline's
+/// content-addressed cache to key trained models and run outcomes, and to
+/// name model identity in logs — never for security.
+pub fn fingerprint_hex(bytes: &[u8]) -> String {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut lo = 0xcbf2_9ce4_8422_2325u64;
+    let mut hi = lo ^ 0x9e37_79b9_7f4a_7c15;
+    for &b in bytes {
+        lo = (lo ^ u64::from(b)).wrapping_mul(PRIME);
+        hi = (hi ^ u64::from(b.rotate_left(3))).wrapping_mul(PRIME);
+    }
+    let n = bytes.len() as u64;
+    lo = (lo ^ n).wrapping_mul(PRIME);
+    hi = (hi ^ n.rotate_left(32)).wrapping_mul(PRIME);
+    format!("{lo:016x}{hi:016x}")
+}
+
+/// Content digest of a TSA: the fingerprint of its binary encoding. Two
+/// models digest equal iff their persisted forms are byte-identical.
+pub fn tsa_digest(tsa: &Tsa) -> String {
+    fingerprint_hex(&to_bytes(tsa))
+}
+
 fn malformed(msg: &str) -> DecodeError {
     DecodeError::Malformed(msg.to_string())
 }
@@ -348,6 +373,24 @@ mod tests {
     fn binary_is_compact() {
         let tsa = sample_tsa();
         assert!(to_bytes(&tsa).len() < to_text(&tsa).len() * 2);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_sensitive() {
+        let a = fingerprint_hex(b"gstm");
+        assert_eq!(a.len(), 32);
+        assert_eq!(a, fingerprint_hex(b"gstm"));
+        assert_ne!(a, fingerprint_hex(b"gst"));
+        assert_ne!(a, fingerprint_hex(b"gstn"));
+        assert_ne!(fingerprint_hex(b""), fingerprint_hex(b"\0"));
+        // Pinned: cache keys on disk must not drift between builds.
+        assert_eq!(fingerprint_hex(b"gstm"), "dad4632f8df391a0b400f346b8d64b6c");
+    }
+
+    #[test]
+    fn tsa_digest_tracks_content() {
+        let tsa = sample_tsa();
+        assert_eq!(tsa_digest(&tsa), tsa_digest(&from_bytes(&to_bytes(&tsa)).unwrap()));
     }
 
     #[test]

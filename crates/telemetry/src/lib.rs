@@ -39,6 +39,7 @@
 
 pub mod histogram;
 pub mod json;
+pub mod pipeline;
 pub mod recorder;
 pub mod registry;
 pub mod sink;
@@ -46,6 +47,7 @@ pub mod snapshot;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use json::JsonValue;
+pub use pipeline::PipelineGauges;
 pub use recorder::{AnomalyConfig, AnomalyDump, FlightRecorder};
 pub use registry::{reason_index, MetricsRegistry, ThreadMetrics, ABORT_REASONS};
 pub use sink::{SnapshotAccumulator, TelemetrySink};

@@ -10,9 +10,8 @@
 
 use std::sync::Arc;
 
-use gstm::guide::{run_workload, train, PolicyChoice, RunOptions};
-use gstm::stamp::{InputSize, Kmeans};
-use gstm::stats::{mean, percent_reduction, sample_stddev};
+use gstm::prelude::*;
+use gstm::stamp::Kmeans;
 
 fn main() {
     let threads = 8;

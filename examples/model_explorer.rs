@@ -7,9 +7,8 @@
 //! states, the analyzer verdict, and the serialized model round-tripping
 //! through the compact binary format.
 
-use gstm::guide::{run_workload, RunOptions};
-use gstm::model::{analyze, parse_states, serialize, Grouping, TsaBuilder};
-use gstm::stamp::{benchmark, InputSize};
+use gstm::model::serialize;
+use gstm::prelude::*;
 
 fn main() {
     let name = std::env::args().nth(1).unwrap_or_else(|| "vacation".to_string());

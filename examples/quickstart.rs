@@ -7,7 +7,7 @@
 
 use std::sync::Arc;
 
-use gstm::core::{Stm, StmConfig, TVar, ThreadId, TxId};
+use gstm::prelude::*;
 
 fn main() {
     const THREADS: u16 = 4;

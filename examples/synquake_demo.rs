@@ -8,10 +8,8 @@
 
 use std::sync::Arc;
 
-use gstm::guide::{run_workload, PolicyChoice, RunOptions};
-use gstm::model::{analyze, parse_states, Grouping, GuidedModel, TsaBuilder};
-use gstm::stats::{mean, percent_reduction};
-use gstm::synquake::{stat, Quest, SynQuake};
+use gstm::prelude::*;
+use gstm::synquake::stat;
 
 fn main() {
     let threads = 8;

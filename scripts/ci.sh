@@ -22,4 +22,29 @@ echo "==> bench smoke (tiny preset): artifact must be well-formed"
     --out target/BENCH_smoke.json
 ./target/release/experiments bench-check target/BENCH_smoke.json
 
+echo "==> pipeline smoke: warm rerun must hit the cache and match byte-for-byte"
+smoke_dir="target/gstm-ci-pipeline-smoke"
+rm -rf "$smoke_dir"
+mkdir -p "$smoke_dir"
+./target/release/experiments cell --bench kmeans --tiny --jobs 2 \
+    --cache-dir "$smoke_dir/cache" \
+    >"$smoke_dir/cold.out" 2>"$smoke_dir/cold.err"
+./target/release/experiments cell --bench kmeans --tiny --jobs 2 \
+    --cache-dir "$smoke_dir/cache" \
+    >"$smoke_dir/warm.out" 2>"$smoke_dir/warm.err"
+diff -u "$smoke_dir/cold.out" "$smoke_dir/warm.out" \
+    || { echo "pipeline smoke: warm rerun output diverged"; exit 1; }
+grep -q "models 0 hit" "$smoke_dir/cold.err" \
+    || { echo "pipeline smoke: cold run unexpectedly hit the model cache"; exit 1; }
+grep -qE "models [1-9][0-9]* hit / 0 miss" "$smoke_dir/warm.err" \
+    || { echo "pipeline smoke: warm run missed the model cache"; exit 1; }
+grep -qE "runs [1-9][0-9]* hit / 0 miss" "$smoke_dir/warm.err" \
+    || { echo "pipeline smoke: warm run missed the run cache"; exit 1; }
+rm -rf "$smoke_dir"
+
+echo "==> pipeline bench: cold-vs-warm artifact must be well-formed"
+./target/release/experiments bench-pipeline --profile release \
+    --out target/BENCH_pipeline_smoke.json
+./target/release/experiments bench-check target/BENCH_pipeline_smoke.json
+
 echo "CI gate passed."

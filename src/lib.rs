@@ -23,3 +23,30 @@ pub use gstm_synquake as synquake;
 pub use gstm_telemetry as telemetry;
 
 pub use gstm_core::{Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn};
+
+/// One-line import for the common workflow: build a workload, train a
+/// model, run it guided, summarise the outcome.
+///
+/// ```
+/// use gstm::prelude::*;
+///
+/// let w = benchmark("kmeans", InputSize::Small).unwrap();
+/// let out = run_workload(w.as_ref(), &RunOptions::new(2, 7));
+/// assert!(out.total_commits() > 0);
+/// ```
+pub mod prelude {
+    pub use gstm_core::{
+        retry, Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn, VarIdDomain,
+    };
+    pub use gstm_guide::{
+        run_workload, train, CmChoice, PolicyChoice, RunOptions, RunOutcome, TrainedModel,
+        WorkerEnv, Workload, WorkloadRun, DEFAULT_K,
+    };
+    pub use gstm_model::{
+        analyze, parse_states, Grouping, GuidedModel, StateId, Tsa, TsaBuilder, Tts,
+    };
+    pub use gstm_sim::{SimConfig, SimMachine};
+    pub use gstm_stamp::{benchmark, InputSize};
+    pub use gstm_stats::{mean, percent_reduction, sample_stddev, slowdown};
+    pub use gstm_synquake::{Quest, SynQuake};
+}

@@ -8,10 +8,11 @@
 //! perturbs a schedule, a Tseq or a snapshot shows up as a digest
 //! mismatch, not as a silent variance shift.
 //!
-//! Everything runs inside ONE `#[test]`: `TVar` ids come from a
-//! process-global counter, so workload instantiation order must be fixed
-//! — parallel test functions would shuffle stripe assignments and the
-//! digests with them.
+//! Since the experiment-pipeline work, every `run_workload` allocates its
+//! `TVar`s inside a fresh per-run `VarIdDomain`, so each digest is a pure
+//! function of (workload, threads, seed) — independent of instantiation
+//! order, process history, and concurrent runs. The single-`#[test]`
+//! structure is kept only so the digests print as one ordered block.
 
 use std::sync::Arc;
 
@@ -59,8 +60,12 @@ fn measured(threads: usize, seed: u64) -> RunOptions {
 const GOLDEN: [(&str, u64); 4] = [
     ("kmeans/default", 0xc420_75b6_490b_74c8),
     ("kmeans/guided", 0xf750_7110_4459_dfd9),
-    ("synquake/default", 0x5aa3_8f6c_ef38_32ae),
-    ("synquake/guided", 0x0303_e712_3b79_ff13),
+    // The synquake digests moved (once) when per-run `VarIdDomain`s
+    // landed: ids previously continued from the kmeans runs above, now
+    // every run starts at id 1. The kmeans digests — first workload in
+    // the process either way — prove the engine itself did not move.
+    ("synquake/default", 0x877b_ea19_fe45_b9c5),
+    ("synquake/guided", 0x84bf_c748_9a48_98e9),
 ];
 
 #[test]
