@@ -56,7 +56,10 @@ impl ContentionManager for Aggressive {
 pub struct Polite {
     /// Backoff after the first abort.
     pub base: Ticks,
-    /// Exponent cap (backoff saturates at `base << cap`).
+    /// Exponent cap: backoff saturates at `base << cap`. The pair is not
+    /// required to satisfy `base << cap <= u64::MAX` — shifts that would
+    /// overflow 64 bits saturate to `Ticks::MAX` instead of panicking
+    /// (debug) or wrapping to a tiny backoff (release).
     pub cap: u32,
 }
 
@@ -72,7 +75,17 @@ impl ContentionManager for Polite {
     }
 
     fn on_abort(&self, _thread: ThreadId, _abort: &Abort, attempt: u32) -> Ticks {
-        self.base << attempt.min(self.cap)
+        if self.base == 0 {
+            return 0;
+        }
+        let shift = attempt.min(self.cap);
+        // `checked_shl` rejects shift >= 64 (the debug-panic case); the
+        // leading-zeros guard additionally saturates when high bits of a
+        // large `base` would be shifted out silently.
+        match self.base.checked_shl(shift) {
+            Some(v) if shift <= self.base.leading_zeros() => v,
+            _ => Ticks::MAX,
+        }
     }
 }
 
@@ -112,9 +125,14 @@ impl ContentionManager for Karma {
 
     fn on_abort(&self, thread: ThreadId, abort: &Abort, attempt: u32) -> Ticks {
         let mine = self.karma[thread.index()].load(Ordering::Relaxed);
+        // An out-of-range culprit thread (e.g. a synthetic participant
+        // injected by fault schedules) is an *unknown* conflictor: treat it
+        // as karma 0 rather than wrapping onto another thread's slot and
+        // mis-attributing priority.
         let theirs = abort
             .culprit
-            .map(|(p, _)| self.karma[p.thread.index() % self.karma.len()].load(Ordering::Relaxed))
+            .and_then(|(p, _)| self.karma.get(p.thread.index()))
+            .map(|k| k.load(Ordering::Relaxed))
             .unwrap_or(0);
         if mine >= theirs {
             // We out-rank the conflictor: retry immediately (karma is kept,
@@ -162,9 +180,13 @@ impl ContentionManager for Greedy {
 
     fn on_abort(&self, thread: ThreadId, abort: &Abort, attempt: u32) -> Ticks {
         let mine = self.start[thread.index()].load(Ordering::Relaxed);
+        // As in `Karma`: never index with a wrapped out-of-range culprit.
+        // An unknown conflictor gets `u64::MAX` (never started), so the
+        // victim wins and retries immediately.
         let theirs = abort
             .culprit
-            .map(|(p, _)| self.start[p.thread.index() % self.start.len()].load(Ordering::Relaxed))
+            .and_then(|(p, _)| self.start.get(p.thread.index()))
+            .map(|s| s.load(Ordering::Relaxed))
             .unwrap_or(u64::MAX);
         if mine <= theirs {
             0
@@ -243,5 +265,51 @@ mod tests {
         let k = Karma::new(1, 10);
         let a = Abort::new(AbortReason::UserRetry);
         assert_eq!(k.on_abort(ThreadId::new(0), &a, 0), 0);
+    }
+
+    #[test]
+    fn polite_saturates_instead_of_overflowing() {
+        // shift >= 64 used to panic in debug / wrap in release.
+        let p = Polite { base: 4, cap: 80 };
+        assert_eq!(p.on_abort(ThreadId::new(0), &abort_by(1), 70), Ticks::MAX);
+        // Large base: shifting out high bits must saturate, not truncate.
+        let big = Polite { base: 1 << 60, cap: 8 };
+        assert_eq!(big.on_abort(ThreadId::new(0), &abort_by(1), 8), Ticks::MAX);
+        assert_eq!(big.on_abort(ThreadId::new(0), &abort_by(1), 3), 1 << 63);
+        // Zero base stays zero whatever the attempt count.
+        let zero = Polite { base: 0, cap: 80 };
+        assert_eq!(zero.on_abort(ThreadId::new(0), &abort_by(1), 70), 0);
+    }
+
+    #[test]
+    fn karma_out_of_range_culprit_is_unknown() {
+        // Regression: a culprit thread >= max_threads used to wrap modulo
+        // the table size onto thread 0's karma. Here thread 0 has karma 5,
+        // so the wrapped lookup would force a backoff; the correct
+        // treatment (unknown conflictor, karma 0) retries immediately.
+        let k = Karma::new(2, 10);
+        for _ in 0..5 {
+            k.on_access(ThreadId::new(0));
+        }
+        k.on_access(ThreadId::new(1));
+        assert_eq!(
+            k.on_abort(ThreadId::new(1), &abort_by(2), 0),
+            0,
+            "out-of-range culprit must not alias thread 0's karma"
+        );
+    }
+
+    #[test]
+    fn greedy_out_of_range_culprit_is_unknown() {
+        // Same aliasing bug as Karma: culprit thread 2 would wrap onto
+        // thread 0 (the oldest), forcing the victim to back off.
+        let g = Greedy::new(2, 10);
+        g.on_begin(ThreadId::new(0), 100);
+        g.on_begin(ThreadId::new(1), 200);
+        assert_eq!(
+            g.on_abort(ThreadId::new(1), &abort_by(2), 0),
+            0,
+            "unknown conflictor never out-ranks the victim"
+        );
     }
 }

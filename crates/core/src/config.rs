@@ -63,7 +63,20 @@ pub struct StmConfig {
     /// Tick costs charged through the gate.
     pub costs: CostModel,
     /// `WaitForReaders` patience (polls) before self-aborting.
+    ///
+    /// `0` means a committer that finds any registered reader on a held
+    /// stripe aborts immediately without charging a single poll; `n > 0`
+    /// means up to `n` polls are charged before giving up.
     pub reader_wait_limit: u32,
+    /// Emit the oracle's `*Check` event variants (`ReadCheck`,
+    /// `WriteBackCheck`, `CommitCheck`, `UnlockCheck`).
+    ///
+    /// Only effective when gstm-core is compiled with the `check` feature;
+    /// without it this flag is ignored and no check events are ever
+    /// produced. Check events are recorded straight to the sink and never
+    /// pass the gate, so enabling them does not perturb virtual-time
+    /// schedules.
+    pub check_events: bool,
 }
 
 impl StmConfig {
@@ -81,6 +94,7 @@ impl StmConfig {
             resolution: Resolution::default(),
             costs: CostModel::default(),
             reader_wait_limit: 32,
+            check_events: false,
         }
     }
 
@@ -105,6 +119,19 @@ impl StmConfig {
     /// Sets the tick cost model.
     pub fn with_costs(mut self, c: CostModel) -> Self {
         self.costs = c;
+        self
+    }
+
+    /// Sets the `WaitForReaders` patience (polls before self-aborting).
+    pub fn with_reader_wait_limit(mut self, polls: u32) -> Self {
+        self.reader_wait_limit = polls;
+        self
+    }
+
+    /// Enables emission of the oracle's `*Check` events (requires the
+    /// `check` feature to have any effect).
+    pub fn with_check_events(mut self, on: bool) -> Self {
+        self.check_events = on;
         self
     }
 

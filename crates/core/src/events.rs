@@ -15,7 +15,7 @@ use std::sync::Arc;
 use crate::error::Abort;
 #[cfg(test)]
 use crate::ids::TxId;
-use crate::ids::{CommitSeq, Participant, ThreadId};
+use crate::ids::{CommitSeq, Participant, ThreadId, VarId};
 
 /// One entry of the transaction sequence.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -65,6 +65,77 @@ pub enum TxEvent {
         /// Gate timestamp when the hold ended.
         at: u64,
     },
+    /// Oracle instrumentation: a transactional read observed a value.
+    ///
+    /// Emitted only when the `check` feature is compiled in **and**
+    /// [`crate::StmConfig::check_events`] is set; never emitted for
+    /// read-own-writes (those observe the transaction's private redo log,
+    /// not shared state).
+    ReadCheck {
+        /// Who read.
+        who: Participant,
+        /// The variable read.
+        var: VarId,
+        /// The lock-table stripe the variable hashes to.
+        stripe: u32,
+        /// Stripe version observed by the post-read validation.
+        version: u64,
+        /// Write stamp of the observed value (0 = initial/unlogged value).
+        stamp: u64,
+        /// The transaction's read version `rv` at this read.
+        rv: u64,
+        /// Gate timestamp.
+        at: u64,
+    },
+    /// Oracle instrumentation: one redo-log entry was written back to its
+    /// cell during commit (step 5 of the TL2 protocol).
+    WriteBackCheck {
+        /// Who committed.
+        who: Participant,
+        /// The variable written.
+        var: VarId,
+        /// The lock-table stripe the variable hashes to.
+        stripe: u32,
+        /// Fresh write stamp now identifying the installed value.
+        stamp: u64,
+        /// Whether the stripe's lock word was held by this thread at the
+        /// moment of write-back (must always be true — checked by the
+        /// oracle's lock-discipline pass).
+        held: bool,
+        /// Gate timestamp.
+        at: u64,
+    },
+    /// Oracle instrumentation: commit-protocol versions for one successful
+    /// commit. Read-only commits report `wv == rv` (no clock tick).
+    CommitCheck {
+        /// Who committed.
+        who: Participant,
+        /// Global commit sequence number (matches the `Commit` event).
+        seq: CommitSeq,
+        /// Read version sampled at begin.
+        rv: u64,
+        /// Write version assigned by the global clock.
+        wv: u64,
+        /// Write-set size (0 for read-only commits).
+        writes: u32,
+        /// Gate timestamp.
+        at: u64,
+    },
+    /// Oracle instrumentation: one stripe unlock, publishing a new version
+    /// or restoring the old one.
+    UnlockCheck {
+        /// Who unlocked.
+        who: Participant,
+        /// The stripe unlocked.
+        stripe: u32,
+        /// Whether the lock table agreed this thread owned the stripe.
+        owner_ok: bool,
+        /// `true` for version-publishing unlocks (successful commit),
+        /// `false` for restoring unlocks (abort paths).
+        publish: bool,
+        /// Gate timestamp.
+        at: u64,
+    },
 }
 
 impl TxEvent {
@@ -74,7 +145,11 @@ impl TxEvent {
             TxEvent::Begin { who, .. }
             | TxEvent::Abort { who, .. }
             | TxEvent::Commit { who, .. }
-            | TxEvent::Held { who, .. } => *who,
+            | TxEvent::Held { who, .. }
+            | TxEvent::ReadCheck { who, .. }
+            | TxEvent::WriteBackCheck { who, .. }
+            | TxEvent::CommitCheck { who, .. }
+            | TxEvent::UnlockCheck { who, .. } => *who,
         }
     }
 }
@@ -90,6 +165,23 @@ impl fmt::Display for TxEvent {
                 write!(f, "C {who} {seq} after {aborts} aborts")
             }
             TxEvent::Held { who, polls, .. } => write!(f, "H {who} {polls} polls"),
+            TxEvent::ReadCheck { who, var, version, stamp, rv, .. } => {
+                write!(f, "R {who} {var} v{version} s{stamp} rv{rv}")
+            }
+            TxEvent::WriteBackCheck { who, var, stamp, held, .. } => {
+                write!(f, "W {who} {var} s{stamp}{}", if *held { "" } else { " UNHELD" })
+            }
+            TxEvent::CommitCheck { who, seq, rv, wv, writes, .. } => {
+                write!(f, "V {who} {seq} rv{rv} wv{wv} {writes}w")
+            }
+            TxEvent::UnlockCheck { who, stripe, owner_ok, publish, .. } => {
+                write!(
+                    f,
+                    "U {who} stripe{stripe} {}{}",
+                    if *publish { "publish" } else { "restore" },
+                    if *owner_ok { "" } else { " NONOWNER" },
+                )
+            }
         }
     }
 }
@@ -245,6 +337,8 @@ impl EventSink for CountingSink {
                     c.fetch_add(*polls as u64, Ordering::Relaxed);
                 }
             }
+            // Oracle instrumentation events carry no per-thread tallies.
+            _ => {}
         }
     }
 }

@@ -64,5 +64,5 @@ pub use gate::{CostModel, Gate, NullGate, RealGate, Ticks};
 pub use ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
 pub use policy::{AdmissionPolicy, AdmitAll};
 pub use site_stats::{SiteStats, SiteStatsSink};
-pub use stm::{retry, CommitInfo, Stm, Txn};
+pub use stm::{retry, CommitInfo, DoomHandle, Stm, Txn};
 pub use tvar::{TVar, VarIdDomain, VarIdDomainGuard};

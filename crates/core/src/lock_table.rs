@@ -71,6 +71,10 @@ pub struct LockTable {
     /// Visible-reader registries; entries are `(thread raw id, nesting count)`.
     readers: Option<Vec<ReaderRegistry>>,
     mask: u64,
+    /// Unlock attempts rejected because the caller did not own the stripe.
+    /// Always zero in a correct engine; the opacity oracle and the chaos
+    /// harness assert on it.
+    violations: AtomicU64,
 }
 
 impl LockTable {
@@ -89,6 +93,7 @@ impl LockTable {
             stamps: (0..n).map(|_| AtomicU64::new(0)).collect(),
             readers: visible_readers.then(|| (0..n).map(|_| Mutex::new(Vec::new())).collect()),
             mask: (n - 1) as u64,
+            violations: AtomicU64::new(0),
         }
     }
 
@@ -171,31 +176,59 @@ impl LockTable {
         }
     }
 
+    /// Checks the owner before an unlock, leaving the word untouched (and
+    /// counting a discipline violation) on mismatch. Release builds used to
+    /// skip this check entirely and silently clobber lock words held by
+    /// other threads; a refused unlock is recoverable, a corrupted lock
+    /// word is not.
+    #[inline]
+    fn owner_check(&self, s: StripeIndex, owner: ThreadId) -> bool {
+        let ok = self.load(s).owner == Some(owner);
+        if !ok {
+            self.violations.fetch_add(1, Ordering::Relaxed);
+        }
+        ok
+    }
+
     /// Releases a stripe, publishing `new_version` (a committer's `wv`).
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if the stripe was not locked by `owner`.
-    pub fn unlock_publish(&self, s: StripeIndex, owner: ThreadId, new_version: u64) {
-        debug_assert_eq!(self.load(s).owner, Some(owner), "unlock by non-owner");
-        let _ = owner;
+    /// Returns `false` — refusing the unlock and leaving the lock word
+    /// untouched — if the stripe was not locked by `owner`; the incident is
+    /// counted in [`LockTable::discipline_violations`]. Debug builds also
+    /// assert.
+    #[must_use = "a refused unlock means the lock word was not released"]
+    pub fn unlock_publish(&self, s: StripeIndex, owner: ThreadId, new_version: u64) -> bool {
+        if !self.owner_check(s, owner) {
+            return false;
+        }
         // Release: publishes the redo-log writes performed under the lock —
         // any Acquire load that sees `new_version` sees those writes too.
         self.words[s.0 as usize].store(LockWord::encode_unlocked(new_version), Ordering::Release);
+        true
     }
 
     /// Releases a stripe restoring its pre-lock version (abort path).
     ///
-    /// # Panics
-    ///
-    /// Panics in debug builds if the stripe was not locked by `owner`.
-    pub fn unlock_restore(&self, s: StripeIndex, owner: ThreadId, old_version: u64) {
-        debug_assert_eq!(self.load(s).owner, Some(owner), "unlock by non-owner");
-        let _ = owner;
+    /// Returns `false` — refusing the unlock and leaving the lock word
+    /// untouched — if the stripe was not locked by `owner`; the incident is
+    /// counted in [`LockTable::discipline_violations`]. Debug builds also
+    /// assert.
+    #[must_use = "a refused unlock means the lock word was not released"]
+    pub fn unlock_restore(&self, s: StripeIndex, owner: ThreadId, old_version: u64) -> bool {
+        if !self.owner_check(s, owner) {
+            return false;
+        }
         // Release: no data was published (abort restores the old version),
         // but the unlock must still order after any tentative stores so the
         // next locker never observes them.
         self.words[s.0 as usize].store(LockWord::encode_unlocked(old_version), Ordering::Release);
+        true
+    }
+
+    /// Number of unlock attempts refused because the caller was not the
+    /// stripe's owner. Always zero in a correct engine.
+    pub fn discipline_violations(&self) -> u64 {
+        self.violations.load(Ordering::Relaxed)
     }
 
     /// Records that `who`'s commit `seq` last wrote this stripe.
@@ -296,7 +329,7 @@ mod tests {
         assert!(w.locked);
         assert_eq!(w.owner, Some(owner));
         assert_eq!(w.version, 0, "version visible while locked");
-        lt.unlock_publish(s, owner, 42);
+        assert!(lt.unlock_publish(s, owner, 42));
         let w = lt.load(s);
         assert!(!w.locked);
         assert_eq!(w.version, 42);
@@ -307,18 +340,49 @@ mod tests {
         let lt = LockTable::new(4, false);
         let s = StripeIndex(0);
         let owner = ThreadId::new(1);
-        lt.unlock_publish(
-            s,
-            {
-                lt.try_lock(s, owner).unwrap();
-                owner
-            },
-            7,
-        );
+        lt.try_lock(s, owner).unwrap();
+        assert!(lt.unlock_publish(s, owner, 7));
         let old = lt.try_lock(s, owner).unwrap();
         assert_eq!(old, 7);
-        lt.unlock_restore(s, owner, old);
+        assert!(lt.unlock_restore(s, owner, old));
         assert_eq!(lt.load(s).version, 7);
+    }
+
+    #[test]
+    fn unlock_by_non_owner_is_refused_and_counted() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(1);
+        let owner = ThreadId::new(1);
+        lt.try_lock(s, owner).unwrap();
+        assert_eq!(lt.discipline_violations(), 0);
+
+        // Another thread trying to publish must be refused with the word
+        // untouched — the stripe stays locked by the real owner.
+        assert!(!lt.unlock_publish(s, ThreadId::new(2), 99));
+        assert_eq!(lt.discipline_violations(), 1);
+        let w = lt.load(s);
+        assert!(w.locked);
+        assert_eq!(w.owner, Some(owner));
+        assert_eq!(w.version, 0);
+
+        // Same for the restore path.
+        assert!(!lt.unlock_restore(s, ThreadId::new(3), 0));
+        assert_eq!(lt.discipline_violations(), 2);
+        assert_eq!(lt.load(s).owner, Some(owner));
+
+        // The owner's unlock still succeeds afterwards.
+        assert!(lt.unlock_publish(s, owner, 5));
+        assert_eq!(lt.load(s), LockWord { version: 5, locked: false, owner: None });
+        assert_eq!(lt.discipline_violations(), 2, "legitimate unlock adds no violation");
+    }
+
+    #[test]
+    fn unlock_of_unlocked_stripe_is_refused() {
+        let lt = LockTable::new(4, false);
+        let s = StripeIndex(2);
+        assert!(!lt.unlock_restore(s, ThreadId::new(0), 0), "stripe was never locked");
+        assert_eq!(lt.discipline_violations(), 1);
+        assert_eq!(lt.load(s).version, 0);
     }
 
     #[test]
@@ -405,7 +469,7 @@ mod tests {
         let raw = lt.load_raw(s);
         assert!(LockTable::raw_locked(raw));
         assert_eq!(LockTable::decode_raw(raw), lt.load(s));
-        lt.unlock_publish(s, owner, 55);
+        assert!(lt.unlock_publish(s, owner, 55));
         let raw = lt.load_raw(s);
         assert!(!LockTable::raw_locked(raw));
         assert_eq!(LockTable::raw_version(raw), 55);
@@ -418,7 +482,7 @@ mod tests {
         let s = StripeIndex(0);
         let owner = ThreadId::new(0xFFFF);
         lt.try_lock(s, owner).unwrap();
-        lt.unlock_publish(s, owner, (1 << 46) + 12345);
+        assert!(lt.unlock_publish(s, owner, (1 << 46) + 12345));
         let w = lt.load(s);
         assert_eq!(w.version, (1 << 46) + 12345);
         assert!(!w.locked);

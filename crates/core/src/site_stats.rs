@@ -107,6 +107,8 @@ impl EventSink for SiteStatsSink {
             TxEvent::Held { who, .. } => {
                 table.entry(*who).or_default().holds += 1;
             }
+            // Oracle instrumentation events carry no per-site tallies.
+            _ => {}
         }
     }
 }

@@ -23,8 +23,43 @@ use crate::policy::{AdmissionPolicy, AdmitAll};
 use crate::readset::{ReadSet, StripeFilter};
 use crate::tvar::{downcast, ErasedValue, TVar, VarCell};
 
-/// Encoding of the per-thread doom word: `1<<63 | seq<<32 | thread<<16 | tx`.
+/// Flag bit of the per-thread doom word; the full encoding is
+/// `DOOM_FLAG | seq<<24 | thread<<8 | tx`.
 const DOOM_FLAG: u64 = 1 << 62;
+
+/// Doom word stored by [`DoomHandle::doom`]: a synthetic committer with
+/// thread `0xFFFF` and tx `0xFF` (both deliberately out of range for any
+/// real participant — `max_threads <= u16::MAX` keeps thread ids below
+/// 0xFFFF) and sequence 0. Victims abort with
+/// [`AbortReason::DoomedByCommitter`] naming this sentinel, which also
+/// exercises the contention managers' unknown-conflictor paths.
+const CHAOS_DOOM: u64 = DOOM_FLAG | (0xFFFF << 8) | 0xFF;
+
+/// Clonable fault-injection lever over an [`Stm`]'s doom slots, obtained
+/// from [`Stm::doom_handle`]. `gstm-sim`'s `ChaosGate` uses it to force
+/// aborts at seeded random points without reaching into engine internals.
+#[derive(Clone, Debug)]
+pub struct DoomHandle {
+    slots: Arc<Vec<AtomicU64>>,
+}
+
+impl DoomHandle {
+    /// Number of doom slots (= `max_threads` of the owning [`Stm`]).
+    pub fn threads(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Dooms `thread`'s in-flight attempt: its next transactional operation
+    /// aborts with [`AbortReason::DoomedByCommitter`] naming the synthetic
+    /// chaos participant (see [`CHAOS_DOOM`]'s doc). Out-of-range threads
+    /// are ignored; a doom landing between attempts is cleared by the next
+    /// begin — a lost injection, not an error.
+    pub fn doom(&self, thread: ThreadId) {
+        if let Some(slot) = self.slots.get(thread.index()) {
+            slot.store(CHAOS_DOOM, Ordering::SeqCst);
+        }
+    }
+}
 
 /// Summary of a successful commit, returned by [`Txn`]-internal commit.
 #[derive(Clone, Copy, Debug)]
@@ -68,7 +103,13 @@ pub struct Stm {
     policy: Arc<dyn AdmissionPolicy>,
     cm: Arc<dyn ContentionManager>,
     commit_seq: AtomicU64,
-    doomed: Vec<AtomicU64>,
+    doomed: Arc<Vec<AtomicU64>>,
+    /// Test-only fault hook (`check` builds): when set, commit performs its
+    /// write-back *before* acquiring the write-set locks — a deliberate
+    /// lock-discipline violation the opacity oracle must catch. Never set
+    /// it outside negative tests.
+    #[cfg(feature = "check")]
+    broken_early_write_back: std::sync::atomic::AtomicBool,
 }
 
 impl std::fmt::Debug for Stm {
@@ -117,7 +158,9 @@ impl Stm {
             policy,
             cm,
             commit_seq: AtomicU64::new(0),
-            doomed: (0..config.max_threads).map(|_| AtomicU64::new(0)).collect(),
+            doomed: Arc::new((0..config.max_threads).map(|_| AtomicU64::new(0)).collect()),
+            #[cfg(feature = "check")]
+            broken_early_write_back: std::sync::atomic::AtomicBool::new(false),
             config,
         }
     }
@@ -135,6 +178,32 @@ impl Stm {
     /// Number of commits so far.
     pub fn commit_count(&self) -> u64 {
         self.commit_seq.load(Ordering::SeqCst)
+    }
+
+    /// A clonable handle for dooming transactions from outside the engine —
+    /// the fault-injection lever used by `gstm-sim`'s `ChaosGate`. A doomed
+    /// thread's current attempt aborts at its next transactional operation
+    /// with [`AbortReason::DoomedByCommitter`] naming a synthetic
+    /// out-of-range participant, exactly as a forced abort from a racing
+    /// committer would.
+    pub fn doom_handle(&self) -> DoomHandle {
+        DoomHandle { slots: Arc::clone(&self.doomed) }
+    }
+
+    /// Unlock attempts the lock table refused because the caller did not
+    /// own the stripe. Always zero in a correct engine; the chaos harness
+    /// and the opacity oracle assert on it.
+    pub fn lock_discipline_violations(&self) -> u64 {
+        self.locks.discipline_violations()
+    }
+
+    /// Arms (or disarms) the deliberate early-write-back fault: commit will
+    /// write its redo log back *before* taking the write-set locks,
+    /// violating lock discipline and opacity. Exists solely so negative
+    /// tests can prove the oracle catches a broken engine.
+    #[cfg(feature = "check")]
+    pub fn set_broken_early_write_back(&self, on: bool) {
+        self.broken_early_write_back.store(on, Ordering::SeqCst);
     }
 
     /// Runs `body` as a transaction, retrying until it commits.
@@ -475,7 +544,14 @@ impl<'stm> Txn<'stm> {
         if pre_version > self.rv {
             return Err(self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe));
         }
+        #[cfg(not(feature = "check"))]
         let value = var.cell().load();
+        #[cfg(feature = "check")]
+        let (value, stamp) = if stm.config.check_events {
+            var.cell().load_stamped()
+        } else {
+            (var.cell().load(), 0)
+        };
         let post_raw = stm.locks.load_raw(stripe);
         if post_raw != pre_raw {
             // Word changed under us — decode and apply the exact TL2
@@ -488,6 +564,21 @@ impl<'stm> Txn<'stm> {
         if self.scratch.reads.insert(stripe.0) && stm.locks.tracks_readers() && !own {
             stm.locks.register_reader(stripe, self.who.thread);
             self.scratch.registered.push(stripe);
+        }
+        // The sandwich succeeded: record what this read observed for the
+        // oracle. Reads served from the redo log (read-own-writes, above)
+        // are deliberately not recorded — they never touch shared state.
+        #[cfg(feature = "check")]
+        if stm.config.check_events {
+            stm.sink.record(&TxEvent::ReadCheck {
+                who: self.who,
+                var: var.id(),
+                stripe: stripe.0,
+                version: pre_version,
+                stamp,
+                rv: self.rv,
+                at: stm.gate.now(),
+            });
         }
         Ok(downcast(value))
     }
@@ -514,7 +605,7 @@ impl<'stm> Txn<'stm> {
             match stm.locks.try_lock(stripe, self.who.thread) {
                 Ok(old_version) => {
                     if old_version > self.rv {
-                        stm.locks.unlock_restore(stripe, self.who.thread, old_version);
+                        self.unlock_restore(stripe, old_version);
                         return Err(
                             self.abort_at(AbortReason::ReadVersion { var: var.id() }, stripe)
                         );
@@ -602,8 +693,23 @@ impl<'stm> Txn<'stm> {
         if self.scratch.writes.is_empty() {
             self.release(None);
             let seq = CommitSeq::new(stm.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
+            self.record_commit_check(seq, self.rv, 0);
             return Ok(CommitInfo { seq, wv: self.rv, reads: n_reads, writes: 0 });
         }
+
+        // Deliberate fault (negative tests only): install the redo log
+        // before a single write-set lock is taken, so the oracle's
+        // lock-discipline (unheld write-back) and dirty-read checks have a
+        // real engine bug to catch.
+        #[cfg(feature = "check")]
+        let wrote_early = if stm.broken_early_write_back.load(Ordering::SeqCst) {
+            self.write_back();
+            true
+        } else {
+            false
+        };
+        #[cfg(not(feature = "check"))]
+        let wrote_early = false;
 
         // 1. Lock the write set (stripes deduped, sorted for determinism;
         //    encounter-time locks are already held). The stripe list and
@@ -626,7 +732,7 @@ impl<'stm> Txn<'stm> {
                 Ok(old) => self.scratch.acquired.push((s, old)),
                 Err(_) => {
                     for &(a, old) in &self.scratch.acquired {
-                        stm.locks.unlock_restore(a, thread, old);
+                        self.unlock_restore(a, old);
                     }
                     let var =
                         self.scratch.writes.iter().find(|w| w.stripe == s).map(|w| w.cell.id());
@@ -673,7 +779,7 @@ impl<'stm> Txn<'stm> {
                     let abort =
                         self.abort_at(AbortReason::ValidateFailed { var: VarId::from_raw(0) }, s);
                     for &(h, old) in &self.scratch.held {
-                        stm.locks.unlock_restore(h, thread, old);
+                        self.unlock_restore(h, old);
                     }
                     self.release(None);
                     return Err(abort);
@@ -705,7 +811,7 @@ impl<'stm> Txn<'stm> {
                     }
                     if polls >= stm.config.reader_wait_limit {
                         for &(h, old) in &self.scratch.held {
-                            stm.locks.unlock_restore(h, thread, old);
+                            self.unlock_restore(h, old);
                         }
                         self.release(None);
                         return Err(Abort::new(AbortReason::ReaderWaitTimeout));
@@ -717,31 +823,107 @@ impl<'stm> Txn<'stm> {
             }
         }
 
-        // 5. Write back the redo log. One batched Gate crossing for the
-        //    whole operation group: every written stripe is locked by us,
-        //    so no other thread can observe the stores before step 6
-        //    publishes — batching the charges is schedule-invisible and
-        //    charges the identical virtual-time total.
-        stm.gate.pass_batch(thread, costs.commit_entry, self.scratch.writes.len() as u64);
-        for w in &self.scratch.writes {
-            w.cell.store(Arc::clone(&w.value));
+        // 5. Write back the redo log (unless the armed fault already did,
+        //    early and unprotected).
+        if !wrote_early {
+            self.write_back();
         }
 
         // 6. Release, publishing wv and stamping ourselves as last writer.
         for &(s, _) in &self.scratch.held {
             stm.locks.stamp(s, self.who, seq);
-            stm.locks.unlock_publish(s, thread, wv);
+            self.unlock_publish(s, wv);
         }
         self.release(None);
+        self.record_commit_check(seq, wv, n_writes);
         Ok(CommitInfo { seq, wv, reads: n_reads, writes: n_writes })
+    }
+
+    /// Step 5 of the commit protocol: installs the redo log into the cells.
+    /// One batched Gate crossing covers the whole operation group — in a
+    /// correct engine every written stripe is locked by us, so the stores
+    /// are invisible to other threads until step 6 publishes, and batching
+    /// the charges is schedule-invisible while charging the identical
+    /// virtual-time total.
+    fn write_back(&self) {
+        let stm = self.stm;
+        stm.gate.pass_batch(
+            self.who.thread,
+            stm.config.costs.commit_entry,
+            self.scratch.writes.len() as u64,
+        );
+        #[cfg(feature = "check")]
+        if stm.config.check_events {
+            for w in &self.scratch.writes {
+                let held = stm.locks.load(w.stripe).owner == Some(self.who.thread);
+                let stamp = w.cell.store_stamped(Arc::clone(&w.value));
+                stm.sink.record(&TxEvent::WriteBackCheck {
+                    who: self.who,
+                    var: w.cell.id(),
+                    stripe: w.stripe.0,
+                    stamp,
+                    held,
+                    at: stm.gate.now(),
+                });
+            }
+            return;
+        }
+        for w in &self.scratch.writes {
+            w.cell.store(Arc::clone(&w.value));
+        }
+    }
+
+    /// Releases `stripe` restoring `old` (abort/unwind paths), recording
+    /// the unlock for the oracle. The engine only ever releases stripes it
+    /// owns, so the lock table's refusal path must be unreachable from here.
+    fn unlock_restore(&self, stripe: StripeIndex, old: u64) {
+        let ok = self.stm.locks.unlock_restore(stripe, self.who.thread, old);
+        debug_assert!(ok, "engine released a stripe it did not own");
+        self.record_unlock(stripe, ok, false);
+    }
+
+    /// Releases `stripe` publishing `wv` (commit step 6), recording the
+    /// unlock for the oracle.
+    fn unlock_publish(&self, stripe: StripeIndex, wv: u64) {
+        let ok = self.stm.locks.unlock_publish(stripe, self.who.thread, wv);
+        debug_assert!(ok, "engine released a stripe it did not own");
+        self.record_unlock(stripe, ok, true);
+    }
+
+    #[cfg_attr(not(feature = "check"), allow(unused_variables))]
+    fn record_unlock(&self, stripe: StripeIndex, owner_ok: bool, publish: bool) {
+        #[cfg(feature = "check")]
+        if self.stm.config.check_events {
+            self.stm.sink.record(&TxEvent::UnlockCheck {
+                who: self.who,
+                stripe: stripe.0,
+                owner_ok,
+                publish,
+                at: self.stm.gate.now(),
+            });
+        }
+    }
+
+    #[cfg_attr(not(feature = "check"), allow(unused_variables))]
+    fn record_commit_check(&self, seq: CommitSeq, wv: u64, writes: u32) {
+        #[cfg(feature = "check")]
+        if self.stm.config.check_events {
+            self.stm.sink.record(&TxEvent::CommitCheck {
+                who: self.who,
+                seq,
+                rv: self.rv,
+                wv,
+                writes,
+                at: self.stm.gate.now(),
+            });
+        }
     }
 
     /// Abort path: release encounter-time locks and reader registrations.
     fn rollback(mut self) {
-        let thread = self.who.thread;
         for i in 0..self.scratch.eager_locks.len() {
             let (s, old) = self.scratch.eager_locks[i];
-            self.stm.locks.unlock_restore(s, thread, old);
+            self.unlock_restore(s, old);
         }
         self.scratch.eager_locks.clear();
         self.scratch.eager_filter.clear();
@@ -981,5 +1163,198 @@ mod tests {
         let stm = Stm::new(StmConfig::new(1));
         let v = TVar::new(0);
         stm.run(t(5), x(0), |tx| tx.read(&v));
+    }
+
+    /// Distinctive tick cost assigned to `CostModel::poll` so a counting
+    /// gate can isolate WaitForReaders polls from every other crossing.
+    const POLL_COST: Ticks = 997;
+
+    /// Counts gate passes charged at exactly [`POLL_COST`].
+    #[derive(Debug, Default)]
+    struct PollCountingGate {
+        polls: AtomicU64,
+    }
+
+    impl Gate for PollCountingGate {
+        fn pass(&self, _thread: ThreadId, cost: Ticks) {
+            if cost == POLL_COST {
+                self.polls.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+
+        fn now(&self) -> u64 {
+            0
+        }
+
+        fn thread_time(&self, _thread: ThreadId) -> u64 {
+            0
+        }
+    }
+
+    fn wait_limit_stm(limit: u32) -> (Stm, Arc<PollCountingGate>) {
+        let gate = Arc::new(PollCountingGate::default());
+        let costs = crate::gate::CostModel { poll: POLL_COST, ..crate::gate::CostModel::default() };
+        let cfg = StmConfig::new(2)
+            .with_resolution(Resolution::WaitForReaders)
+            .with_reader_wait_limit(limit)
+            .with_costs(costs);
+        let stm = Stm::with_parts(
+            cfg,
+            gate.clone(),
+            Arc::new(NullSink),
+            Arc::new(AdmitAll),
+            Arc::new(Aggressive),
+        );
+        (stm, gate)
+    }
+
+    /// Runs the boundary scenario: thread 0 holds a visible-reader
+    /// registration on `a` while thread 1 tries to commit a write to it.
+    /// Returns the poll count charged to the timed-out committer.
+    fn polls_until_reader_wait_timeout(limit: u32) -> u64 {
+        let (stm, gate) = wait_limit_stm(limit);
+        let a = TVar::new(0i64);
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            let _ = tx.read(&a)?; // registers thread 0 as a visible reader
+            let inner = stm.try_run_once(t(1), x(1), |tx2| {
+                let v = tx2.read(&a)?;
+                tx2.write(&a, v + 1)
+            });
+            assert!(
+                matches!(
+                    inner,
+                    Err(StmError::Aborted(Abort { reason: AbortReason::ReaderWaitTimeout, .. }))
+                ),
+                "committer must time out on the parked reader: {inner:?}"
+            );
+            Ok(())
+        });
+        assert!(r.is_ok());
+        assert_eq!(*a.load_unlogged(), 0, "timed-out committer must not publish");
+        // Once the reader drains, the same write commits without waiting.
+        stm.run(t(1), x(1), |tx2| {
+            let v = tx2.read(&a)?;
+            tx2.write(&a, v + 1)
+        });
+        assert_eq!(*a.load_unlogged(), 1);
+        gate.polls.load(Ordering::SeqCst)
+    }
+
+    #[test]
+    fn reader_wait_limit_zero_aborts_without_a_single_poll() {
+        assert_eq!(polls_until_reader_wait_timeout(0), 0);
+    }
+
+    #[test]
+    fn reader_wait_limit_one_charges_exactly_one_poll() {
+        assert_eq!(polls_until_reader_wait_timeout(1), 1);
+    }
+
+    #[test]
+    fn doom_handle_forces_abort_with_synthetic_culprit() {
+        let stm = Stm::new(StmConfig::new(1));
+        let h = stm.doom_handle();
+        assert_eq!(h.threads(), 1);
+        let v = TVar::new(0u32);
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            h.doom(tx.thread());
+            tx.read(&v)
+        });
+        match r {
+            Err(StmError::Aborted(a)) => {
+                assert!(matches!(a.reason, AbortReason::DoomedByCommitter { .. }), "{a:?}");
+                let (p, _) = a.culprit.expect("synthetic culprit attributed");
+                assert_eq!(p.thread.raw(), 0xFFFF, "chaos sentinel thread");
+                assert_eq!(p.tx.raw(), 0xFF, "chaos sentinel tx");
+            }
+            other => panic!("expected doomed abort, got {other:?}"),
+        }
+        // Out-of-range threads are ignored; the doom slot was consumed.
+        h.doom(t(5));
+        assert_eq!(stm.run(t(0), x(0), |tx| tx.read(&v)), 0);
+    }
+
+    #[cfg(feature = "check")]
+    fn check_stm(check_events: bool) -> (Stm, Arc<crate::events::MemorySink>) {
+        let sink = Arc::new(crate::events::MemorySink::new());
+        let stm = Stm::with_parts(
+            StmConfig::new(1).with_check_events(check_events),
+            Arc::new(NullGate),
+            sink.clone(),
+            Arc::new(AdmitAll),
+            Arc::new(Aggressive),
+        );
+        (stm, sink)
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn check_events_capture_the_full_commit_shape() {
+        let (stm, sink) = check_stm(true);
+        let a = TVar::new(0i64);
+        stm.run(t(0), x(0), |tx| {
+            let v = tx.read(&a)?;
+            tx.write(&a, v + 1)
+        });
+        let (mut reads, mut wbs, mut commits, mut unlocks) = (0, 0, 0, 0);
+        for e in sink.take() {
+            match e {
+                TxEvent::ReadCheck { stamp, .. } => {
+                    assert_eq!(stamp, 0, "initial value carries stamp 0");
+                    reads += 1;
+                }
+                TxEvent::WriteBackCheck { held, stamp, .. } => {
+                    assert!(held, "write-back must run under the stripe lock");
+                    assert!(stamp > 0, "transactional write-back stamps the cell");
+                    wbs += 1;
+                }
+                TxEvent::CommitCheck { writes, rv, wv, .. } => {
+                    assert_eq!(writes, 1);
+                    assert!(wv > rv, "writer commit must tick the clock");
+                    commits += 1;
+                }
+                TxEvent::UnlockCheck { owner_ok, publish, .. } => {
+                    assert!(owner_ok && publish);
+                    unlocks += 1;
+                }
+                _ => {}
+            }
+        }
+        assert_eq!((reads, wbs, commits, unlocks), (1, 1, 1, 1));
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn check_events_stay_silent_unless_enabled() {
+        let (stm, sink) = check_stm(false);
+        let a = TVar::new(0i64);
+        stm.run(t(0), x(0), |tx| tx.modify(&a, |v| v + 1));
+        for e in sink.take() {
+            assert!(
+                !matches!(
+                    e,
+                    TxEvent::ReadCheck { .. }
+                        | TxEvent::WriteBackCheck { .. }
+                        | TxEvent::CommitCheck { .. }
+                        | TxEvent::UnlockCheck { .. }
+                ),
+                "check events must be off by default: {e}"
+            );
+        }
+    }
+
+    #[cfg(feature = "check")]
+    #[test]
+    fn broken_early_write_back_reports_unheld_write_backs() {
+        let (stm, sink) = check_stm(true);
+        stm.set_broken_early_write_back(true);
+        let a = TVar::new(0i64);
+        stm.run(t(0), x(0), |tx| tx.modify(&a, |v| v + 1));
+        let evs = sink.take();
+        let unheld =
+            evs.iter().filter(|e| matches!(e, TxEvent::WriteBackCheck { held: false, .. })).count();
+        assert_eq!(unheld, 1, "early write-back must be observed outside the lock");
+        assert_eq!(*a.load_unlogged(), 1, "single-threaded result is still right");
+        assert_eq!(stm.lock_discipline_violations(), 0, "unlocks themselves stay by-owner");
     }
 }

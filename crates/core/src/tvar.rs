@@ -14,6 +14,13 @@ pub(crate) type ErasedValue = Arc<dyn Any + Send + Sync>;
 
 static NEXT_VAR_ID: AtomicU64 = AtomicU64::new(1);
 
+/// Process-global counter handing out write stamps for the `check` feature.
+/// Stamp 0 is reserved for initial/unlogged values, so the counter starts
+/// at 1. Stamps only need to be unique, not dense or ordered, so a plain
+/// relaxed fetch-add suffices.
+#[cfg(feature = "check")]
+static NEXT_WRITE_STAMP: AtomicU64 = AtomicU64::new(1);
+
 thread_local! {
     /// The allocation domain installed on this thread, if any.
     static INSTALLED_DOMAIN: std::cell::RefCell<Option<Arc<AtomicU64>>> =
@@ -97,9 +104,25 @@ fn next_var_id() -> VarId {
 pub(crate) struct VarCell {
     id: VarId,
     data: Mutex<ErasedValue>,
+    /// Write stamp of the value currently in `data`: a globally unique id
+    /// assigned per transactional write-back, or 0 for initial/unlogged
+    /// values. The oracle uses stamps to identify *which* committed write a
+    /// read observed without comparing erased payloads. Read and written
+    /// only under the `data` mutex so (value, stamp) pairs are consistent.
+    #[cfg(feature = "check")]
+    stamp: AtomicU64,
 }
 
 impl VarCell {
+    pub(crate) fn new(id: VarId, value: ErasedValue) -> Self {
+        VarCell {
+            id,
+            data: Mutex::new(value),
+            #[cfg(feature = "check")]
+            stamp: AtomicU64::new(0),
+        }
+    }
+
     #[inline]
     pub(crate) fn id(&self) -> VarId {
         self.id
@@ -112,7 +135,30 @@ impl VarCell {
 
     #[inline]
     pub(crate) fn store(&self, value: ErasedValue) {
-        *self.data.lock() = value;
+        let mut data = self.data.lock();
+        #[cfg(feature = "check")]
+        self.stamp.store(0, Ordering::Relaxed);
+        *data = value;
+    }
+
+    /// Loads the current (value, write stamp) pair consistently.
+    #[cfg(feature = "check")]
+    #[inline]
+    pub(crate) fn load_stamped(&self) -> (ErasedValue, u64) {
+        let data = self.data.lock();
+        (Arc::clone(&data), self.stamp.load(Ordering::Relaxed))
+    }
+
+    /// Installs `value` with a fresh globally unique write stamp; returns
+    /// the stamp. Used by transactional write-back under `check`.
+    #[cfg(feature = "check")]
+    #[inline]
+    pub(crate) fn store_stamped(&self, value: ErasedValue) -> u64 {
+        let mut data = self.data.lock();
+        let stamp = NEXT_WRITE_STAMP.fetch_add(1, Ordering::Relaxed);
+        self.stamp.store(stamp, Ordering::Relaxed);
+        *data = value;
+        stamp
     }
 }
 
@@ -150,10 +196,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Creates a new transactional variable holding `value`.
     pub fn new(value: T) -> Self {
         let id = next_var_id();
-        TVar {
-            cell: Arc::new(VarCell { id, data: Mutex::new(Arc::new(value)) }),
-            _marker: PhantomData,
-        }
+        TVar { cell: Arc::new(VarCell::new(id, Arc::new(value))), _marker: PhantomData }
     }
 
     /// This variable's globally unique id.

@@ -9,6 +9,8 @@
 //!   declarative study runner with a content-addressed cache and a bounded
 //!   worker pool (`--jobs N`);
 //! * [`cache`] — the content-addressed disk cache itself;
+//! * [`checkcmd`] — the `check` subcommand: a fault-injected chaos matrix
+//!   judged by the `gstm-check` opacity oracle;
 //! * [`progress`] — the [`progress::Progress`] status-line sink;
 //! * [`metrics`] — derivations (per-thread stddev, tail metric merges, …);
 //! * [`report`] — one renderer per paper table/figure;
@@ -23,6 +25,7 @@
 pub mod ablation;
 pub mod bench;
 pub mod cache;
+pub mod checkcmd;
 pub mod config;
 pub mod metrics;
 pub mod pipeline;

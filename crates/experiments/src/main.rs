@@ -20,6 +20,10 @@
 //!   bench-pipeline [--out PATH] [--cache-dir PATH] [--profile NAME]
 //!                              (cold-vs-warm pipeline timing -> BENCH_pipeline.json)
 //!   bench-check FILE           (validate a BENCH_*.json artifact's shape)
+//!   check [--tiny] [--seed N] [--threads N] [--ops N] [--jobs N]
+//!                              (fault-injected chaos matrix judged by the
+//!                               gstm-check opacity oracle -> results/check.txt;
+//!                               exits 1 on any violation)
 //! ```
 //!
 //! Every study command resolves through the experiment pipeline: trained
@@ -49,7 +53,7 @@ use gstm_synquake::Quest;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|all|\
-         cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-check|\
+         cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-check|check|\
          ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
          [--cache-dir PATH] [--no-cache]"
@@ -152,6 +156,47 @@ fn run_bench_check(args: &[String]) -> ! {
     }
 }
 
+/// `check`: the fault-injected chaos matrix judged by the opacity oracle.
+/// Prints the per-cell report, archives it to `results/check.txt`, and
+/// exits nonzero if any cell saw a violation (or the history was vacuous).
+fn run_check(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let parsed = |name: &str, v: &String| -> u64 {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("check: {name} requires a non-negative integer, got {v}");
+            std::process::exit(2);
+        })
+    };
+    let seed = flag("--seed").map_or(7, |s| parsed("--seed", s));
+    let mut opts = if args.iter().any(|a| a == "--tiny") {
+        gstm_experiments::checkcmd::CheckOptions::tiny(seed)
+    } else {
+        gstm_experiments::checkcmd::CheckOptions::new(seed)
+    };
+    if let Some(t) = flag("--threads") {
+        opts.threads = parsed("--threads", t).max(2) as usize;
+    }
+    if let Some(o) = flag("--ops") {
+        opts.ops_per_thread = parsed("--ops", o) as u32;
+    }
+    // The matrix needs only the pipeline's worker pool; the tiny study
+    // config supplies the pool defaults (jobs, results dir).
+    let mut cfg = ExpConfig::tiny();
+    if let Some(jobs) = flag("--jobs") {
+        cfg.jobs = parsed("--jobs", jobs).max(1) as usize;
+    }
+    let progress = StderrProgress::new();
+    let pipe = Pipeline::new(&cfg, &progress).with_jobs(cfg.jobs);
+    let (body, ok) = gstm_experiments::checkcmd::run_matrix(&opts, &pipe, &progress);
+    if std::fs::create_dir_all(&cfg.out_dir).is_ok() {
+        let _ = std::fs::write(cfg.out_dir.join("check.txt"), &body);
+    }
+    println!("{body}");
+    std::process::exit(i32::from(!ok));
+}
+
 /// Deterministic per-seed summary of one STAMP cell — the `cell` command's
 /// output, diffed byte-for-byte by the CI pipeline smoke (jobs/cache
 /// invariance).
@@ -190,10 +235,11 @@ fn main() {
     }
     let command = args[0].as_str();
     match command {
-        // The bench paths never touch ExpConfig or the study machinery.
+        // These paths never touch the study machinery.
         "bench" => run_bench(&args[1..]),
         "bench-pipeline" => run_bench_pipeline(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
+        "check" => run_check(&args[1..]),
         _ => {}
     }
     let fast = args.iter().any(|a| a == "--fast");

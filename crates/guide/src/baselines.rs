@@ -86,7 +86,9 @@ impl EventSink for BoundedAbortsPolicy {
                     Ordering::SeqCst,
                 );
             }
-            TxEvent::Begin { .. } | TxEvent::Held { .. } => {}
+            // Begin/Held and oracle instrumentation events leave streaks
+            // untouched.
+            _ => {}
         }
     }
 }

@@ -123,7 +123,9 @@ impl EventSink for StateTracker {
                 };
                 self.current.store(next, Ordering::SeqCst);
             }
-            TxEvent::Begin { .. } | TxEvent::Held { .. } => {}
+            // Begin/Held and the oracle's instrumentation events carry no
+            // TSA transition.
+            _ => {}
         }
     }
 }

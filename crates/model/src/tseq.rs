@@ -51,7 +51,8 @@ fn parse_arrival(events: &[TxEvent]) -> Vec<Tts> {
             TxEvent::Commit { who, .. } => {
                 out.push(Tts::new(std::mem::take(&mut pending), *who));
             }
-            TxEvent::Begin { .. } | TxEvent::Held { .. } => {}
+            // Begin/Held and oracle instrumentation events form no tuple.
+            _ => {}
         }
     }
     out

@@ -55,9 +55,11 @@
 #![warn(missing_debug_implementations)]
 
 mod barrier;
+mod chaos;
 mod gate;
 mod machine;
 
 pub use barrier::{NativeBarrier, SimBarrier, WaitBarrier};
+pub use chaos::{ChaosConfig, ChaosGate, ChaosStats};
 pub use gate::SimGate;
 pub use machine::{RunReport, SimConfig, SimMachine};

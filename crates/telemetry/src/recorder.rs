@@ -109,7 +109,9 @@ impl FlightRecorder {
                 ring.streak = 0;
                 ring.tripped = false;
             }
-            TxEvent::Begin { .. } | TxEvent::Held { .. } => {}
+            // Oracle instrumentation events ride the ring but carry no
+            // streak semantics, like Begin/Held.
+            _ => {}
         }
     }
 

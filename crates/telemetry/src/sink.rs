@@ -83,6 +83,8 @@ impl EventSink for TelemetrySink {
                     m.hold_polls.fetch_add(u64::from(*polls), Relaxed);
                     m.polls.record(u64::from(*polls));
                 }
+                // Oracle instrumentation events carry no per-thread metrics.
+                _ => {}
             }
         }
         if let Some(rec) = &self.recorder {

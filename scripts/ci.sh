@@ -42,6 +42,10 @@ grep -qE "runs [1-9][0-9]* hit / 0 miss" "$smoke_dir/warm.err" \
     || { echo "pipeline smoke: warm run missed the run cache"; exit 1; }
 rm -rf "$smoke_dir"
 
+echo "==> chaos matrix: opacity oracle must report zero violations"
+./target/release/experiments check --tiny --seed 7 --jobs 2 \
+    || { echo "chaos matrix: opacity/serializability violations (see results/check.txt)"; exit 1; }
+
 echo "==> pipeline bench: cold-vs-warm artifact must be well-formed"
 ./target/release/experiments bench-pipeline --profile release \
     --out target/BENCH_pipeline_smoke.json

@@ -7,11 +7,13 @@
 //! See [`core`] for the TL2 engine, [`model`] for the thread-state-automaton
 //! machinery, [`guide`] for guided execution, [`sim`] for the deterministic
 //! virtual-core machine, [`stamp`] and [`synquake`] for the workloads,
-//! [`stats`] for the metrics, and [`telemetry`] for the sharded metric
-//! registries, flight recorder, and snapshot export.
+//! [`stats`] for the metrics, [`telemetry`] for the sharded metric
+//! registries, flight recorder, and snapshot export, and [`check`] for the
+//! offline opacity/serializability oracle.
 
 #![warn(missing_docs)]
 
+pub use gstm_check as check;
 pub use gstm_collections as collections;
 pub use gstm_core as core;
 pub use gstm_guide as guide;

@@ -1,0 +1,136 @@
+//! End-to-end exercises of the opacity/serializability oracle.
+//!
+//! Three directions, matching the oracle's contract:
+//!
+//! * **Positive** — a chaos-perturbed multi-thread bank run (seeded delays,
+//!   delayed commits, forced aborts) must still produce a history the
+//!   oracle accepts: opacity survives fault injection in a correct engine.
+//! * **Negative** — the deliberately broken engine (write-back before the
+//!   write-set locks, armed via the test-only hook) must be *caught*: the
+//!   oracle is only trustworthy if it rejects a known-bad build.
+//! * **Vacuity** — with check events disabled the history is empty, and
+//!   the report must say so, so harnesses can't mistake silence for proof.
+
+use std::sync::Arc;
+
+use gstm::check::{check_history, Violation};
+use gstm::core::cm::Aggressive;
+use gstm::core::{AdmitAll, MemorySink, NullGate, Stm, StmConfig, TVar, VarIdDomain};
+use gstm::sim::{ChaosConfig, ChaosGate, SimConfig, SimMachine};
+use gstm::{ThreadId, TxId};
+
+/// A fixed transfer cycle keeps the workload dependency-free: each thread
+/// walks the ring moving amounts between neighbouring accounts, so the sum
+/// is conserved and every pair of threads conflicts.
+fn transfer_ring(stm: &Stm, accounts: &[TVar<i64>], thread: u16, ops: u32) {
+    let me = ThreadId::new(thread);
+    let n = accounts.len();
+    for op in 0..ops {
+        let from = (op as usize + thread as usize) % n;
+        let to = (from + 1 + thread as usize) % n;
+        if from == to {
+            continue;
+        }
+        let amount = i64::from(op % 7) + 1;
+        stm.run(me, TxId::new(0), |tx| {
+            let f = tx.read(&accounts[from])?;
+            let t = tx.read(&accounts[to])?;
+            tx.write(&accounts[from], f - amount)?;
+            tx.write(&accounts[to], t + amount)
+        });
+    }
+}
+
+#[test]
+fn chaos_perturbed_run_still_satisfies_the_oracle() {
+    let threads = 4;
+    let domain = VarIdDomain::new();
+    let guard = domain.install();
+    let accounts: Vec<TVar<i64>> = (0..6).map(|_| TVar::new(100)).collect();
+    drop(guard);
+
+    let machine = SimMachine::new(SimConfig::new(threads, 7));
+    let chaos = Arc::new(ChaosGate::new(ChaosConfig::new(0xC0FFEE), machine.gate(), threads));
+    let sink = Arc::new(MemorySink::new());
+    let stm = Arc::new(Stm::with_parts(
+        StmConfig::new(threads).with_check_events(true),
+        chaos.clone() as Arc<dyn gstm::core::Gate>,
+        sink.clone(),
+        Arc::new(AdmitAll),
+        Arc::new(Aggressive),
+    ));
+    chaos.arm(stm.doom_handle());
+
+    let workers: Vec<Box<dyn FnOnce() + Send + '_>> = (0..threads as u16)
+        .map(|i| {
+            let stm = Arc::clone(&stm);
+            let accounts = &accounts;
+            Box::new(move || transfer_ring(&stm, accounts, i, 64)) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    machine.run(workers);
+
+    let report = check_history(&sink.take());
+    assert!(report.ok(), "chaos must not break opacity: {}", report.summary());
+    assert!(!report.is_vacuous(), "check events were enabled, history must be non-empty");
+    let stats = chaos.stats();
+    assert!(stats.dooms > 0, "the chaos gate never injected a forced abort — vacuous chaos");
+    assert_eq!(stm.lock_discipline_violations(), 0);
+    let total: i64 = accounts.iter().map(|a| *a.load_unlogged()).sum();
+    assert_eq!(total, 600, "transfers must conserve the account total");
+}
+
+#[test]
+fn broken_early_write_back_is_caught_by_the_oracle() {
+    let domain = VarIdDomain::new();
+    let guard = domain.install();
+    let a = TVar::new(1i64);
+    let b = TVar::new(2i64);
+    drop(guard);
+
+    let sink = Arc::new(MemorySink::new());
+    let stm = Stm::with_parts(
+        StmConfig::new(1).with_check_events(true),
+        Arc::new(NullGate),
+        sink.clone(),
+        Arc::new(AdmitAll),
+        Arc::new(Aggressive),
+    );
+    stm.set_broken_early_write_back(true);
+    stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+        let x = tx.read(&a)?;
+        tx.write(&a, x + 10)?;
+        tx.write(&b, x)
+    });
+
+    let report = check_history(&sink.take());
+    assert!(!report.ok(), "the oracle accepted a build that writes back before locking");
+    let unheld =
+        report.violations.iter().filter(|v| matches!(v, Violation::UnheldWriteBack { .. })).count();
+    assert!(unheld > 0, "expected UnheldWriteBack violations, got: {:?}", report.violations);
+}
+
+#[test]
+fn disabled_check_events_yield_a_vacuous_history() {
+    let domain = VarIdDomain::new();
+    let guard = domain.install();
+    let a = TVar::new(0i64);
+    drop(guard);
+
+    let sink = Arc::new(MemorySink::new());
+    let stm = Stm::with_parts(
+        StmConfig::new(1), // check_events defaults to off
+        Arc::new(NullGate),
+        sink.clone(),
+        Arc::new(AdmitAll),
+        Arc::new(Aggressive),
+    );
+    stm.run(ThreadId::new(0), TxId::new(0), |tx| {
+        let x = tx.read(&a)?;
+        tx.write(&a, x + 1)
+    });
+
+    let report = check_history(&sink.take());
+    assert!(report.ok());
+    assert!(report.is_vacuous(), "no check events were emitted, the report must say so");
+}

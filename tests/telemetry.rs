@@ -90,7 +90,8 @@ fn counted(events: &[TxEvent]) -> (u64, u64, u64) {
             TxEvent::Begin { .. } => begins += 1,
             TxEvent::Abort { .. } => aborts += 1,
             TxEvent::Commit { .. } => commits += 1,
-            TxEvent::Held { .. } => {}
+            // Held and the oracle's check events don't enter the tallies.
+            _ => {}
         }
     }
     (begins, aborts, commits)
