@@ -145,6 +145,23 @@ where
         tx.write(var, entries)
     }
 
+    /// Non-transactional insert for pre-run population (setup only — never
+    /// call while transactions are running; the store bypasses the STM).
+    /// Returns the previous value if the key was present.
+    pub fn insert_unlogged(&self, key: K, value: V) -> Option<V> {
+        let var = self.bucket_of(&key);
+        let mut entries = (*var.load_unlogged()).clone();
+        let old = match entries.iter_mut().find(|(k, _)| *k == key) {
+            Some(slot) => Some(std::mem::replace(&mut slot.1, value)),
+            None => {
+                entries.push((key, value));
+                None
+            }
+        };
+        var.store_unlogged(entries);
+        old
+    }
+
     /// Non-transactional snapshot of all entries (teardown only).
     pub fn snapshot_unlogged(&self) -> Vec<(K, V)> {
         self.buckets.iter().flat_map(|b| (*b.load_unlogged()).clone()).collect()
@@ -262,6 +279,15 @@ mod tests {
             Ok(())
         });
         assert_eq!(map.snapshot_unlogged(), vec![(1, vec![10, 20])]);
+    }
+
+    #[test]
+    fn insert_unlogged_seeds_transactional_reads() {
+        let map: THashMap<u32, u32> = THashMap::new(4);
+        assert_eq!(map.insert_unlogged(5, 50), None);
+        assert_eq!(map.insert_unlogged(5, 55), Some(50));
+        let got = with_tx(|tx| map.get(tx, &5));
+        assert_eq!(got, Some(55));
     }
 
     #[test]

@@ -207,6 +207,98 @@ impl SampleRange<f64> for RangeInclusive<f64> {
     }
 }
 
+/// Exponential distribution with a given mean — the inter-arrival sampler
+/// of a Poisson process (`gstm-serve`'s open-loop traffic generator draws
+/// request gaps from this).
+///
+/// ```
+/// use gstm_core::rng::{Exp, SmallRng};
+/// let mut rng = SmallRng::seed_from_u64(1);
+/// let gap = Exp::new(50.0).sample(&mut rng);
+/// assert!(gap >= 0.0);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Exp {
+    mean: f64,
+}
+
+impl Exp {
+    /// An exponential distribution with the given mean (`1/λ`).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `mean` is finite and positive.
+    pub fn new(mean: f64) -> Self {
+        assert!(mean.is_finite() && mean > 0.0, "mean must be finite and positive");
+        Exp { mean }
+    }
+
+    /// The distribution's mean.
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Draws one value by inversion: `-mean · ln(1 − u)`, `u ∈ [0, 1)`.
+    /// Always finite and non-negative (`1 − u` never reaches 0).
+    pub fn sample(&self, rng: &mut SmallRng) -> f64 {
+        let u: f64 = rng.gen();
+        -self.mean * (1.0 - u).ln()
+    }
+}
+
+/// Zipf distribution over ranks `0..n`: rank `k` is drawn with probability
+/// proportional to `(k + 1)^−θ`. `θ = 0` is uniform; `θ ≈ 1` is the classic
+/// web-object popularity curve (a few very hot keys, a long cold tail).
+///
+/// Sampling inverts the cumulative weight table with a binary search
+/// (`O(log n)` per draw after an `O(n)` setup), which is exact — no
+/// rejection loop, so the number of RNG draws per sample is always one,
+/// keeping seeded streams easy to reason about.
+///
+/// ```
+/// use gstm_core::rng::{SmallRng, Zipf};
+/// let mut rng = SmallRng::seed_from_u64(2);
+/// let zipf = Zipf::new(100, 0.9);
+/// assert!(zipf.sample(&mut rng) < 100);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    /// Cumulative (unnormalized) weights; `cdf[k]` = Σ_{i≤k} (i+1)^−θ.
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `0..n` with skew `θ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or `θ` is negative or non-finite.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf needs a non-empty rank space");
+        assert!(theta.is_finite() && theta >= 0.0, "theta must be finite and non-negative");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 0..n {
+            acc += ((k + 1) as f64).powf(-theta);
+            cdf.push(acc);
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draws one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SmallRng) -> usize {
+        let total = *self.cdf.last().expect("nonempty cdf");
+        let u: f64 = rng.gen::<f64>() * total;
+        // First rank whose cumulative weight exceeds u.
+        self.cdf.partition_point(|&c| c <= u).min(self.cdf.len() - 1)
+    }
+}
+
 /// Slice shuffling, mirroring `rand::seq::SliceRandom`.
 pub trait SliceRandom {
     /// Element type.
@@ -321,6 +413,79 @@ mod tests {
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
         assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn exp_sample_mean_and_support() {
+        let mut rng = SmallRng::seed_from_u64(21);
+        let exp = Exp::new(40.0);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let v = exp.sample(&mut rng);
+            assert!(v.is_finite() && v >= 0.0);
+            sum += v;
+        }
+        let mean = sum / n as f64;
+        // Sample mean of 20k exponentials: well within 5% of the true mean.
+        assert!((mean - 40.0).abs() < 2.0, "sample mean {mean}");
+        assert_eq!(Exp::new(7.5).mean(), 7.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn exp_rejects_bad_mean() {
+        let _ = Exp::new(0.0);
+    }
+
+    #[test]
+    fn zipf_theta_zero_is_uniform() {
+        let mut rng = SmallRng::seed_from_u64(22);
+        let zipf = Zipf::new(8, 0.0);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_towards_low_ranks() {
+        let mut rng = SmallRng::seed_from_u64(23);
+        let zipf = Zipf::new(1000, 1.0);
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..30_000 {
+            counts[zipf.sample(&mut rng)] += 1;
+        }
+        // Rank 0 must dominate rank 9 and dwarf the deep tail; under θ=1
+        // the expected ratio of rank 0 to rank 9 is 10.
+        assert!(counts[0] > 2 * counts[9], "{} vs {}", counts[0], counts[9]);
+        let head: u32 = counts[..10].iter().sum();
+        let tail: u32 = counts[500..].iter().sum();
+        assert!(head > tail, "head {head} vs tail {tail}");
+    }
+
+    #[test]
+    fn zipf_covers_full_range_and_is_deterministic() {
+        let zipf = Zipf::new(5, 0.5);
+        assert_eq!(zipf.n(), 5);
+        let draw = |seed| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            (0..64).map(|_| zipf.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        let a = draw(3);
+        assert_eq!(a, draw(3), "same seed, same stream");
+        for rank in 0..5 {
+            assert!(a.contains(&rank), "rank {rank} never drawn: {a:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty rank space")]
+    fn zipf_rejects_empty() {
+        let _ = Zipf::new(0, 1.0);
     }
 
     #[test]

@@ -23,6 +23,8 @@ pub struct ExpConfig {
     pub synquake_frames: (u64, u64),
     /// SynQuake player count (paper: 1000; scaled to 600 by default).
     pub synquake_players: usize,
+    /// Requests per thread in the `serve` tail-latency study.
+    pub serve_requests: usize,
     /// Directory results are written to.
     pub out_dir: std::path::PathBuf,
     /// Collect telemetry snapshots on every measured run (the CLI's
@@ -49,6 +51,7 @@ impl ExpConfig {
             test_size: InputSize::Small,
             synquake_frames: (10, 24),
             synquake_players: 600,
+            serve_requests: 400,
             out_dir: "results".into(),
             telemetry: false,
             jobs: 1,
@@ -64,6 +67,7 @@ impl ExpConfig {
             train_seeds: (1..7).collect(),
             synquake_frames: (5, 10),
             synquake_players: 150,
+            serve_requests: 200,
             ..ExpConfig::full()
         }
     }
@@ -77,6 +81,7 @@ impl ExpConfig {
             train_seeds: vec![1, 2],
             synquake_frames: (2, 3),
             synquake_players: 40,
+            serve_requests: 80,
             ..ExpConfig::fast()
         }
     }

@@ -31,4 +31,5 @@ pub mod metrics;
 pub mod pipeline;
 pub mod progress;
 pub mod report;
+pub mod servecmd;
 pub mod study;

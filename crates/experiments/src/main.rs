@@ -10,6 +10,7 @@
 //!   fig3 fig4 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12
 //!   stamp      (table1+3+4, fig3..10 from one shared study)
 //!   quake      (table5, fig11, fig12)
+//!   serve      (open-loop store service tail-latency study -> serve.txt)
 //!   all        (everything above)
 //!   cell --bench NAME          (one STAMP cell; deterministic summary — CI smoke)
 //!   ablate-tfactor | ablate-k | ablate-cm | ablate-train | ablate-policy | ablate-detection
@@ -52,7 +53,7 @@ use gstm_synquake::Quest;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|all|\
+        "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|serve|all|\
          cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-check|check|\
          ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
@@ -310,6 +311,7 @@ fn main() {
             | "all"
     );
     let needs_quake = matches!(command, "table5" | "fig11" | "fig12" | "quake" | "all");
+    let needs_serve = matches!(command, "serve" | "all");
 
     // Declare everything the command needs, then resolve the whole plan in
     // one pass: shared training, cached outcomes, `--jobs` fan-out.
@@ -322,12 +324,16 @@ fn main() {
     if needs_quake {
         plan.quake_study(&cfg);
     }
+    if needs_serve {
+        plan.serve_study(&cfg);
+    }
     if command == "cell" {
         plan.stamp_cell(bench_name, cfg.threads_list[0]);
     }
     let result = (!plan.is_empty()).then(|| pipe.resolve(&plan));
     let stamp = result.as_ref().map(|r| &r.stamp).filter(|s| !s.cells.is_empty());
     let quake = result.as_ref().map(|r| &r.quake).filter(|q| !q.cells.is_empty());
+    let serve = result.as_ref().map(|r| &r.serve).filter(|s| !s.cells.is_empty());
 
     let threads_a = cfg.threads_list[0];
     let threads_b = *cfg.threads_list.last().expect("nonempty threads list");
@@ -365,6 +371,7 @@ fn main() {
             "fig12",
             report::fig_quake(&cfg, quake.unwrap(), Quest::CenterSpread6, "Figure 12"),
         ),
+        "serve" => emit("serve", gstm_experiments::servecmd::render_serve(&cfg, serve.unwrap())),
         "cell" => {
             let study = stamp.expect("cell was planned");
             let cell = study.cell(bench_name, threads_a).expect("planned cell resolved");
@@ -389,6 +396,9 @@ fn main() {
                 emit("table5", report::table5(&cfg, quake));
                 emit("fig11", report::fig_quake(&cfg, quake, Quest::Quadrants4, "Figure 11"));
                 emit("fig12", report::fig_quake(&cfg, quake, Quest::CenterSpread6, "Figure 12"));
+            }
+            if let Some(serve) = serve {
+                emit("serve", gstm_experiments::servecmd::render_serve(&cfg, serve));
             }
         }
         "ablate-tfactor" => emit("ablate-tfactor", ablation::ablate_tfactor(&pipe, bench_name)),
@@ -464,17 +474,18 @@ fn main() {
     }
 
     if let Some(path) = &metrics_path {
-        use gstm_experiments::study::{merge_run_telemetry, quake_runs, stamp_runs};
+        use gstm_experiments::study::{merge_run_telemetry, quake_runs, serve_runs, stamp_runs};
         use gstm_telemetry::Snapshot;
         let stamp_snap = stamp.and_then(|s| merge_run_telemetry(stamp_runs(s)));
         let quake_snap = quake.and_then(|q| merge_run_telemetry(quake_runs(q)));
-        let mut merged = match (stamp_snap, quake_snap) {
-            (Some(mut a), Some(b)) => {
-                a.merge(&b);
-                Some(a)
+        let serve_snap = serve.and_then(|s| merge_run_telemetry(serve_runs(s)));
+        let mut merged: Option<Snapshot> = None;
+        for snap in [stamp_snap, quake_snap, serve_snap].into_iter().flatten() {
+            match &mut merged {
+                Some(m) => m.merge(&snap),
+                None => merged = Some(snap),
             }
-            (a, b) => a.or(b),
-        };
+        }
         if result.is_some() {
             // The pipeline's cache gauges ride along with the run telemetry.
             merged.get_or_insert_with(Snapshot::new).merge(&pipe.gauges().snapshot());

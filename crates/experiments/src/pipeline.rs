@@ -35,13 +35,18 @@ use gstm_telemetry::PipelineGauges;
 use crate::cache::DiskCache;
 use crate::config::ExpConfig;
 use crate::progress::Progress;
-use crate::study::{train_quake, train_stamp, QuakeCell, QuakeStudy, StampCell, StampStudy};
+use crate::servecmd::{serve_spec, SERVE_ARRIVALS, SERVE_SHAPES};
+use crate::study::{
+    train_quake, train_serve, train_stamp, QuakeCell, QuakeStudy, ServeCell, ServeStudy, StampCell,
+    StampStudy,
+};
 
 /// A declarative description of which study cells to measure.
 #[derive(Clone, Debug, Default)]
 pub struct StudyPlan {
     stamp: Vec<(&'static str, usize)>,
     quake: Vec<usize>,
+    serve: Vec<(&'static str, &'static str, usize)>,
 }
 
 impl StudyPlan {
@@ -86,9 +91,41 @@ impl StudyPlan {
         self
     }
 
+    /// Adds one serve (shape, arrival, threads) cell; duplicates are
+    /// ignored.
+    pub fn serve_cell(
+        &mut self,
+        shape: &'static str,
+        arrival: &'static str,
+        threads: usize,
+    ) -> &mut Self {
+        if !self.serve.contains(&(shape, arrival, threads)) {
+            self.serve.push((shape, arrival, threads));
+        }
+        self
+    }
+
+    /// Adds the full serve study: every shape × arrival at every configured
+    /// thread count.
+    pub fn serve_study(&mut self, cfg: &ExpConfig) -> &mut Self {
+        for shape in SERVE_SHAPES {
+            for arrival in SERVE_ARRIVALS {
+                for &threads in &cfg.threads_list {
+                    self.serve_cell(shape, arrival, threads);
+                }
+            }
+        }
+        self
+    }
+
     /// The planned STAMP cells, in insertion order.
     pub fn stamp_cells(&self) -> &[(&'static str, usize)] {
         &self.stamp
+    }
+
+    /// The planned serve cells, in insertion order.
+    pub fn serve_cells(&self) -> &[(&'static str, &'static str, usize)] {
+        &self.serve
     }
 
     /// The planned SynQuake thread counts, in insertion order.
@@ -98,7 +135,7 @@ impl StudyPlan {
 
     /// Whether the plan declares nothing.
     pub fn is_empty(&self) -> bool {
-        self.stamp.is_empty() && self.quake.is_empty()
+        self.stamp.is_empty() && self.quake.is_empty() && self.serve.is_empty()
     }
 }
 
@@ -110,6 +147,8 @@ pub struct StudyResult {
     pub stamp: StampStudy,
     /// The SynQuake half (empty if the plan declared no quake cells).
     pub quake: QuakeStudy,
+    /// The serve (tail-latency) study (empty if no serve cells).
+    pub serve: ServeStudy,
 }
 
 /// Canonical policy tag of an unguided (default-STM) run.
@@ -295,6 +334,26 @@ impl<'a> Pipeline<'a> {
         })
     }
 
+    /// The trained serve model for one (spec, threads). The key embeds the
+    /// spec's full cache key, so any change to the store shape or traffic
+    /// retrains instead of reusing a stale automaton.
+    pub fn trained_serve(
+        &self,
+        what: &str,
+        spec: &gstm_serve::ServeSpec,
+        threads: usize,
+    ) -> TrainedModel {
+        let cfg = self.cfg;
+        let key = format!(
+            "model-v1;serve:{};threads={threads};tfactor={};seeds={:?}",
+            spec.cache_key(),
+            cfg.tfactor,
+            cfg.train_seeds
+        );
+        let spec = spec.clone();
+        self.resolve_model(&key, cfg.tfactor, what, || train_serve(cfg, &spec, threads))
+    }
+
     /// One measured run, resolved through the run cache. `wkey` names the
     /// workload + input configuration; `policy_tag` the admission policy
     /// (use [`TAG_DEFAULT`] / [`guided_tag`] or spell out any other
@@ -411,6 +470,40 @@ impl<'a> Pipeline<'a> {
         QuakeCell { quest, threads, default_runs, guided_runs }
     }
 
+    /// Resolves one serve cell: shared training pass, then default and
+    /// guided runs over every test seed.
+    pub fn serve_cell(
+        &self,
+        shape: &'static str,
+        arrival: &'static str,
+        threads: usize,
+    ) -> ServeCell {
+        let cfg = self.cfg;
+        let t0 = Instant::now();
+        let what = format!("serve:{shape}/{arrival}/{threads}t");
+        let spec = serve_spec(cfg, shape, arrival);
+        self.progress.report(&format!("{what}: training ({} seeds)", cfg.train_seeds.len()));
+        let trained = self.trained_serve(&what, &spec, threads);
+        let workload = gstm_serve::ServeWorkload::new(spec.clone());
+        let wkey = format!("serve:{shape}:{arrival}:{}", spec.cache_key());
+        let measured = |opts: RunOptions| if cfg.telemetry { opts.with_telemetry() } else { opts };
+        self.progress.report(&format!("{what}: default runs"));
+        let default_runs = self.measured_runs(&wkey, &workload, TAG_DEFAULT, |s| {
+            measured(RunOptions::new(threads, s))
+        });
+        self.progress.report(&format!("{what}: guided runs"));
+        let tag = guided_tag(&trained, DEFAULT_K, cfg.tfactor);
+        let guided_runs = self.measured_runs(&wkey, &workload, &tag, |s| {
+            measured(
+                RunOptions::new(threads, s)
+                    .with_policy(PolicyChoice::guided(Arc::clone(&trained.model))),
+            )
+        });
+        PipelineGauges::add(&self.gauges.cells, 1);
+        PipelineGauges::add(&self.gauges.cell_wall_ms, t0.elapsed().as_millis() as u64);
+        ServeCell { shape, arrival, threads, spec, default_runs, guided_runs }
+    }
+
     /// Resolves a whole plan. Independent cells fan out over the pool; the
     /// result is assembled by key/index so it is identical whatever the
     /// pool width or cache state.
@@ -443,7 +536,14 @@ impl<'a> Pipeline<'a> {
             .flat_map(|&t| Quest::testing().into_iter().map(move |q| (q, t)))
             .collect();
         quake.cells = self.run_indexed(pairs.len(), |i| self.quake_cell(pairs[i].0, pairs[i].1));
-        StudyResult { stamp, quake }
+
+        let serve = ServeStudy {
+            cells: self.run_indexed(plan.serve.len(), |i| {
+                let (shape, arrival, threads) = plan.serve[i];
+                self.serve_cell(shape, arrival, threads)
+            }),
+        };
+        StudyResult { stamp, quake, serve }
     }
 }
 

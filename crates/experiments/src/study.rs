@@ -10,6 +10,7 @@
 use std::collections::BTreeMap;
 
 use gstm_guide::{run_workload, train, RunOptions, RunOutcome, TrainedModel};
+use gstm_serve::{ServeSpec, ServeWorkload};
 use gstm_stamp::benchmark;
 use gstm_synquake::{Quest, SynQuake};
 use gstm_telemetry::Snapshot;
@@ -124,6 +125,44 @@ pub struct QuakeStudy {
     pub trained: BTreeMap<usize, TrainedModel>,
     /// Measured cells keyed by `(quest, threads)`.
     pub cells: Vec<QuakeCell>,
+}
+
+/// One serve configuration's measurements at one thread count.
+#[derive(Debug)]
+pub struct ServeCell {
+    /// Store-shape tag (`hot`/`wide`).
+    pub shape: &'static str,
+    /// Arrival-process tag (`poisson`/`bursty`).
+    pub arrival: &'static str,
+    /// Worker/core count.
+    pub threads: usize,
+    /// The full spec the cell ran.
+    pub spec: ServeSpec,
+    /// Default-admission runs (one per test seed).
+    pub default_runs: Vec<RunOutcome>,
+    /// Guided-admission runs (one per test seed).
+    pub guided_runs: Vec<RunOutcome>,
+}
+
+/// The serve (tail-latency) study: one [`ServeCell`] per
+/// (shape, arrival, threads).
+#[derive(Debug, Default)]
+pub struct ServeStudy {
+    /// Cells in plan order.
+    pub cells: Vec<ServeCell>,
+}
+
+/// All measured runs of a serve study, in deterministic order.
+pub fn serve_runs(study: &ServeStudy) -> impl Iterator<Item = &RunOutcome> {
+    study.cells.iter().flat_map(|c| c.default_runs.iter().chain(c.guided_runs.iter()))
+}
+
+/// Trains the serve model for one spec/thread-count (profiling runs of the
+/// same open-loop traffic the test runs replay, on the training seeds).
+pub fn train_serve(cfg: &ExpConfig, spec: &ServeSpec, threads: usize) -> TrainedModel {
+    let workload = ServeWorkload::new(spec.clone());
+    let base = RunOptions::new(threads, 0);
+    train(&workload, &base, &cfg.train_seeds, cfg.tfactor)
 }
 
 /// Trains the SynQuake model for one thread count on the paper's two

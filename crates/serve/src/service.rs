@@ -1,0 +1,554 @@
+//! The service layer: specs, clocks, the worker loop, and the harness
+//! integration that lets a serve run flow through `gstm-guide` (and hence
+//! the experiment pipeline) like any other workload.
+//!
+//! ## Latency accounting
+//!
+//! Each request's **sojourn time** is `completion − scheduled arrival`:
+//! queueing delay (the request waited while the thread served its backlog
+//! or retried conflicting transactions) plus service time (the successful
+//! attempt and all aborted ones). Sojourns are recorded into a per-thread
+//! [`LogHistogram`] and merged at the end, so p50/p95/p99 come out of
+//! lock-free counters without per-request allocation.
+//!
+//! ## Backpressure
+//!
+//! A thread whose backlog (requests already due but not yet served) exceeds
+//! [`ServeSpec::max_queue_depth`] **sheds** the oldest due request instead
+//! of serving it: it is counted and skipped without starting a transaction.
+//! Shedding bounds queue growth when offered load transiently exceeds
+//! service rate — without it, one conflict storm would inflate every later
+//! sojourn in the run and the tail would measure the storm's echo, not the
+//! policy's behavior.
+//!
+//! ## Clocks
+//!
+//! The loop runs in both worlds through [`ServeClock`]: [`GateClock`]
+//! reads/advances the thread's virtual clock through the `Gate` seam (so a
+//! SimGate run is deterministic per seed), and [`WallClock`] maps real
+//! nanoseconds to ticks for native `RealGate` runs.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gstm_core::{Gate, RealGate, Stm, StmConfig, ThreadId};
+use gstm_guide::{RunOptions, RunOutcome, WorkerEnv, Workload, WorkloadRun};
+use gstm_telemetry::histogram::{HistogramSnapshot, LogHistogram};
+
+use crate::store::ShardedStore;
+use crate::traffic::{generate_schedule, Arrival, Mix, ScheduledRequest, TrafficSpec};
+
+/// Upper bound on a single idle wait charged through the gate. Waiting in
+/// small steps and re-reading the clock keeps the simulator's per-pass cost
+/// jitter from overshooting the scheduled arrival by more than one chunk.
+const WAIT_CHUNK: u64 = 32;
+
+/// Full description of one serve configuration — store shape, traffic, and
+/// service parameters. Everything that defines the offered load lives
+/// here, so a spec plus a seed fully determines a run's input.
+#[derive(Clone, Debug)]
+pub struct ServeSpec {
+    /// Number of store shards.
+    pub shards: usize,
+    /// Buckets per shard (conflict granularity within a shard).
+    pub buckets_per_shard: usize,
+    /// Keyspace size.
+    pub keys: u64,
+    /// Zipf popularity skew θ.
+    pub zipf_theta: f64,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Requests per thread.
+    pub requests_per_thread: usize,
+    /// Backlog depth above which due requests are shed.
+    pub max_queue_depth: usize,
+    /// Non-transactional compute ticks charged per request attempt.
+    pub work: u64,
+    /// `Scan` range length.
+    pub scan_len: u64,
+    /// Request-kind mix.
+    pub mix: Mix,
+}
+
+impl ServeSpec {
+    /// A contended "hot" shape: small keyspace, strong skew, coarse
+    /// buckets and a transfer-heavy mix — most traffic fights over a few
+    /// buckets, so admission policy decides the tail.
+    pub fn hot(requests_per_thread: usize) -> Self {
+        ServeSpec {
+            shards: 2,
+            buckets_per_shard: 2,
+            keys: 32,
+            zipf_theta: 0.99,
+            arrival: Arrival::Poisson { mean_gap: 220.0 },
+            requests_per_thread,
+            max_queue_depth: 24,
+            work: 40,
+            scan_len: 8,
+            mix: Mix::transfer_heavy(),
+        }
+    }
+
+    /// An uncontended "wide" shape: large keyspace, mild skew, fine
+    /// buckets and a read-mostly mix — conflicts are rare and the tail is
+    /// mostly queueing.
+    pub fn wide(requests_per_thread: usize) -> Self {
+        ServeSpec {
+            shards: 8,
+            buckets_per_shard: 32,
+            keys: 4096,
+            zipf_theta: 0.6,
+            arrival: Arrival::Poisson { mean_gap: 220.0 },
+            requests_per_thread,
+            max_queue_depth: 24,
+            work: 40,
+            scan_len: 8,
+            mix: Mix::read_mostly(),
+        }
+    }
+
+    /// Replaces the arrival process.
+    pub fn with_arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Canonical cache-key fragment: every field that shapes the run, in a
+    /// fixed order. Feeds the pipeline's content-addressed run cache, so
+    /// any spec change must change this string.
+    pub fn cache_key(&self) -> String {
+        let arrival = match self.arrival {
+            Arrival::Poisson { mean_gap } => format!("poisson(g={mean_gap})"),
+            Arrival::Bursty { mean_gap, burst } => format!("bursty(g={mean_gap},b={burst})"),
+        };
+        format!(
+            "sh={};bk={};keys={};th={};arr={};rq={};qd={};wk={};sc={};mix={:?}",
+            self.shards,
+            self.buckets_per_shard,
+            self.keys,
+            self.zipf_theta,
+            arrival,
+            self.requests_per_thread,
+            self.max_queue_depth,
+            self.work,
+            self.scan_len,
+            self.mix.0,
+        )
+    }
+
+    fn traffic(&self) -> TrafficSpec {
+        TrafficSpec {
+            keys: self.keys,
+            zipf_theta: self.zipf_theta,
+            arrival: self.arrival,
+            requests_per_thread: self.requests_per_thread,
+            mix: self.mix,
+            scan_len: self.scan_len,
+        }
+    }
+}
+
+/// A thread-local view of time for the serve loop, in ticks.
+pub trait ServeClock: Send + Sync {
+    /// The thread's current time.
+    fn now(&self, thread: ThreadId) -> u64;
+
+    /// Blocks (or charges idle ticks) until the thread's time reaches `at`.
+    fn wait_until(&self, thread: ThreadId, at: u64);
+}
+
+/// [`ServeClock`] over the STM's own [`Gate`]: time is the thread's charged
+/// tick total, and idle waits are charged through `pass` in bounded chunks
+/// (each chunk's cost is re-derived from the clock, so simulator jitter
+/// cannot compound into a large overshoot).
+pub struct GateClock {
+    gate: Arc<dyn Gate>,
+}
+
+impl GateClock {
+    /// Wraps a gate (usually `stm.gate()`).
+    pub fn new(gate: Arc<dyn Gate>) -> Self {
+        GateClock { gate }
+    }
+}
+
+impl ServeClock for GateClock {
+    fn now(&self, thread: ThreadId) -> u64 {
+        self.gate.thread_time(thread)
+    }
+
+    fn wait_until(&self, thread: ThreadId, at: u64) {
+        loop {
+            let now = self.gate.thread_time(thread);
+            if now >= at {
+                return;
+            }
+            self.gate.pass(thread, (at - now).min(WAIT_CHUNK));
+        }
+    }
+}
+
+/// [`ServeClock`] over wall time for native runs: ticks are
+/// `elapsed_nanos / nanos_per_tick` since construction, shared by all
+/// threads.
+pub struct WallClock {
+    epoch: Instant,
+    nanos_per_tick: u64,
+}
+
+impl WallClock {
+    /// A clock where one tick is `nanos_per_tick` wall nanoseconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `nanos_per_tick` is zero.
+    pub fn new(nanos_per_tick: u64) -> Self {
+        assert!(nanos_per_tick > 0, "a tick must span at least one nanosecond");
+        WallClock { epoch: Instant::now(), nanos_per_tick }
+    }
+}
+
+impl ServeClock for WallClock {
+    fn now(&self, _thread: ThreadId) -> u64 {
+        (self.epoch.elapsed().as_nanos() as u64) / self.nanos_per_tick
+    }
+
+    fn wait_until(&self, thread: ThreadId, at: u64) {
+        while self.now(thread) < at {
+            std::thread::yield_now();
+        }
+    }
+}
+
+/// Per-thread request accounting: the sojourn histogram plus completion
+/// and shed counters. Lock-free so `stats()` can read while (in principle)
+/// workers still hold clones.
+#[derive(Debug, Default)]
+pub struct ThreadLog {
+    /// Sojourn-latency histogram (ticks).
+    pub sojourn: LogHistogram,
+    /// Requests served to completion.
+    pub done: AtomicU64,
+    /// Requests shed by backpressure.
+    pub shed: AtomicU64,
+}
+
+/// Replays one thread's schedule against the store: the core serve loop.
+///
+/// Open-loop semantics: if the next request's arrival is in the future the
+/// thread waits for it; if the backlog of *due* requests exceeds
+/// `max_queue_depth` the oldest due request is shed. Every served request
+/// runs as one STM transaction at its kind's site, and its sojourn
+/// (completion − arrival) is recorded.
+pub fn serve_schedule(
+    stm: &Stm,
+    thread: ThreadId,
+    store: &ShardedStore,
+    schedule: &[ScheduledRequest],
+    clock: &dyn ServeClock,
+    spec: &ServeSpec,
+    log: &ThreadLog,
+) {
+    let (work, max_queue_depth) = (spec.work, spec.max_queue_depth);
+    let mut i = 0;
+    while i < schedule.len() {
+        let sr = &schedule[i];
+        let now = clock.now(thread);
+        if sr.at > now {
+            clock.wait_until(thread, sr.at);
+        } else {
+            // Backlog = requests already due. The schedule is sorted, so a
+            // partition point from the cursor counts them.
+            let due = schedule[i..].partition_point(|s| s.at <= now);
+            if due > max_queue_depth {
+                log.shed.fetch_add(1, Ordering::Relaxed);
+                i += 1;
+                continue;
+            }
+        }
+        let req = sr.req;
+        stm.run(thread, req.site(), |tx| {
+            tx.work(work);
+            store.apply(tx, &req)
+        });
+        log.sojourn.record(clock.now(thread).saturating_sub(sr.at));
+        log.done.fetch_add(1, Ordering::Relaxed);
+        i += 1;
+    }
+}
+
+/// One instantiated serve run: the populated store, the per-thread
+/// schedules, and the per-thread logs.
+pub struct ServeRun {
+    spec: ServeSpec,
+    store: ShardedStore,
+    schedules: Vec<Arc<Vec<ScheduledRequest>>>,
+    logs: Vec<Arc<ThreadLog>>,
+}
+
+impl ServeRun {
+    /// Builds the store and materializes every thread's schedule.
+    pub fn new(spec: ServeSpec, threads: usize, seed: u64) -> Self {
+        let store = ShardedStore::new(spec.shards, spec.buckets_per_shard, spec.keys);
+        let traffic = spec.traffic();
+        ServeRun {
+            store,
+            schedules: (0..threads)
+                .map(|t| Arc::new(generate_schedule(&traffic, seed, t)))
+                .collect(),
+            logs: (0..threads).map(|_| Arc::new(ThreadLog::default())).collect(),
+            spec,
+        }
+    }
+
+    /// Merged sojourn histogram across threads.
+    pub fn sojourn_snapshot(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for log in &self.logs {
+            merged.merge(&log.sojourn.snapshot());
+        }
+        merged
+    }
+
+    /// Total requests served / shed across threads.
+    pub fn totals(&self) -> (u64, u64) {
+        let done = self.logs.iter().map(|l| l.done.load(Ordering::Relaxed)).sum();
+        let shed = self.logs.iter().map(|l| l.shed.load(Ordering::Relaxed)).sum();
+        (done, shed)
+    }
+
+    fn check_conservation(&self) -> Result<(), String> {
+        let got = self.store.total_balance_unlogged();
+        let want = self.store.expected_total();
+        if got == want {
+            Ok(())
+        } else {
+            Err(format!("balance total {got} != expected {want}: transfers lost atomicity"))
+        }
+    }
+}
+
+impl WorkloadRun for ServeRun {
+    fn worker(&self, env: WorkerEnv) -> Box<dyn FnOnce() + Send> {
+        let t = env.thread.index();
+        let store = self.store.clone();
+        let schedule = Arc::clone(&self.schedules[t]);
+        let log = Arc::clone(&self.logs[t]);
+        let spec = self.spec.clone();
+        Box::new(move || {
+            let clock = GateClock::new(Arc::clone(env.stm.gate()));
+            serve_schedule(&env.stm, env.thread, &store, &schedule, &clock, &spec, &log);
+        })
+    }
+
+    fn verify(&self) -> Result<(), String> {
+        self.check_conservation()?;
+        let (done, shed) = self.totals();
+        let offered: u64 = self.schedules.iter().map(|s| s.len() as u64).sum();
+        if done + shed != offered {
+            return Err(format!("served {done} + shed {shed} != offered {offered}"));
+        }
+        Ok(())
+    }
+
+    fn stats(&self) -> Vec<(String, f64)> {
+        let s = self.sojourn_snapshot();
+        let (done, shed) = self.totals();
+        vec![
+            ("req_done".into(), done as f64),
+            ("req_shed".into(), shed as f64),
+            ("sojourn_mean".into(), s.mean()),
+            ("sojourn_p50".into(), s.p(0.50)),
+            ("sojourn_p95".into(), s.p(0.95)),
+            ("sojourn_p99".into(), s.p(0.99)),
+        ]
+    }
+}
+
+/// The serve workload, pluggable into `gstm-guide`'s harness, training
+/// loop, and the experiment pipeline.
+#[derive(Clone, Debug)]
+pub struct ServeWorkload {
+    /// The configuration every run of this workload uses.
+    pub spec: ServeSpec,
+}
+
+impl ServeWorkload {
+    /// Wraps a spec.
+    pub fn new(spec: ServeSpec) -> Self {
+        ServeWorkload { spec }
+    }
+}
+
+impl Workload for ServeWorkload {
+    fn name(&self) -> &'static str {
+        "serve"
+    }
+
+    fn instantiate(&self, threads: usize, seed: u64) -> Box<dyn WorkloadRun> {
+        Box::new(ServeRun::new(self.spec.clone(), threads, seed))
+    }
+
+    fn stm_config(&self, threads: usize) -> StmConfig {
+        StmConfig::new(threads)
+    }
+}
+
+/// Convenience: one simulated serve run under `opts`, via the guide
+/// harness (`SimMachine` + `SimGate`), returning the standard outcome. The
+/// sojourn quantiles are in `workload_stats`.
+pub fn run_simulated(spec: &ServeSpec, opts: &RunOptions) -> RunOutcome {
+    gstm_guide::run_workload(&ServeWorkload::new(spec.clone()), opts)
+}
+
+/// Outcome of a native (`RealGate`) serve run.
+#[derive(Clone, Debug)]
+pub struct NativeReport {
+    /// Requests served to completion.
+    pub done: u64,
+    /// Requests shed by backpressure.
+    pub shed: u64,
+    /// Merged sojourn histogram (ticks of `nanos_per_tick` each).
+    pub sojourn: HistogramSnapshot,
+    /// Wall time of the whole run, in clock ticks.
+    pub elapsed_ticks: u64,
+}
+
+/// Runs the service natively: OS threads, [`RealGate`], wall-clock
+/// arrivals. Same store, same schedules, same loop as the simulated path —
+/// only the gate and clock differ. `nanos_per_tick` maps schedule ticks to
+/// wall time; `yield_every` is forwarded to [`RealGate`].
+///
+/// # Panics
+///
+/// Panics if a worker thread panics, if `threads` is zero, or if the
+/// post-run conservation check fails.
+pub fn run_native(
+    spec: &ServeSpec,
+    threads: usize,
+    seed: u64,
+    nanos_per_tick: u64,
+    yield_every: u32,
+) -> NativeReport {
+    assert!(threads > 0, "need at least one serve thread");
+    let stm = Arc::new(Stm::new_on(StmConfig::new(threads), Arc::new(RealGate::new(yield_every))));
+    let run = ServeRun::new(spec.clone(), threads, seed);
+    let clock = WallClock::new(nanos_per_tick);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let stm = Arc::clone(&stm);
+                let thread = ThreadId::new(t as u16);
+                let store = &run.store;
+                let schedule = Arc::clone(&run.schedules[t]);
+                let log = Arc::clone(&run.logs[t]);
+                let clock = &clock;
+                scope.spawn(move || {
+                    serve_schedule(&stm, thread, store, &schedule, clock, spec, &log);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("serve worker panicked");
+        }
+    });
+    if let Err(msg) = run.verify() {
+        panic!("native serve run failed verification: {msg}");
+    }
+    let (done, shed) = run.totals();
+    NativeReport {
+        done,
+        shed,
+        sojourn: run.sojourn_snapshot(),
+        elapsed_ticks: clock.now(ThreadId::new(0)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_guide::PolicyChoice;
+
+    fn tiny_spec() -> ServeSpec {
+        let mut spec = ServeSpec::hot(120);
+        spec.arrival = Arrival::Poisson { mean_gap: 120.0 };
+        spec
+    }
+
+    #[test]
+    fn simulated_run_serves_and_conserves() {
+        let out = run_simulated(&tiny_spec(), &RunOptions::new(3, 5));
+        let stats: std::collections::HashMap<_, _> = out.workload_stats.iter().cloned().collect();
+        let done = stats["req_done"];
+        let shed = stats["req_shed"];
+        assert_eq!(done + shed, 3.0 * 120.0, "every request served or shed");
+        assert!(done > 0.0);
+        assert!(stats["sojourn_p99"] >= stats["sojourn_p50"]);
+        assert!(out.total_commits() >= done as u64, "each served request commits once");
+    }
+
+    #[test]
+    fn simulated_runs_are_deterministic_per_seed() {
+        let spec = tiny_spec();
+        let a = run_simulated(&spec, &RunOptions::new(2, 9));
+        let b = run_simulated(&spec, &RunOptions::new(2, 9));
+        assert_eq!(a.workload_stats, b.workload_stats);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.commits, b.commits);
+        let c = run_simulated(&spec, &RunOptions::new(2, 10));
+        assert_ne!(
+            (a.makespan, a.workload_stats.clone()),
+            (c.makespan, c.workload_stats.clone()),
+            "different seed should perturb the run"
+        );
+    }
+
+    #[test]
+    fn guided_policy_runs_the_service() {
+        let spec = tiny_spec();
+        let workload = ServeWorkload::new(spec.clone());
+        let trained = gstm_guide::train(&workload, &RunOptions::new(2, 0), &[21, 22], 1.0);
+        let out = run_simulated(
+            &spec,
+            &RunOptions::new(2, 5).with_policy(PolicyChoice::guided(trained.model)),
+        );
+        let stats: std::collections::HashMap<_, _> = out.workload_stats.iter().cloned().collect();
+        assert!(stats["req_done"] > 0.0, "guided service still serves requests");
+    }
+
+    #[test]
+    fn overload_sheds_but_never_loses_requests() {
+        let mut spec = tiny_spec();
+        // Offered load far beyond service rate: gaps ~0 force a backlog.
+        spec.arrival = Arrival::Poisson { mean_gap: 1.0 };
+        spec.max_queue_depth = 4;
+        let out = run_simulated(&spec, &RunOptions::new(2, 3));
+        let stats: std::collections::HashMap<_, _> = out.workload_stats.iter().cloned().collect();
+        assert!(stats["req_shed"] > 0.0, "overload must shed");
+        assert_eq!(stats["req_done"] + stats["req_shed"], 2.0 * 120.0);
+    }
+
+    #[test]
+    fn cache_key_tracks_spec_changes() {
+        let a = ServeSpec::hot(100);
+        assert_eq!(a.cache_key(), ServeSpec::hot(100).cache_key());
+        assert_ne!(a.cache_key(), ServeSpec::hot(101).cache_key());
+        assert_ne!(a.cache_key(), ServeSpec::wide(100).cache_key());
+        assert_ne!(
+            a.cache_key(),
+            ServeSpec::hot(100)
+                .with_arrival(Arrival::Bursty { mean_gap: 220.0, burst: 8 })
+                .cache_key()
+        );
+    }
+
+    #[test]
+    fn wall_clock_advances_and_waits() {
+        let clock = WallClock::new(1_000);
+        let t0 = ThreadId::new(0);
+        let start = clock.now(t0);
+        clock.wait_until(t0, start + 50);
+        assert!(clock.now(t0) >= start + 50);
+    }
+}

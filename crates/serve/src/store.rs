@@ -1,0 +1,330 @@
+//! The sharded transactional store and its typed request API.
+//!
+//! The store is a fixed keyspace `0..keys` partitioned round-robin over
+//! `shards` independent [`THashMap`]s (`shard = key % shards`), each with
+//! its own bucket array — two levels of conflict granularity: requests to
+//! different shards never share a `TVar`; requests to the same shard
+//! conflict only when they hash to the same bucket. Every request executes
+//! as **one STM transaction** via [`ShardedStore::apply`], so multi-key
+//! operations ([`Request::Transfer`], [`Request::Scan`]) are atomic across
+//! shards for free — that is the point of layering a service on the STM
+//! rather than on per-shard locks.
+//!
+//! Each key holds an [`Entry`] with two independent faces:
+//!
+//! * `balance` — mutated only by `Transfer` (conserved: the sum over all
+//!   keys is a run invariant the harness verifies);
+//! * `blob` — mutated by `Put`/`Cas` (arbitrary, unconstrained).
+//!
+//! Keeping the faces separate lets the workload mix write-heavy traffic
+//! with a machine-checkable invariant.
+
+use gstm_collections::THashMap;
+use gstm_core::{Abort, TxId, Txn};
+
+/// Every key starts with this balance; `Transfer`s conserve the total.
+pub const INITIAL_BALANCE: i64 = 100;
+
+/// Hard cap on [`Request::Scan`] length, whatever the spec asks for.
+pub const MAX_SCAN_LEN: u64 = 64;
+
+/// One stored object.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Entry {
+    /// Conserved face: only `Transfer` moves it.
+    pub balance: i64,
+    /// Free face: `Put` overwrites, `Cas` compare-and-swaps.
+    pub blob: u64,
+}
+
+impl Entry {
+    fn fresh() -> Self {
+        Entry { balance: INITIAL_BALANCE, blob: 0 }
+    }
+}
+
+/// A typed store request. Each variant is one atomic operation — and one
+/// static transaction site ([`Request::site`]), so the thread-state
+/// automaton model sees `Get` and `Transfer` as distinct atomic blocks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Request {
+    /// Read one entry.
+    Get {
+        /// Key to read.
+        key: u64,
+    },
+    /// Overwrite one entry's blob.
+    Put {
+        /// Key to write.
+        key: u64,
+        /// New blob value.
+        blob: u64,
+    },
+    /// Compare-and-swap one entry's blob.
+    Cas {
+        /// Key to update.
+        key: u64,
+        /// Expected current blob.
+        expect: u64,
+        /// Replacement blob if the expectation holds.
+        update: u64,
+    },
+    /// Atomically move balance between two keys (possibly cross-shard).
+    Transfer {
+        /// Debited key.
+        from: u64,
+        /// Credited key.
+        to: u64,
+        /// Amount moved.
+        amount: i64,
+    },
+    /// Bounded atomic range scan: sums balances over `len` consecutive
+    /// keys (wrapping around the keyspace).
+    Scan {
+        /// First key of the range.
+        start: u64,
+        /// Range length (clamped to [`MAX_SCAN_LEN`]).
+        len: u64,
+    },
+}
+
+impl Request {
+    /// The static transaction site of this request kind (the paper's
+    /// `TM_BEGIN(ID)` argument; the model's per-site states key off it).
+    pub fn site(&self) -> TxId {
+        TxId::new(match self {
+            Request::Get { .. } => 0,
+            Request::Put { .. } => 1,
+            Request::Cas { .. } => 2,
+            Request::Transfer { .. } => 3,
+            Request::Scan { .. } => 4,
+        })
+    }
+
+    /// Short label of the request kind (metrics, debugging).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Get { .. } => "get",
+            Request::Put { .. } => "put",
+            Request::Cas { .. } => "cas",
+            Request::Transfer { .. } => "transfer",
+            Request::Scan { .. } => "scan",
+        }
+    }
+}
+
+/// A typed response.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Response {
+    /// `Get`: the entry, if the key exists.
+    Value(Option<Entry>),
+    /// `Put`: acknowledged.
+    Ok,
+    /// `Cas`: whether the swap happened.
+    Swapped(bool),
+    /// `Transfer`: whether both keys existed and the move happened.
+    Transferred(bool),
+    /// `Scan`: number of keys seen and their balance sum.
+    ScanSum {
+        /// Keys visited.
+        count: u64,
+        /// Sum of their balances.
+        sum: i64,
+    },
+}
+
+/// The sharded in-memory transactional store.
+#[derive(Clone)]
+pub struct ShardedStore {
+    shards: Vec<THashMap<u64, Entry>>,
+    keys: u64,
+}
+
+impl std::fmt::Debug for ShardedStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ShardedStore({} shards, {} keys)", self.shards.len(), self.keys)
+    }
+}
+
+impl ShardedStore {
+    /// Builds and populates a store: `keys` entries spread over `shards`
+    /// shards of `buckets_per_shard` buckets each, every key funded with
+    /// [`INITIAL_BALANCE`]. Population is non-transactional — call before
+    /// any worker starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(shards: usize, buckets_per_shard: usize, keys: u64) -> Self {
+        assert!(shards > 0 && keys > 0, "store needs at least one shard and one key");
+        let store = ShardedStore {
+            shards: (0..shards).map(|_| THashMap::new(buckets_per_shard)).collect(),
+            keys,
+        };
+        for key in 0..keys {
+            store.shard_of(key).insert_unlogged(key, Entry::fresh());
+        }
+        store
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Keyspace size.
+    pub fn key_count(&self) -> u64 {
+        self.keys
+    }
+
+    fn shard_of(&self, key: u64) -> &THashMap<u64, Entry> {
+        &self.shards[(key % self.shards.len() as u64) as usize]
+    }
+
+    fn read_entry(&self, tx: &mut Txn<'_>, key: u64) -> Result<Option<Entry>, Abort> {
+        self.shard_of(key).get(tx, &key)
+    }
+
+    fn write_entry(&self, tx: &mut Txn<'_>, key: u64, entry: Entry) -> Result<(), Abort> {
+        self.shard_of(key).insert(tx, key, entry).map(|_| ())
+    }
+
+    /// Executes one request inside the caller's transaction.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts (the caller's `Stm::run` retries).
+    pub fn apply(&self, tx: &mut Txn<'_>, req: &Request) -> Result<Response, Abort> {
+        match *req {
+            Request::Get { key } => Ok(Response::Value(self.read_entry(tx, key)?)),
+            Request::Put { key, blob } => {
+                if let Some(mut e) = self.read_entry(tx, key)? {
+                    e.blob = blob;
+                    self.write_entry(tx, key, e)?;
+                }
+                Ok(Response::Ok)
+            }
+            Request::Cas { key, expect, update } => {
+                let Some(mut e) = self.read_entry(tx, key)? else {
+                    return Ok(Response::Swapped(false));
+                };
+                if e.blob != expect {
+                    return Ok(Response::Swapped(false));
+                }
+                e.blob = update;
+                self.write_entry(tx, key, e)?;
+                Ok(Response::Swapped(true))
+            }
+            Request::Transfer { from, to, amount } => {
+                if from == to {
+                    return Ok(Response::Transferred(false));
+                }
+                let (Some(mut f), Some(mut t)) =
+                    (self.read_entry(tx, from)?, self.read_entry(tx, to)?)
+                else {
+                    return Ok(Response::Transferred(false));
+                };
+                f.balance -= amount;
+                t.balance += amount;
+                self.write_entry(tx, from, f)?;
+                self.write_entry(tx, to, t)?;
+                Ok(Response::Transferred(true))
+            }
+            Request::Scan { start, len } => {
+                let len = len.min(MAX_SCAN_LEN).min(self.keys);
+                let mut sum = 0i64;
+                for i in 0..len {
+                    let key = (start + i) % self.keys;
+                    if let Some(e) = self.read_entry(tx, key)? {
+                        sum += e.balance;
+                    }
+                }
+                Ok(Response::ScanSum { count: len, sum })
+            }
+        }
+    }
+
+    /// Non-transactional balance total (verification/teardown only).
+    pub fn total_balance_unlogged(&self) -> i64 {
+        self.shards.iter().flat_map(|s| s.snapshot_unlogged()).map(|(_, e)| e.balance).sum()
+    }
+
+    /// The total every run must conserve.
+    pub fn expected_total(&self) -> i64 {
+        INITIAL_BALANCE * self.keys as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gstm_core::{Stm, StmConfig, ThreadId};
+
+    fn with_tx<R>(store: &ShardedStore, f: impl FnMut(&mut Txn<'_>) -> Result<R, Abort>) -> R {
+        let stm = Stm::new(StmConfig::new(1));
+        let _ = store; // site ids are irrelevant in unit tests
+        stm.run(ThreadId::new(0), TxId::new(0), f)
+    }
+
+    #[test]
+    fn populated_store_conserves_initial_total() {
+        let store = ShardedStore::new(4, 8, 100);
+        assert_eq!(store.total_balance_unlogged(), store.expected_total());
+        assert_eq!(store.key_count(), 100);
+        assert_eq!(store.shard_count(), 4);
+    }
+
+    #[test]
+    fn get_put_cas_round_trip() {
+        let store = ShardedStore::new(2, 4, 10);
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::Get { key: 3 }));
+        assert_eq!(resp, Response::Value(Some(Entry { balance: INITIAL_BALANCE, blob: 0 })));
+        with_tx(&store, |tx| store.apply(tx, &Request::Put { key: 3, blob: 9 }));
+        let resp =
+            with_tx(&store, |tx| store.apply(tx, &Request::Cas { key: 3, expect: 9, update: 11 }));
+        assert_eq!(resp, Response::Swapped(true));
+        let resp =
+            with_tx(&store, |tx| store.apply(tx, &Request::Cas { key: 3, expect: 9, update: 12 }));
+        assert_eq!(resp, Response::Swapped(false));
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::Get { key: 999 }));
+        assert_eq!(resp, Response::Value(None));
+    }
+
+    #[test]
+    fn transfer_moves_and_conserves() {
+        let store = ShardedStore::new(3, 4, 9);
+        let resp = with_tx(&store, |tx| {
+            store.apply(tx, &Request::Transfer { from: 1, to: 5, amount: 30 })
+        });
+        assert_eq!(resp, Response::Transferred(true));
+        let resp =
+            with_tx(&store, |tx| store.apply(tx, &Request::Transfer { from: 2, to: 2, amount: 5 }));
+        assert_eq!(resp, Response::Transferred(false), "self-transfer is a no-op");
+        assert_eq!(store.total_balance_unlogged(), store.expected_total());
+    }
+
+    #[test]
+    fn scan_wraps_and_is_bounded() {
+        let store = ShardedStore::new(2, 4, 8);
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::Scan { start: 6, len: 4 }));
+        assert_eq!(resp, Response::ScanSum { count: 4, sum: 4 * INITIAL_BALANCE });
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::Scan { start: 0, len: 10_000 }));
+        // Clamped to the keyspace (8 < MAX_SCAN_LEN).
+        assert_eq!(resp, Response::ScanSum { count: 8, sum: 8 * INITIAL_BALANCE });
+    }
+
+    #[test]
+    fn request_sites_are_distinct_per_kind() {
+        let reqs = [
+            Request::Get { key: 0 },
+            Request::Put { key: 0, blob: 0 },
+            Request::Cas { key: 0, expect: 0, update: 0 },
+            Request::Transfer { from: 0, to: 1, amount: 1 },
+            Request::Scan { start: 0, len: 1 },
+        ];
+        let mut sites: Vec<u16> = reqs.iter().map(|r| r.site().index() as u16).collect();
+        sites.dedup();
+        assert_eq!(sites.len(), 5, "each kind is its own atomic-block site");
+        assert_eq!(reqs[3].kind(), "transfer");
+    }
+}

@@ -1,0 +1,249 @@
+//! Seeded open-loop traffic generation.
+//!
+//! The generator is **open-loop**: every request has a scheduled arrival
+//! tick drawn from an arrival process *before* the run starts, and arrivals
+//! do not slow down when the service falls behind — exactly the regime
+//! where queueing delay amplifies commit-latency variance into tail
+//! latency. (A closed-loop driver, where each thread issues its next
+//! request only after the previous one completes, self-clocks and hides
+//! the very tails we want to measure.)
+//!
+//! Schedules are materialized up front as per-thread sorted vectors of
+//! [`ScheduledRequest`]s, keyed only on `(seed, thread)` — so a schedule is
+//! a pure function of the spec and seed, identical across SimGate and
+//! RealGate runs and across policies. The worker loop then replays the
+//! schedule against the clock; determinism of the *schedule* is what lets
+//! `default` vs `guided` admission see byte-identical offered load.
+
+use gstm_core::rng::{Exp, SmallRng, SplitMix64, Zipf};
+
+use crate::store::Request;
+
+/// Within a burst, gaps shrink by this factor (the burst's "compression");
+/// the between-burst gap is stretched so the long-run mean rate matches the
+/// Poisson process with the same `mean_gap`.
+const BURST_COMPRESSION: f64 = 8.0;
+
+/// An open-loop arrival process. Gaps are in ticks; both variants have the
+/// same long-run mean rate `1 / mean_gap`, so they isolate the effect of
+/// burstiness at fixed offered load.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Arrival {
+    /// Memoryless arrivals: i.i.d. exponential gaps with the given mean.
+    Poisson {
+        /// Mean inter-arrival gap in ticks.
+        mean_gap: f64,
+    },
+    /// Clustered arrivals: bursts of `burst` requests with compressed
+    /// in-burst gaps (`mean_gap / 8`), separated by stretched idle gaps
+    /// sized so the overall mean gap is still `mean_gap`.
+    Bursty {
+        /// Long-run mean inter-arrival gap in ticks.
+        mean_gap: f64,
+        /// Requests per burst (≥ 2).
+        burst: u32,
+    },
+}
+
+impl Arrival {
+    /// Short tag used in cache keys and result tables.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Arrival::Poisson { .. } => "poisson",
+            Arrival::Bursty { .. } => "bursty",
+        }
+    }
+
+    /// Long-run mean inter-arrival gap in ticks.
+    pub fn mean_gap(&self) -> f64 {
+        match *self {
+            Arrival::Poisson { mean_gap } | Arrival::Bursty { mean_gap, .. } => mean_gap,
+        }
+    }
+}
+
+/// Relative frequencies of the five request kinds, in the order
+/// `[get, put, cas, transfer, scan]`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mix(pub [u32; 5]);
+
+impl Mix {
+    /// A read-mostly service mix: 55% get, 20% put, 10% cas, 10% transfer,
+    /// 5% scan.
+    pub fn read_mostly() -> Self {
+        Mix([55, 20, 10, 10, 5])
+    }
+
+    /// A transfer-heavy mix that maximizes write-write conflicts: 20% get,
+    /// 10% put, 10% cas, 55% transfer, 5% scan.
+    pub fn transfer_heavy() -> Self {
+        Mix([20, 10, 10, 55, 5])
+    }
+
+    fn total(&self) -> u32 {
+        self.0.iter().sum()
+    }
+}
+
+/// One request with its scheduled arrival tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ScheduledRequest {
+    /// Virtual arrival tick (monotone within a thread's schedule).
+    pub at: u64,
+    /// The request to execute.
+    pub req: Request,
+}
+
+/// Parameters the generator needs, decoupled from the service spec.
+#[derive(Clone, Copy, Debug)]
+pub struct TrafficSpec {
+    /// Keyspace size (Zipf rank space).
+    pub keys: u64,
+    /// Zipf skew θ (0 = uniform; ~0.99 = classic YCSB hot-key skew).
+    pub zipf_theta: f64,
+    /// Arrival process.
+    pub arrival: Arrival,
+    /// Requests per thread.
+    pub requests_per_thread: usize,
+    /// Request-kind mix.
+    pub mix: Mix,
+    /// `Scan` range length.
+    pub scan_len: u64,
+}
+
+/// Generates one thread's schedule: a sorted, seeded, pure function of
+/// `(spec, seed, thread)`.
+///
+/// # Panics
+///
+/// Panics if the mix has zero total weight.
+pub fn generate_schedule(spec: &TrafficSpec, seed: u64, thread: usize) -> Vec<ScheduledRequest> {
+    assert!(spec.mix.total() > 0, "request mix needs at least one nonzero weight");
+    // Decorrelate the per-thread streams: hash (seed, thread) through
+    // SplitMix64 so thread 0 of seed 1 shares nothing with thread 1.
+    let mut mixer = SplitMix64::new(seed ^ (thread as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut rng = SmallRng::seed_from_u64(mixer.next_u64());
+
+    let zipf = Zipf::new(spec.keys as usize, spec.zipf_theta);
+    let (gap_in, gap_between, burst) = match spec.arrival {
+        Arrival::Poisson { mean_gap } => (Exp::new(mean_gap), None, 1u32),
+        Arrival::Bursty { mean_gap, burst } => {
+            assert!(burst >= 2, "a burst needs at least two requests");
+            let within = mean_gap / BURST_COMPRESSION;
+            // burst requests take 1 big gap + (burst-1) small gaps; solve the
+            // big gap's mean so the average over the burst is mean_gap.
+            let between = burst as f64 * mean_gap - (burst as f64 - 1.0) * within;
+            (Exp::new(within), Some(Exp::new(between)), burst)
+        }
+    };
+
+    let mut schedule = Vec::with_capacity(spec.requests_per_thread);
+    let mut clock = 0.0f64;
+    for i in 0..spec.requests_per_thread {
+        let gap = match &gap_between {
+            Some(between) if (i as u32).is_multiple_of(burst) => between.sample(&mut rng),
+            _ => gap_in.sample(&mut rng),
+        };
+        clock += gap;
+        schedule
+            .push(ScheduledRequest { at: clock as u64, req: draw_request(spec, &zipf, &mut rng) });
+    }
+    schedule
+}
+
+fn draw_request(spec: &TrafficSpec, zipf: &Zipf, rng: &mut SmallRng) -> Request {
+    let key = zipf.sample(rng) as u64;
+    let mut pick = rng.gen_range(0..spec.mix.total());
+    for (kind, &w) in spec.mix.0.iter().enumerate() {
+        if pick < w {
+            return match kind {
+                0 => Request::Get { key },
+                1 => Request::Put { key, blob: rng.gen_range(0..1u64 << 16) },
+                2 => {
+                    // Expect the initial blob: succeeds until someone wins
+                    // the race, then degrades to a read-only check — both
+                    // paths are realistic CAS traffic.
+                    Request::Cas { key, expect: 0, update: rng.gen_range(1..1u64 << 16) }
+                }
+                3 => {
+                    let mut to = zipf.sample(rng) as u64;
+                    if to == key {
+                        to = (to + 1) % spec.keys;
+                    }
+                    Request::Transfer { from: key, to, amount: rng.gen_range(1..10i64) }
+                }
+                _ => Request::Scan { start: key, len: spec.scan_len },
+            };
+        }
+        pick -= w;
+    }
+    unreachable!("pick < total by construction")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(arrival: Arrival) -> TrafficSpec {
+        TrafficSpec {
+            keys: 64,
+            zipf_theta: 0.9,
+            arrival,
+            requests_per_thread: 400,
+            mix: Mix::read_mostly(),
+            scan_len: 8,
+        }
+    }
+
+    #[test]
+    fn schedules_are_sorted_and_deterministic() {
+        let s = spec(Arrival::Poisson { mean_gap: 50.0 });
+        let a = generate_schedule(&s, 7, 0);
+        let b = generate_schedule(&s, 7, 0);
+        assert_eq!(a, b, "same (seed, thread) ⇒ same schedule");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "arrivals are monotone");
+        assert_ne!(a, generate_schedule(&s, 7, 1), "threads get distinct streams");
+        assert_ne!(a, generate_schedule(&s, 8, 0), "seeds get distinct streams");
+    }
+
+    #[test]
+    fn poisson_mean_gap_is_close() {
+        let s = spec(Arrival::Poisson { mean_gap: 50.0 });
+        let sched = generate_schedule(&s, 3, 0);
+        let span = sched.last().unwrap().at as f64;
+        let mean = span / sched.len() as f64;
+        assert!((35.0..=65.0).contains(&mean), "mean gap {mean} far from 50");
+    }
+
+    #[test]
+    fn bursty_matches_poisson_rate_but_clusters() {
+        let mean_gap = 50.0;
+        let s = spec(Arrival::Bursty { mean_gap, burst: 8 });
+        let sched = generate_schedule(&s, 3, 0);
+        let span = sched.last().unwrap().at as f64;
+        let mean = span / sched.len() as f64;
+        assert!((30.0..=70.0).contains(&mean), "long-run mean gap {mean} far from 50");
+        // Clustering: the median gap is far below the mean gap.
+        let mut gaps: Vec<u64> = sched.windows(2).map(|w| w[1].at - w[0].at).collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2] as f64;
+        assert!(median < mean_gap / 2.0, "median gap {median} not compressed");
+    }
+
+    #[test]
+    fn mix_weights_shape_the_request_stream() {
+        let s =
+            TrafficSpec { mix: Mix::transfer_heavy(), ..spec(Arrival::Poisson { mean_gap: 10.0 }) };
+        let sched = generate_schedule(&s, 11, 0);
+        let transfers = sched.iter().filter(|r| matches!(r.req, Request::Transfer { .. })).count();
+        let frac = transfers as f64 / sched.len() as f64;
+        assert!((0.45..=0.65).contains(&frac), "transfer fraction {frac} far from 0.55");
+        // Transfers never target themselves; all keys stay in range.
+        for r in &sched {
+            if let Request::Transfer { from, to, .. } = r.req {
+                assert_ne!(from, to);
+                assert!(from < s.keys && to < s.keys);
+            }
+        }
+    }
+}

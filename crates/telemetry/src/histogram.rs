@@ -116,6 +116,46 @@ impl HistogramSnapshot {
         bucket_upper_bound(BUCKETS - 1)
     }
 
+    /// Point estimate of quantile `q` with linear interpolation inside the
+    /// containing log2 bucket.
+    ///
+    /// The bucket boundaries are powers of two, so the estimate's relative
+    /// error is bounded by the bucket width: **at most ~2×** (and far less
+    /// in practice, since the interpolation assumes mass is spread evenly
+    /// across the bucket instead of pinning everything to its upper edge
+    /// the way [`HistogramSnapshot::quantile_bound`] does). Use this for
+    /// p50/p95/p99 reporting; use `quantile_bound` when a conservative
+    /// upper bound is needed. Returns 0.0 when the histogram is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn p(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        let n = self.count();
+        if n == 0 {
+            return 0.0;
+        }
+        let rank = (q * n as f64).max(1.0).min(n as f64);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let before = seen as f64;
+            seen += c;
+            if (seen as f64) >= rank {
+                // Bucket i spans [lo, hi]; spread its count uniformly and
+                // take the within-bucket offset of the requested rank.
+                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let hi = bucket_upper_bound(i) as f64;
+                let frac = (rank - before) / c as f64;
+                return lo + frac * (hi - lo);
+            }
+        }
+        bucket_upper_bound(BUCKETS - 1) as f64
+    }
+
     /// Element-wise accumulation (for merging per-thread histograms).
     pub fn merge(&mut self, other: &HistogramSnapshot) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -185,6 +225,47 @@ mod tests {
         assert_eq!(s.quantile_bound(0.5), 1);
         assert_eq!(s.quantile_bound(1.0), 1023, "1000 falls in [512, 1023]");
         assert_eq!(HistogramSnapshot::empty().quantile_bound(0.9), 0);
+    }
+
+    #[test]
+    fn interpolated_quantiles_track_true_values_within_2x() {
+        let h = LogHistogram::new();
+        // 1000 observations uniform over [1, 1000].
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, truth) in [(0.5, 500.0), (0.95, 950.0), (0.99, 990.0)] {
+            let est = s.p(q);
+            assert!(est >= truth / 2.0 && est <= truth * 2.0, "p({q}) = {est}, true {truth}");
+            // The interpolated estimate must never exceed the conservative
+            // bucket upper bound.
+            assert!(est <= s.quantile_bound(q) as f64);
+        }
+    }
+
+    #[test]
+    fn interpolated_quantile_edge_cases() {
+        assert_eq!(HistogramSnapshot::empty().p(0.99), 0.0);
+        let h = LogHistogram::new();
+        h.record(0);
+        h.record(0);
+        assert_eq!(h.snapshot().p(0.5), 0.0, "all-zero sample has zero quantiles");
+        let h = LogHistogram::new();
+        for _ in 0..99 {
+            h.record(1);
+        }
+        h.record(600);
+        let s = h.snapshot();
+        assert_eq!(s.p(0.5), 1.0, "median sits in the singleton bucket [1,1]");
+        let p999 = s.p(0.999);
+        assert!((512.0..=1023.0).contains(&p999), "tail lands in 600's bucket, got {p999}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn interpolated_quantile_rejects_bad_q() {
+        let _ = HistogramSnapshot::empty().p(1.5);
     }
 
     #[test]

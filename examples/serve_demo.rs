@@ -1,0 +1,51 @@
+//! Serve demo: a tiny guided store service on the simulated machine.
+//!
+//! Run with: `cargo run --example serve_demo`
+//!
+//! Builds a contended ("hot") sharded store, trains the thread-state
+//! automaton on a few profiling runs of the same open-loop traffic, then
+//! serves the test seed under default and guided admission and prints the
+//! sojourn-latency table. Everything runs on SimGate, so the numbers are
+//! deterministic: run it twice and the output is identical.
+
+use std::sync::Arc;
+
+use gstm::prelude::*;
+use gstm::serve::{run_simulated, Arrival, ServeSpec};
+
+fn stat(out: &RunOutcome, key: &str) -> f64 {
+    out.workload_stats.iter().find(|(k, _)| k == key).map(|(_, v)| *v).unwrap_or_default()
+}
+
+fn main() {
+    const THREADS: usize = 3;
+    const TEST_SEED: u64 = 1000;
+
+    let mut spec = ServeSpec::hot(150);
+    spec.arrival = Arrival::Poisson { mean_gap: 150.0 };
+    let workload = gstm::serve::ServeWorkload::new(spec.clone());
+
+    println!("training the serve model on 3 profiling runs...");
+    let trained = train(&workload, &RunOptions::new(THREADS, 0), &[1, 2, 3], 4.0);
+    println!("model: {} states | analysis: {}\n", trained.tsa.state_count(), trained.analysis);
+
+    println!(
+        "{:<8} {:>8} {:>8} {:>8} {:>8} {:>6}",
+        "policy", "p50", "p95", "p99", "served", "shed"
+    );
+    for (label, policy) in [
+        ("default", PolicyChoice::Default),
+        ("guided", PolicyChoice::guided(Arc::clone(&trained.model))),
+    ] {
+        let out = run_simulated(&spec, &RunOptions::new(THREADS, TEST_SEED).with_policy(policy));
+        println!(
+            "{label:<8} {:>8.0} {:>8.0} {:>8.0} {:>8.0} {:>6.0}",
+            stat(&out, "sojourn_p50"),
+            stat(&out, "sojourn_p95"),
+            stat(&out, "sojourn_p99"),
+            stat(&out, "req_done"),
+            stat(&out, "req_shed"),
+        );
+    }
+    println!("\nsojourn = completion - scheduled arrival, in virtual ticks");
+}

@@ -42,6 +42,30 @@ grep -qE "runs [1-9][0-9]* hit / 0 miss" "$smoke_dir/warm.err" \
     || { echo "pipeline smoke: warm run missed the run cache"; exit 1; }
 rm -rf "$smoke_dir"
 
+echo "==> serve smoke: tail-latency study must be deterministic per seed"
+serve_dir="target/gstm-ci-serve-smoke"
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+./target/release/experiments serve --tiny --jobs 2 \
+    --cache-dir "$serve_dir/cache" \
+    >"$serve_dir/cold.out" 2>"$serve_dir/cold.err"
+cp results/serve.txt "$serve_dir/cold.txt"
+./target/release/experiments serve --tiny --jobs 2 \
+    --cache-dir "$serve_dir/cache" \
+    >"$serve_dir/warm.out" 2>"$serve_dir/warm.err"
+cp results/serve.txt "$serve_dir/warm.txt"
+./target/release/experiments serve --tiny --jobs 2 --no-cache \
+    >"$serve_dir/nocache.out" 2>"$serve_dir/nocache.err"
+diff -u "$serve_dir/cold.txt" "$serve_dir/warm.txt" \
+    || { echo "serve smoke: warm rerun table diverged"; exit 1; }
+diff -u "$serve_dir/cold.txt" results/serve.txt \
+    || { echo "serve smoke: same seed produced different serve table bytes"; exit 1; }
+grep -qE "models [1-9][0-9]* hit / 0 miss" "$serve_dir/warm.err" \
+    || { echo "serve smoke: warm run retrained instead of hitting the model cache"; exit 1; }
+grep -qE "runs [1-9][0-9]* hit / 0 miss" "$serve_dir/warm.err" \
+    || { echo "serve smoke: warm run missed the run cache"; exit 1; }
+rm -rf "$serve_dir"
+
 echo "==> chaos matrix: opacity oracle must report zero violations"
 ./target/release/experiments check --tiny --seed 7 --jobs 2 \
     || { echo "chaos matrix: opacity/serializability violations (see results/check.txt)"; exit 1; }

@@ -8,8 +8,9 @@
 //! machinery, [`guide`] for guided execution, [`sim`] for the deterministic
 //! virtual-core machine, [`stamp`] and [`synquake`] for the workloads,
 //! [`stats`] for the metrics, [`telemetry`] for the sharded metric
-//! registries, flight recorder, and snapshot export, and [`check`] for the
-//! offline opacity/serializability oracle.
+//! registries, flight recorder, and snapshot export, [`check`] for the
+//! offline opacity/serializability oracle, and [`serve`] for the sharded
+//! transactional store service with open-loop traffic.
 
 #![warn(missing_docs)]
 
@@ -18,6 +19,7 @@ pub use gstm_collections as collections;
 pub use gstm_core as core;
 pub use gstm_guide as guide;
 pub use gstm_model as model;
+pub use gstm_serve as serve;
 pub use gstm_sim as sim;
 pub use gstm_stamp as stamp;
 pub use gstm_stats as stats;
@@ -47,6 +49,7 @@ pub mod prelude {
     pub use gstm_model::{
         analyze, parse_states, Grouping, GuidedModel, StateId, Tsa, TsaBuilder, Tts,
     };
+    pub use gstm_serve::{Arrival, ServeSpec, ServeWorkload};
     pub use gstm_sim::{SimConfig, SimMachine};
     pub use gstm_stamp::{benchmark, InputSize};
     pub use gstm_stats::{mean, percent_reduction, sample_stddev, slowdown};
