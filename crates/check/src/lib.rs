@@ -66,6 +66,10 @@ use std::fmt;
 
 use gstm_core::{Participant, TxEvent, VarId};
 
+pub mod recovery;
+
+pub use recovery::{check_recovery, RecoveryReport, RecoveryViolation};
+
 /// One invariant violation found by [`check_history`].
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Violation {

@@ -1,0 +1,138 @@
+//! Crash-point plumbing for kill-and-recover fault injection.
+//!
+//! A [`KillSwitch`] models a process crash as seen by a durability layer:
+//! once tripped, the "disk" below the write-ahead log freezes — every later
+//! append, snapshot or truncation silently does nothing, exactly as if the
+//! process had died at that instant and recovery later read whatever bytes
+//! had reached stable storage.
+//!
+//! The switch is split in two so the *scheduler* and the *durability layer*
+//! stay decoupled:
+//!
+//! * something schedule-shaped (in practice `gstm-sim`'s `ChaosGate`, under
+//!   its seeded RNG) **requests** a crash at a named [`KillPoint`];
+//! * the durability layer (the `gstm-wal` crate) **observes** each point as
+//!   it passes through it, and trips the switch the first time it reaches
+//!   the requested point.
+//!
+//! That ordering makes the crash land at a structurally meaningful place
+//! (mid-batch, mid-snapshot, post-truncate) while the *when* stays a pure
+//! function of the chaos seed — crash schedules replay byte-identically on
+//! the deterministic simulator.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// A structural crash point inside the write-ahead-log protocol.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum KillPoint {
+    /// Halfway through appending a group-commit batch: the log gains a torn
+    /// tail (a partial frame), the classic torn-write crash.
+    MidBatch,
+    /// While writing a snapshot, before it is atomically installed: the old
+    /// snapshot must survive and the log must stay untouched.
+    MidSnapshot,
+    /// Immediately after a snapshot installed and the log was truncated:
+    /// recovery must come entirely from the new snapshot plus the short
+    /// tail.
+    PostTruncate,
+}
+
+impl KillPoint {
+    /// Stable label for reports and cache keys.
+    pub fn label(&self) -> &'static str {
+        match self {
+            KillPoint::MidBatch => "mid-batch",
+            KillPoint::MidSnapshot => "mid-snapshot",
+            KillPoint::PostTruncate => "post-truncate",
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            KillPoint::MidBatch => 1,
+            KillPoint::MidSnapshot => 2,
+            KillPoint::PostTruncate => 3,
+        }
+    }
+
+    fn from_code(code: u64) -> Option<Self> {
+        match code {
+            1 => Some(KillPoint::MidBatch),
+            2 => Some(KillPoint::MidSnapshot),
+            3 => Some(KillPoint::PostTruncate),
+            _ => None,
+        }
+    }
+}
+
+/// The shared crash trigger (see the module docs). Cheap to clone via
+/// `Arc`; all methods are lock-free.
+#[derive(Debug, Default)]
+pub struct KillSwitch {
+    /// Requested crash point (`KillPoint::code`, 0 = none). First request
+    /// wins so a chaos schedule can only crash a run once.
+    requested: AtomicU64,
+    /// Set once the requested point was reached: the disk is dead.
+    tripped: AtomicBool,
+}
+
+impl KillSwitch {
+    /// A switch with no crash requested.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests a crash at the next occurrence of `point`. Later requests
+    /// are ignored (the first one wins). Returns whether this request won.
+    pub fn request(&self, point: KillPoint) -> bool {
+        self.requested.compare_exchange(0, point.code(), Ordering::SeqCst, Ordering::SeqCst).is_ok()
+    }
+
+    /// The currently requested crash point, if any.
+    pub fn requested(&self) -> Option<KillPoint> {
+        KillPoint::from_code(self.requested.load(Ordering::SeqCst))
+    }
+
+    /// Called by the durability layer as execution passes `point`: trips
+    /// the switch (and returns `true`, exactly once) if `point` is the
+    /// requested crash point and the switch has not tripped yet.
+    pub fn observe(&self, point: KillPoint) -> bool {
+        if self.requested.load(Ordering::SeqCst) != point.code() {
+            return false;
+        }
+        !self.tripped.swap(true, Ordering::SeqCst)
+    }
+
+    /// Whether the crash has happened — the disk below is frozen.
+    pub fn is_dead(&self) -> bool {
+        self.tripped.load(Ordering::SeqCst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_request_wins_and_trips_once() {
+        let k = KillSwitch::new();
+        assert_eq!(k.requested(), None);
+        assert!(!k.observe(KillPoint::MidBatch), "nothing requested: no trip");
+        assert!(k.request(KillPoint::MidSnapshot));
+        assert!(!k.request(KillPoint::MidBatch), "second request ignored");
+        assert_eq!(k.requested(), Some(KillPoint::MidSnapshot));
+        assert!(!k.observe(KillPoint::MidBatch), "wrong point: no trip");
+        assert!(!k.is_dead());
+        assert!(k.observe(KillPoint::MidSnapshot), "requested point trips");
+        assert!(k.is_dead());
+        assert!(!k.observe(KillPoint::MidSnapshot), "trips exactly once");
+        assert!(k.is_dead());
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(KillPoint::MidBatch.label(), "mid-batch");
+        assert_eq!(KillPoint::MidSnapshot.label(), "mid-snapshot");
+        assert_eq!(KillPoint::PostTruncate.label(), "post-truncate");
+    }
+}

@@ -48,6 +48,7 @@ pub mod events;
 pub mod fxmap;
 pub mod gate;
 pub mod ids;
+pub mod kill;
 pub mod lock_table;
 pub mod policy;
 pub mod readset;
@@ -62,6 +63,7 @@ pub use error::{Abort, AbortReason, StmError};
 pub use events::{CountingSink, EventSink, MemorySink, MulticastSink, NullSink, TxEvent};
 pub use gate::{CostModel, Gate, NullGate, RealGate, Ticks};
 pub use ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
+pub use kill::{KillPoint, KillSwitch};
 pub use policy::{AdmissionPolicy, AdmitAll};
 pub use site_stats::{SiteStats, SiteStatsSink};
 pub use stm::{retry, CommitInfo, DoomHandle, Stm, Txn};

@@ -103,6 +103,12 @@ pub struct Stm {
     policy: Arc<dyn AdmissionPolicy>,
     cm: Arc<dyn ContentionManager>,
     commit_seq: AtomicU64,
+    /// Per-thread sequence number of the thread's most recent commit
+    /// (0 = none yet). A thread reading its own slot right after its own
+    /// `run` returns sees exactly that invocation's commit — the seam a
+    /// durability layer uses to tag its log records with the global
+    /// serialization order.
+    last_seq: Vec<AtomicU64>,
     doomed: Arc<Vec<AtomicU64>>,
     /// Test-only fault hook (`check` builds): when set, commit performs its
     /// write-back *before* acquiring the write-set locks — a deliberate
@@ -158,6 +164,7 @@ impl Stm {
             policy,
             cm,
             commit_seq: AtomicU64::new(0),
+            last_seq: (0..config.max_threads).map(|_| AtomicU64::new(0)).collect(),
             doomed: Arc::new((0..config.max_threads).map(|_| AtomicU64::new(0)).collect()),
             #[cfg(feature = "check")]
             broken_early_write_back: std::sync::atomic::AtomicBool::new(false),
@@ -178,6 +185,20 @@ impl Stm {
     /// Number of commits so far.
     pub fn commit_count(&self) -> u64 {
         self.commit_seq.load(Ordering::SeqCst)
+    }
+
+    /// Global sequence number of `thread`'s most recent commit (0 if the
+    /// thread has not committed yet). Read by the committing thread itself
+    /// immediately after [`Stm::run`] returns, this is exactly that
+    /// invocation's position in the global commit order — the hook
+    /// `gstm-wal` uses to tag write-ahead-log records so replay can
+    /// reconstruct the serialization order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn last_commit_seq(&self, thread: ThreadId) -> u64 {
+        self.last_seq[thread.index()].load(Ordering::SeqCst)
     }
 
     /// A clonable handle for dooming transactions from outside the engine —
@@ -308,6 +329,7 @@ impl Stm {
             match outcome {
                 Ok((result, info)) => {
                     self.cm.on_commit(thread);
+                    self.last_seq[thread.index()].store(info.seq.raw(), Ordering::SeqCst);
                     self.sink.record(&TxEvent::Commit {
                         who,
                         seq: info.seq,

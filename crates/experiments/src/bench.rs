@@ -47,6 +47,8 @@ pub const BENCH_VERSION: u32 = 1;
 pub const SUITE_HOTPATH: &str = "tl2_hotpath";
 /// Suite tag of the experiment-pipeline artifact (`BENCH_pipeline.json`).
 pub const SUITE_PIPELINE: &str = "pipeline";
+/// Suite tag of the write-ahead-log artifact (`BENCH_wal.json`).
+pub const SUITE_WAL: &str = "wal";
 
 /// Metric keys every valid hot-path artifact must contain (`bench-check`
 /// gates on presence, never on values).
@@ -82,6 +84,17 @@ pub const PIPELINE_REQUIRED_METRICS: &[&str] = &[
     "pipeline.warm_run_hits",
     "pipeline.warm_run_misses",
     "pipeline.warm_train_wall_ms",
+];
+
+/// Metric keys every valid WAL artifact must contain.
+pub const WAL_REQUIRED_METRICS: &[&str] = &[
+    "wal.append_ops_per_sec",
+    "wal.recover_1k_us",
+    "wal.recover_8k_us",
+    "wal.recover_32k_us",
+    "wal.serve_ephemeral_wall_ms",
+    "wal.serve_durable_wall_ms",
+    "wal.durable_overhead_pct",
 ];
 
 /// Harness parameters (iteration counts scale with the preset, repetition
@@ -296,6 +309,100 @@ fn bench_stamp(cfg: &BenchConfig, detection: Detection) -> (f64, f64) {
     (makespan as f64, best)
 }
 
+/// Append throughput: records buffered + group-committed per second into
+/// an in-memory device (fresh WAL per rep so device growth from earlier
+/// reps cannot pollute the timing).
+fn bench_wal_append(cfg: &BenchConfig) -> f64 {
+    use gstm_wal::{LogDevice, MemDevice, Wal, WalConfig};
+    let payload = [0xA5u8; 25];
+    let mut best = 0.0f64;
+    for _ in 0..cfg.reps {
+        let log: std::sync::Arc<dyn LogDevice> = std::sync::Arc::new(MemDevice::new());
+        let snap: std::sync::Arc<dyn LogDevice> = std::sync::Arc::new(MemDevice::new());
+        let wal = Wal::new(WalConfig::new(), log, snap);
+        let start = Instant::now();
+        for seq in 0..cfg.iters as u64 {
+            wal.append(seq + 1, &payload);
+        }
+        wal.flush();
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        best = best.max(cfg.iters as f64 / secs);
+    }
+    best
+}
+
+/// Best-of-reps recovery time (µs) over a clean log of `records` frames —
+/// the "recovery time vs log length" axis of the artifact.
+fn bench_wal_recover(cfg: &BenchConfig, records: usize) -> f64 {
+    use gstm_wal::{recover, LogDevice, MemDevice, Wal, WalConfig};
+    let payload = [0x5Au8; 25];
+    let log = std::sync::Arc::new(MemDevice::new());
+    let snap = std::sync::Arc::new(MemDevice::new());
+    let wal = Wal::new(
+        WalConfig::new(),
+        std::sync::Arc::clone(&log) as std::sync::Arc<dyn LogDevice>,
+        std::sync::Arc::clone(&snap) as std::sync::Arc<dyn LogDevice>,
+    );
+    for seq in 0..records as u64 {
+        wal.append(seq + 1, &payload);
+    }
+    wal.flush();
+    let (log_bytes, snap_bytes) = (log.contents(), snap.contents());
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps.max(2) {
+        let start = Instant::now();
+        let r = recover(&log_bytes, &snap_bytes).expect("clean log recovers");
+        assert_eq!(r.tail.len(), records, "every frame must survive recovery");
+        best = best.min(start.elapsed().as_secs_f64() * 1e6);
+    }
+    best
+}
+
+/// Wall time (ms, best of reps) of one simulated serve run on the given
+/// backend. The virtual-time outcome is backend-independent by design, so
+/// the wall-clock delta between backends is the durable commit overhead.
+fn bench_wal_serve(cfg: &BenchConfig, backend: gstm_serve::BackendKind) -> f64 {
+    use gstm_serve::{run_simulated, ServeSpec};
+    let requests = (cfg.iters / 10).clamp(100, 1_000);
+    let spec = ServeSpec::hot(requests).with_backend(backend);
+    // One untimed warmup so whichever backend runs first doesn't pay the
+    // cold-start (allocator, page-fault) cost in its best-of.
+    let _ = run_simulated(&spec, &RunOptions::new(3, 11));
+    let mut best = f64::INFINITY;
+    for _ in 0..cfg.reps {
+        let start = Instant::now();
+        let out = run_simulated(&spec, &RunOptions::new(3, 11));
+        assert!(out.total_commits() > 0, "the serve run must commit");
+        best = best.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+/// Runs the WAL suite (append throughput, recovery time vs log length,
+/// durable-vs-ephemeral serve overhead) and returns the flat `metrics`
+/// map in artifact key order.
+pub fn run_wal_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String, f64)> {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let append = bench_wal_append(cfg);
+    progress.report(&format!("wal.append_ops_per_sec: {append:.0}"));
+    metrics.push(("wal.append_ops_per_sec".into(), append));
+    for records in [1_000usize, 8_000, 32_000] {
+        let us = bench_wal_recover(cfg, records);
+        progress.report(&format!("wal.recover_{}k_us: {us:.1}", records / 1_000));
+        metrics.push((format!("wal.recover_{}k_us", records / 1_000), us));
+    }
+    let ephemeral = bench_wal_serve(cfg, gstm_serve::BackendKind::Ephemeral);
+    let durable = bench_wal_serve(cfg, gstm_serve::BackendKind::Durable);
+    let overhead = (durable - ephemeral) / ephemeral.max(1e-9) * 100.0;
+    progress.report(&format!(
+        "wal.serve: ephemeral {ephemeral:.1} ms, durable {durable:.1} ms ({overhead:+.1}%)"
+    ));
+    metrics.push(("wal.serve_ephemeral_wall_ms".into(), ephemeral));
+    metrics.push(("wal.serve_durable_wall_ms".into(), durable));
+    metrics.push(("wal.durable_overhead_pct".into(), overhead));
+    metrics
+}
+
 /// One named microloop: key suffix plus the loop function.
 type MicroLoop = (&'static str, fn(&BenchConfig, Detection) -> f64);
 
@@ -446,8 +553,9 @@ pub fn parse_metrics(text: &str) -> Result<Vec<(String, f64)>, String> {
 
 /// Validates a committed artifact: parseable JSON, correct schema/version,
 /// and every required key of its suite present and numeric (the `suite`
-/// field picks [`REQUIRED_METRICS`] or [`PIPELINE_REQUIRED_METRICS`];
-/// artifacts predating the field are hot-path artifacts). Absolute values
+/// field picks [`REQUIRED_METRICS`], [`PIPELINE_REQUIRED_METRICS`] or
+/// [`WAL_REQUIRED_METRICS`]; artifacts predating the field are hot-path
+/// artifacts). Absolute values
 /// are never gated — this protects the artifact's shape, not its numbers.
 ///
 /// # Errors
@@ -466,6 +574,7 @@ pub fn check_artifact(text: &str) -> Result<(), String> {
     let required: &[&str] = match v.get("suite").map(|s| s.as_str().ok_or(s)) {
         None | Some(Ok(SUITE_HOTPATH)) => REQUIRED_METRICS,
         Some(Ok(SUITE_PIPELINE)) => PIPELINE_REQUIRED_METRICS,
+        Some(Ok(SUITE_WAL)) => WAL_REQUIRED_METRICS,
         Some(other) => return Err(format!("unknown suite: {other:?}")),
     };
     let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
@@ -546,6 +655,13 @@ mod tests {
             REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
         let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
         assert!(err.contains("pipeline."), "{err}");
+        // ...the WAL suite gates on its own keys...
+        cfg.suite = SUITE_WAL.to_string();
+        let wal: Vec<(String, f64)> =
+            WAL_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &wal, None)).unwrap();
+        let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
+        assert!(err.contains("wal."), "{err}");
         // ...an unknown suite is rejected outright...
         cfg.suite = "nonsense".to_string();
         let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();

@@ -61,6 +61,10 @@ impl DiskCache {
         self.root.join("runs").join(format!("{}.json", fingerprint_hex(key.as_bytes())))
     }
 
+    fn text_path(&self, key: &str) -> PathBuf {
+        self.root.join("cells").join(format!("{}.txt", fingerprint_hex(key.as_bytes())))
+    }
+
     /// Writes `bytes` atomically: temp file in the target directory, then
     /// rename. Concurrent writers of the same key race benignly (identical
     /// content). Errors are swallowed — the cache is an optimization.
@@ -102,6 +106,26 @@ impl DiskCache {
         }
         let text = encode_run(outcome, key).render();
         Self::write_atomic(&self.run_path(key), text.as_bytes());
+    }
+
+    /// Looks up a cached text artifact (a rendered cell) by key. The key
+    /// is embedded as a first-line header and verified on load, so digest
+    /// collisions degrade to misses.
+    pub fn load_text(&self, key: &str) -> Option<String> {
+        debug_assert!(!key.contains('\n'), "text-cache keys are single-line");
+        let raw = std::fs::read_to_string(self.text_path(key)).ok()?;
+        let (stored_key, body) = raw.split_once('\n')?;
+        (stored_key == key).then(|| body.to_string())
+    }
+
+    /// Stores a rendered text artifact under a single-line `key`.
+    pub fn store_text(&self, key: &str, body: &str) {
+        debug_assert!(!key.contains('\n'), "text-cache keys are single-line");
+        let mut raw = String::with_capacity(key.len() + 1 + body.len());
+        raw.push_str(key);
+        raw.push('\n');
+        raw.push_str(body);
+        Self::write_atomic(&self.text_path(key), raw.as_bytes());
     }
 }
 
@@ -324,6 +348,18 @@ mod tests {
         cache.store_model("m", &tsa);
         let back = cache.load_model("m").expect("model hit");
         assert_eq!(serialize::to_bytes(&back), serialize::to_bytes(&tsa));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn text_cache_round_trips_and_verifies_key() {
+        let dir = std::env::temp_dir().join(format!("gstm-textcache-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let cache = DiskCache::new(&dir);
+        assert!(cache.load_text("cell-a").is_none());
+        cache.store_text("cell-a", "line 1\nline 2\n");
+        assert_eq!(cache.load_text("cell-a").as_deref(), Some("line 1\nline 2\n"));
+        assert!(cache.load_text("cell-b").is_none(), "different key must miss");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -11,6 +11,8 @@
 //! * [`cache`] — the content-addressed disk cache itself;
 //! * [`checkcmd`] — the `check` subcommand: a fault-injected chaos matrix
 //!   judged by the `gstm-check` opacity oracle;
+//! * [`recovercmd`] — the `recover` subcommand: a kill-and-recover matrix
+//!   over the WAL crash points, storage backends and contention managers;
 //! * [`progress`] — the [`progress::Progress`] status-line sink;
 //! * [`metrics`] — derivations (per-thread stddev, tail metric merges, …);
 //! * [`report`] — one renderer per paper table/figure;
@@ -30,6 +32,7 @@ pub mod config;
 pub mod metrics;
 pub mod pipeline;
 pub mod progress;
+pub mod recovercmd;
 pub mod report;
 pub mod servecmd;
 pub mod study;

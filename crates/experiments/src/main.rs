@@ -25,6 +25,16 @@
 //!                              (fault-injected chaos matrix judged by the
 //!                               gstm-check opacity oracle -> results/check.txt;
 //!                               exits 1 on any violation)
+//!   recover [--tiny] [--seed N] [--threads N] [--requests N] [--jobs N]
+//!           [--cache-dir PATH] [--no-cache]
+//!                              (kill-and-recover matrix: WAL crash points x
+//!                               backends x CMs, recovered stores checked
+//!                               against the serial history ->
+//!                               results/recover.txt; exits 1 on any violation)
+//!   bench-wal [--out PATH] [--smoke] [--profile NAME]
+//!                              (WAL microbenchmarks: append throughput,
+//!                               recovery time vs log length, durable-vs-
+//!                               ephemeral overhead -> BENCH_wal.json)
 //! ```
 //!
 //! Every study command resolves through the experiment pipeline: trained
@@ -54,8 +64,8 @@ use gstm_synquake::Quest;
 fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|serve|all|\
-         cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-check|check|\
-         ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
+         cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-wal|bench-check|check|\
+         recover|ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
          [--cache-dir PATH] [--no-cache]"
     );
@@ -198,6 +208,81 @@ fn run_check(args: &[String]) -> ! {
     std::process::exit(i32::from(!ok));
 }
 
+/// `recover`: the kill-and-recover matrix over WAL crash points, storage
+/// backends and contention managers. Prints the per-cell report, archives
+/// it to `results/recover.txt`, and exits nonzero if any cell's recovered
+/// store diverged from the serial history (or injection was vacuous).
+fn run_recover(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let parsed = |name: &str, v: &String| -> u64 {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("recover: {name} requires a non-negative integer, got {v}");
+            std::process::exit(2);
+        })
+    };
+    let seed = flag("--seed").map_or(7, |s| parsed("--seed", s));
+    let mut opts = if args.iter().any(|a| a == "--tiny") {
+        gstm_experiments::recovercmd::RecoverOptions::tiny(seed)
+    } else {
+        gstm_experiments::recovercmd::RecoverOptions::new(seed)
+    };
+    if let Some(t) = flag("--threads") {
+        opts.threads = parsed("--threads", t).max(2) as usize;
+    }
+    if let Some(r) = flag("--requests") {
+        opts.requests_per_thread = parsed("--requests", r).max(1) as usize;
+    }
+    // The matrix uses the pipeline's worker pool and its text cache; the
+    // tiny study config supplies the pool defaults (jobs, results dir).
+    let mut cfg = ExpConfig::tiny();
+    if let Some(jobs) = flag("--jobs") {
+        cfg.jobs = parsed("--jobs", jobs).max(1) as usize;
+    }
+    if args.iter().any(|a| a == "--no-cache") {
+        cfg.cache_dir = None;
+    } else if let Some(dir) = flag("--cache-dir") {
+        cfg.cache_dir = Some(std::path::PathBuf::from(dir));
+    }
+    let progress = StderrProgress::new();
+    let mut pipe = Pipeline::new(&cfg, &progress).with_jobs(cfg.jobs);
+    if let Some(dir) = &cfg.cache_dir {
+        pipe = pipe.with_cache(DiskCache::new(dir.clone()));
+    }
+    let (body, ok) = gstm_experiments::recovercmd::run_matrix(&opts, &pipe, &progress);
+    if std::fs::create_dir_all(&cfg.out_dir).is_ok() {
+        let _ = std::fs::write(cfg.out_dir.join("recover.txt"), &body);
+    }
+    progress.report(&pipe.gauges().summary());
+    println!("{body}");
+    std::process::exit(i32::from(!ok));
+}
+
+/// `bench-wal`: run the WAL suite and write the JSON artifact.
+fn run_bench_wal(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let out = flag("--out").map_or("BENCH_wal.json", String::as_str);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg = gstm_experiments::bench::BenchConfig::for_preset("tiny", smoke)
+        .expect("tiny is a known preset");
+    cfg.suite = gstm_experiments::bench::SUITE_WAL.to_string();
+    if let Some(profile) = flag("--profile") {
+        cfg.profile = profile.clone();
+    }
+    let progress = StderrProgress::new();
+    let metrics = gstm_experiments::bench::run_wal_suite(&cfg, &progress);
+    let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("bench-wal: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    progress.report(&format!("wrote {out}"));
+    std::process::exit(0);
+}
+
 /// Deterministic per-seed summary of one STAMP cell — the `cell` command's
 /// output, diffed byte-for-byte by the CI pipeline smoke (jobs/cache
 /// invariance).
@@ -239,8 +324,10 @@ fn main() {
         // These paths never touch the study machinery.
         "bench" => run_bench(&args[1..]),
         "bench-pipeline" => run_bench_pipeline(&args[1..]),
+        "bench-wal" => run_bench_wal(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         "check" => run_check(&args[1..]),
+        "recover" => run_recover(&args[1..]),
         _ => {}
     }
     let fast = args.iter().any(|a| a == "--fast");

@@ -395,6 +395,26 @@ impl<'a> Pipeline<'a> {
         out
     }
 
+    /// Resolves a rendered text cell through the cache: a hit returns the
+    /// stored body verbatim; a miss runs `render` and stores it. Counted
+    /// in the run-cache gauges — a cell is a (deterministic) run from the
+    /// cache's point of view. Only cells whose rendering is a pure
+    /// function of the key may use this.
+    pub fn cached_text(&self, key: &str, render: impl FnOnce() -> String) -> String {
+        if let Some(cache) = &self.cache {
+            if let Some(body) = cache.load_text(key) {
+                PipelineGauges::add(&self.gauges.run_hits, 1);
+                return body;
+            }
+            PipelineGauges::add(&self.gauges.run_misses, 1);
+        }
+        let body = render();
+        if let Some(cache) = &self.cache {
+            cache.store_text(key, &body);
+        }
+        body
+    }
+
     /// One measured run per configured test seed (fanned out over the
     /// pool), each resolved through the run cache.
     pub fn measured_runs(

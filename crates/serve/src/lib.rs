@@ -41,10 +41,15 @@
 
 #![warn(missing_docs)]
 
+pub mod backend;
 pub mod service;
 pub mod store;
 pub mod traffic;
 
+pub use backend::{
+    decode_request, decode_state, encode_request, encode_state, recover_store, store_digest,
+    BackendKind, DurableBackend, EphemeralBackend, Materializer, RecoveredStore, StoreBackend,
+};
 pub use service::{
     run_native, run_simulated, serve_schedule, GateClock, NativeReport, ServeClock, ServeRun,
     ServeSpec, ServeWorkload, ThreadLog, WallClock,

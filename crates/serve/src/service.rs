@@ -36,8 +36,10 @@ use gstm_core::{Gate, RealGate, Stm, StmConfig, ThreadId};
 use gstm_guide::{RunOptions, RunOutcome, WorkerEnv, Workload, WorkloadRun};
 use gstm_telemetry::histogram::{HistogramSnapshot, LogHistogram};
 
+use crate::backend::{BackendKind, DurableBackend, EphemeralBackend, StoreBackend};
 use crate::store::ShardedStore;
 use crate::traffic::{generate_schedule, Arrival, Mix, ScheduledRequest, TrafficSpec};
+use gstm_wal::{FileDevice, LogDevice, Wal, WalConfig};
 
 /// Upper bound on a single idle wait charged through the gate. Waiting in
 /// small steps and re-reading the clock keeps the simulator's per-pass cost
@@ -69,6 +71,9 @@ pub struct ServeSpec {
     pub scan_len: u64,
     /// Request-kind mix.
     pub mix: Mix,
+    /// Storage backend: ephemeral (in-memory only) or durable
+    /// (WAL-backed command logging with snapshots).
+    pub backend: BackendKind,
 }
 
 impl ServeSpec {
@@ -87,6 +92,7 @@ impl ServeSpec {
             work: 40,
             scan_len: 8,
             mix: Mix::transfer_heavy(),
+            backend: BackendKind::Ephemeral,
         }
     }
 
@@ -105,12 +111,19 @@ impl ServeSpec {
             work: 40,
             scan_len: 8,
             mix: Mix::read_mostly(),
+            backend: BackendKind::Ephemeral,
         }
     }
 
     /// Replaces the arrival process.
     pub fn with_arrival(mut self, arrival: Arrival) -> Self {
         self.arrival = arrival;
+        self
+    }
+
+    /// Replaces the storage backend.
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
         self
     }
 
@@ -123,7 +136,7 @@ impl ServeSpec {
             Arrival::Bursty { mean_gap, burst } => format!("bursty(g={mean_gap},b={burst})"),
         };
         format!(
-            "sh={};bk={};keys={};th={};arr={};rq={};qd={};wk={};sc={};mix={:?}",
+            "sh={};bk={};keys={};th={};arr={};rq={};qd={};wk={};sc={};mix={:?};be={}",
             self.shards,
             self.buckets_per_shard,
             self.keys,
@@ -134,6 +147,7 @@ impl ServeSpec {
             self.work,
             self.scan_len,
             self.mix.0,
+            self.backend.label(),
         )
     }
 
@@ -241,16 +255,22 @@ pub struct ThreadLog {
 /// `max_queue_depth` the oldest due request is shed. Every served request
 /// runs as one STM transaction at its kind's site, and its sojourn
 /// (completion − arrival) is recorded.
+///
+/// After each served request commits, the backend's durability hook runs
+/// with the engine's commit sequence number — *after* `stm.run` returned,
+/// so logging never extends a lock hold. The backend flushes once the
+/// schedule drains.
 pub fn serve_schedule(
     stm: &Stm,
     thread: ThreadId,
-    store: &ShardedStore,
+    backend: &dyn StoreBackend,
     schedule: &[ScheduledRequest],
     clock: &dyn ServeClock,
     spec: &ServeSpec,
     log: &ThreadLog,
 ) {
     let (work, max_queue_depth) = (spec.work, spec.max_queue_depth);
+    let store = backend.store();
     let mut i = 0;
     while i < schedule.len() {
         let sr = &schedule[i];
@@ -272,34 +292,59 @@ pub fn serve_schedule(
             tx.work(work);
             store.apply(tx, &req)
         });
+        backend.on_commit(stm.last_commit_seq(thread), &req);
         log.sojourn.record(clock.now(thread).saturating_sub(sr.at));
         log.done.fetch_add(1, Ordering::Relaxed);
         i += 1;
     }
+    backend.flush();
 }
 
 /// One instantiated serve run: the populated store, the per-thread
 /// schedules, and the per-thread logs.
 pub struct ServeRun {
     spec: ServeSpec,
-    store: ShardedStore,
+    backend: Arc<dyn StoreBackend>,
     schedules: Vec<Arc<Vec<ScheduledRequest>>>,
     logs: Vec<Arc<ThreadLog>>,
 }
 
 impl ServeRun {
-    /// Builds the store and materializes every thread's schedule.
+    /// Builds the store (behind the spec's backend) and materializes every
+    /// thread's schedule. A durable spec gets an in-memory WAL here — the
+    /// deterministic simulator disk; native runs that want real files use
+    /// [`run_native`], which builds the backend itself.
     pub fn new(spec: ServeSpec, threads: usize, seed: u64) -> Self {
         let store = ShardedStore::new(spec.shards, spec.buckets_per_shard, spec.keys);
+        let backend: Arc<dyn StoreBackend> = match spec.backend {
+            BackendKind::Ephemeral => Arc::new(EphemeralBackend::new(store)),
+            BackendKind::Durable => Arc::new(DurableBackend::in_memory(store, WalConfig::new()).0),
+        };
+        Self::with_backend(spec, backend, threads, seed)
+    }
+
+    /// Builds a run over a caller-supplied backend (recovery experiments
+    /// arm kill switches and hold the disk devices themselves).
+    pub fn with_backend(
+        spec: ServeSpec,
+        backend: Arc<dyn StoreBackend>,
+        threads: usize,
+        seed: u64,
+    ) -> Self {
         let traffic = spec.traffic();
         ServeRun {
-            store,
+            backend,
             schedules: (0..threads)
                 .map(|t| Arc::new(generate_schedule(&traffic, seed, t)))
                 .collect(),
             logs: (0..threads).map(|_| Arc::new(ThreadLog::default())).collect(),
             spec,
         }
+    }
+
+    /// The backend this run serves from.
+    pub fn backend(&self) -> &Arc<dyn StoreBackend> {
+        &self.backend
     }
 
     /// Merged sojourn histogram across threads.
@@ -319,8 +364,8 @@ impl ServeRun {
     }
 
     fn check_conservation(&self) -> Result<(), String> {
-        let got = self.store.total_balance_unlogged();
-        let want = self.store.expected_total();
+        let got = self.backend.store().total_balance_unlogged();
+        let want = self.backend.store().expected_total();
         if got == want {
             Ok(())
         } else {
@@ -332,13 +377,13 @@ impl ServeRun {
 impl WorkloadRun for ServeRun {
     fn worker(&self, env: WorkerEnv) -> Box<dyn FnOnce() + Send> {
         let t = env.thread.index();
-        let store = self.store.clone();
+        let backend = Arc::clone(&self.backend);
         let schedule = Arc::clone(&self.schedules[t]);
         let log = Arc::clone(&self.logs[t]);
         let spec = self.spec.clone();
         Box::new(move || {
             let clock = GateClock::new(Arc::clone(env.stm.gate()));
-            serve_schedule(&env.stm, env.thread, &store, &schedule, &clock, &spec, &log);
+            serve_schedule(&env.stm, env.thread, backend.as_ref(), &schedule, &clock, &spec, &log);
         })
     }
 
@@ -418,7 +463,9 @@ pub struct NativeReport {
 /// Runs the service natively: OS threads, [`RealGate`], wall-clock
 /// arrivals. Same store, same schedules, same loop as the simulated path —
 /// only the gate and clock differ. `nanos_per_tick` maps schedule ticks to
-/// wall time; `yield_every` is forwarded to [`RealGate`].
+/// wall time; `yield_every` is forwarded to [`RealGate`]. A durable spec
+/// writes its WAL to real files under a per-run temp directory (removed on
+/// success — native runs measure overhead, they don't archive logs).
 ///
 /// # Panics
 ///
@@ -433,19 +480,33 @@ pub fn run_native(
 ) -> NativeReport {
     assert!(threads > 0, "need at least one serve thread");
     let stm = Arc::new(Stm::new_on(StmConfig::new(threads), Arc::new(RealGate::new(yield_every))));
-    let run = ServeRun::new(spec.clone(), threads, seed);
+    let store = ShardedStore::new(spec.shards, spec.buckets_per_shard, spec.keys);
+    let mut wal_dir = None;
+    let backend: Arc<dyn StoreBackend> = match spec.backend {
+        BackendKind::Ephemeral => Arc::new(EphemeralBackend::new(store)),
+        BackendKind::Durable => {
+            let dir =
+                std::env::temp_dir().join(format!("gstm-serve-wal-{}-{seed}", std::process::id()));
+            std::fs::create_dir_all(&dir).expect("create WAL dir");
+            let log: Arc<dyn LogDevice> = Arc::new(FileDevice::new(dir.join("wal.log")));
+            let snap: Arc<dyn LogDevice> = Arc::new(FileDevice::new(dir.join("wal.snap")));
+            wal_dir = Some(dir);
+            Arc::new(DurableBackend::new(store, Wal::new(WalConfig::new(), log, snap)))
+        }
+    };
+    let run = ServeRun::with_backend(spec.clone(), backend, threads, seed);
     let clock = WallClock::new(nanos_per_tick);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
                 let stm = Arc::clone(&stm);
                 let thread = ThreadId::new(t as u16);
-                let store = &run.store;
+                let backend = Arc::clone(&run.backend);
                 let schedule = Arc::clone(&run.schedules[t]);
                 let log = Arc::clone(&run.logs[t]);
                 let clock = &clock;
                 scope.spawn(move || {
-                    serve_schedule(&stm, thread, store, &schedule, clock, spec, &log);
+                    serve_schedule(&stm, thread, backend.as_ref(), &schedule, clock, spec, &log);
                 })
             })
             .collect();
@@ -453,6 +514,9 @@ pub fn run_native(
             h.join().expect("serve worker panicked");
         }
     });
+    if let Some(dir) = wal_dir {
+        let _ = std::fs::remove_dir_all(&dir);
+    }
     if let Err(msg) = run.verify() {
         panic!("native serve run failed verification: {msg}");
     }
@@ -502,6 +566,20 @@ mod tests {
             (c.makespan, c.workload_stats.clone()),
             "different seed should perturb the run"
         );
+    }
+
+    #[test]
+    fn durable_backend_serves_identical_traffic() {
+        let spec = tiny_spec();
+        let a = run_simulated(&spec, &RunOptions::new(2, 9));
+        let b = run_simulated(
+            &spec.clone().with_backend(crate::backend::BackendKind::Durable),
+            &RunOptions::new(2, 9),
+        );
+        // Logging is off the gate path: the durable run serves the same
+        // schedule with the same virtual-time outcome.
+        assert_eq!(a.workload_stats, b.workload_stats);
+        assert_eq!(a.makespan, b.makespan);
     }
 
     #[test]

@@ -244,6 +244,39 @@ impl ShardedStore {
         }
     }
 
+    /// Rebuilds a store of the given shape directly from recovered
+    /// entries, skipping the usual fresh population — the recovery path's
+    /// constructor. Non-transactional; call before any worker starts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn from_entries(
+        shards: usize,
+        buckets_per_shard: usize,
+        keys: u64,
+        entries: &[(u64, Entry)],
+    ) -> Self {
+        assert!(shards > 0 && keys > 0, "store needs at least one shard and one key");
+        let store = ShardedStore {
+            shards: (0..shards).map(|_| THashMap::new(buckets_per_shard)).collect(),
+            keys,
+        };
+        for &(key, entry) in entries {
+            store.shard_of(key).insert_unlogged(key, entry);
+        }
+        store
+    }
+
+    /// Non-transactional dump of every entry, sorted by key — the
+    /// canonical representation snapshots and digests are built from.
+    pub fn entries_unlogged(&self) -> Vec<(u64, Entry)> {
+        let mut all: Vec<(u64, Entry)> =
+            self.shards.iter().flat_map(|s| s.snapshot_unlogged()).collect();
+        all.sort_by_key(|&(k, _)| k);
+        all
+    }
+
     /// Non-transactional balance total (verification/teardown only).
     pub fn total_balance_unlogged(&self) -> i64 {
         self.shards.iter().flat_map(|s| s.snapshot_unlogged()).map(|(_, e)| e.balance).sum()

@@ -231,6 +231,71 @@ mod tests {
     }
 
     #[test]
+    fn samplers_are_deterministic_across_reseeds() {
+        // The samplers themselves (not just the schedule) must be pure
+        // functions of the seed: re-seeding replays the exact stream, and a
+        // different seed diverges. This is what makes a cached study cell
+        // safe to replay on a different host.
+        let zipf = Zipf::new(64, 0.9);
+        let exp = Exp::new(50.0);
+        let draw = |seed: u64| {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let ranks: Vec<usize> = (0..256).map(|_| zipf.sample(&mut rng)).collect();
+            let gaps: Vec<u64> = (0..256).map(|_| exp.sample(&mut rng).to_bits()).collect();
+            (ranks, gaps)
+        };
+        assert_eq!(draw(42), draw(42), "same seed ⇒ bit-identical sample stream");
+        let (ranks_a, gaps_a) = draw(42);
+        let (ranks_b, gaps_b) = draw(43);
+        assert_ne!(ranks_a, ranks_b, "different seed ⇒ different zipf stream");
+        assert_ne!(gaps_a, gaps_b, "different seed ⇒ different exp stream");
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_mass_on_hot_ranks() {
+        let n = 64;
+        let freq = |theta: f64, seed: u64| {
+            let zipf = Zipf::new(n, theta);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut counts = vec![0usize; n];
+            for _ in 0..20_000 {
+                counts[zipf.sample(&mut rng)] += 1;
+            }
+            counts
+        };
+        // Skewed: rank 0 is the hottest key by a wide margin, and hotter
+        // than the coldest rank. With θ=0.99 over 64 keys, rank 0 carries
+        // ~21% of the mass vs ~0.35% for rank 63.
+        let skewed = freq(0.99, 5);
+        assert!(
+            skewed[0] > 10 * skewed[n - 1],
+            "rank 0 ({}) not ≫ rank {} ({})",
+            skewed[0],
+            n - 1,
+            skewed[n - 1]
+        );
+        assert_eq!(skewed.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0, 0);
+        // θ=0 degenerates to uniform: no key is more than ~2× any other.
+        let flat = freq(0.0, 5);
+        let (min, max) = (flat.iter().min().unwrap(), flat.iter().max().unwrap());
+        assert!(*max < 2 * *min, "uniform draw spread too wide: {min}..{max}");
+    }
+
+    #[test]
+    fn exp_sampler_tracks_its_mean() {
+        let exp = Exp::new(50.0);
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..20_000 {
+            let x = exp.sample(&mut rng);
+            assert!(x >= 0.0, "exponential gaps are non-negative, got {x}");
+            sum += x;
+        }
+        let mean = sum / 20_000.0;
+        assert!((47.0..=53.0).contains(&mean), "sample mean {mean} far from 50");
+    }
+
+    #[test]
     fn mix_weights_shape_the_request_stream() {
         let s =
             TrafficSpec { mix: Mix::transfer_heavy(), ..spec(Arrival::Poisson { mean_gap: 10.0 }) };

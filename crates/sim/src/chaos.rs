@@ -13,6 +13,14 @@
 //!   doomed through a [`DoomHandle`], exactly as a racing committer under
 //!   `AbortReaders` would doom it.
 //!
+//! A fourth, **kill-and-recover** perturbation targets durability rather
+//! than scheduling: at a seeded gate crossing the gate *requests* a crash
+//! at a structural [`KillPoint`] through an armed [`KillSwitch`]. The
+//! write-ahead log observes the point as it passes it (mid-batch,
+//! mid-snapshot, post-truncate) and freezes its disk there — the gate
+//! decides *when* under the seed, the log decides *where* structurally,
+//! and recovery experiments replay the surviving bytes.
+//!
 //! Determinism: each thread draws from its own seeded RNG in its own
 //! program order, so a given `(seed, workload)` pair injects the identical
 //! fault schedule regardless of how OS threads interleave — chaos runs are
@@ -24,7 +32,7 @@ use std::sync::{Arc, OnceLock};
 
 use gstm_core::rng::SmallRng;
 use gstm_core::sync::Mutex;
-use gstm_core::{DoomHandle, Gate, ThreadId, Ticks};
+use gstm_core::{DoomHandle, Gate, KillPoint, KillSwitch, ThreadId, Ticks};
 
 /// Per-mille rates and magnitudes for a [`ChaosGate`].
 #[derive(Clone, Copy, Debug)]
@@ -39,6 +47,12 @@ pub struct ChaosConfig {
     pub doom_permille: u32,
     /// Chance (‰) that a batched (commit write-back) crossing is stalled.
     pub commit_delay_permille: u32,
+    /// Chance (‰) that a crossing requests a crash at `kill_point`
+    /// (first request wins; the rate shapes *when* in virtual time the
+    /// crash lands).
+    pub kill_permille: u32,
+    /// The structural crash point a kill request names.
+    pub kill_point: Option<KillPoint>,
 }
 
 impl ChaosConfig {
@@ -51,6 +65,8 @@ impl ChaosConfig {
             max_delay: 40,
             doom_permille: 10,
             commit_delay_permille: 200,
+            kill_permille: 0,
+            kill_point: None,
         }
     }
 
@@ -77,6 +93,14 @@ impl ChaosConfig {
         self.commit_delay_permille = pm;
         self
     }
+
+    /// Enables kill-and-recover injection: crossings request a crash at
+    /// `point` with chance `pm` (‰).
+    pub fn with_kill(mut self, point: KillPoint, pm: u32) -> Self {
+        self.kill_point = Some(point);
+        self.kill_permille = pm;
+        self
+    }
 }
 
 /// Injection counters reported by [`ChaosGate::stats`].
@@ -88,6 +112,8 @@ pub struct ChaosStats {
     pub delay_ticks: u64,
     /// Forced aborts delivered through the doom handle.
     pub dooms: u64,
+    /// Crash requests accepted by the kill switch (0 or 1 per run).
+    pub kills: u64,
 }
 
 /// A [`Gate`] decorator injecting seeded faults (see the module docs).
@@ -101,9 +127,11 @@ pub struct ChaosGate {
     cfg: ChaosConfig,
     rngs: Vec<Mutex<SmallRng>>,
     doom: OnceLock<DoomHandle>,
+    kill: OnceLock<Arc<KillSwitch>>,
     delays: AtomicU64,
     delay_ticks: AtomicU64,
     dooms: AtomicU64,
+    kills: AtomicU64,
 }
 
 impl ChaosGate {
@@ -122,9 +150,11 @@ impl ChaosGate {
             cfg,
             rngs,
             doom: OnceLock::new(),
+            kill: OnceLock::new(),
             delays: AtomicU64::new(0),
             delay_ticks: AtomicU64::new(0),
             dooms: AtomicU64::new(0),
+            kills: AtomicU64::new(0),
         }
     }
 
@@ -134,12 +164,19 @@ impl ChaosGate {
         let _ = self.doom.set(handle);
     }
 
+    /// Arms kill-and-recover with the WAL's kill switch. Later calls are
+    /// ignored (the first switch wins). An unarmed gate skips kill draws.
+    pub fn arm_kill(&self, switch: Arc<KillSwitch>) {
+        let _ = self.kill.set(switch);
+    }
+
     /// Injection counters so far.
     pub fn stats(&self) -> ChaosStats {
         ChaosStats {
             delays: self.delays.load(Ordering::SeqCst),
             delay_ticks: self.delay_ticks.load(Ordering::SeqCst),
             dooms: self.dooms.load(Ordering::SeqCst),
+            kills: self.kills.load(Ordering::SeqCst),
         }
     }
 
@@ -162,6 +199,13 @@ impl ChaosGate {
             if let Some(handle) = self.doom.get() {
                 handle.doom(thread);
                 self.dooms.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+        if self.cfg.kill_permille > 0 && rng.gen_range(0..1000u32) < self.cfg.kill_permille {
+            if let (Some(point), Some(switch)) = (self.cfg.kill_point, self.kill.get()) {
+                if switch.request(point) {
+                    self.kills.fetch_add(1, Ordering::SeqCst);
+                }
             }
         }
         extra
@@ -246,6 +290,25 @@ mod tests {
         assert_eq!(gate.stats().dooms, 0, "no handle, no dooms");
         gate.pass(t(9), 1); // no RNG stream: untouched crossing
         assert_eq!(gate.stats().delays, gate.stats().delays);
+    }
+
+    #[test]
+    fn armed_kill_requests_exactly_one_crash() {
+        let cfg = ChaosConfig::new(11)
+            .with_delay_permille(0)
+            .with_doom_permille(0)
+            .with_kill(KillPoint::MidBatch, 1000);
+        let gate = ChaosGate::new(cfg, Arc::new(NullGate), 2);
+        gate.pass(t(0), 1);
+        assert_eq!(gate.stats().kills, 0, "unarmed gate skips kill draws");
+        let switch = Arc::new(KillSwitch::new());
+        gate.arm_kill(Arc::clone(&switch));
+        for i in 0..10u16 {
+            gate.pass(t(i % 2), 1);
+        }
+        assert_eq!(gate.stats().kills, 1, "first request wins, later draws are no-ops");
+        assert_eq!(switch.requested(), Some(KillPoint::MidBatch));
+        assert!(!switch.is_dead(), "the WAL, not the gate, trips the switch");
     }
 
     #[test]

@@ -36,6 +36,15 @@ pub fn bucket_upper_bound(i: usize) -> u64 {
     }
 }
 
+/// Inclusive lower bound of bucket `i` (0 for the zero bucket).
+pub fn bucket_lower_bound(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
 impl LogHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
@@ -125,16 +134,40 @@ impl HistogramSnapshot {
     /// across the bucket instead of pinning everything to its upper edge
     /// the way [`HistogramSnapshot::quantile_bound`] does). Use this for
     /// p50/p95/p99 reporting; use `quantile_bound` when a conservative
-    /// upper bound is needed. Returns 0.0 when the histogram is empty.
+    /// upper bound is needed. Returns 0.0 when the histogram is empty —
+    /// use [`HistogramSnapshot::try_p`] to distinguish "no data" from a
+    /// genuinely zero quantile.
     ///
     /// # Panics
     ///
     /// Panics unless `0.0 <= q <= 1.0`.
     pub fn p(&self, q: f64) -> f64 {
+        self.try_p(q).unwrap_or(0.0)
+    }
+
+    /// Like [`HistogramSnapshot::p`], but `None` when the histogram is
+    /// empty. The extremes are anchored rather than interpolated: `q = 0`
+    /// returns the lower edge of the first nonempty bucket (the smallest
+    /// value the histogram can still resolve) and `q = 1` the upper edge
+    /// of the last nonempty bucket (its largest), so `try_p(0) <= try_p(q)
+    /// <= try_p(1)` for every recorded distribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= q <= 1.0`.
+    pub fn try_p(&self, q: f64) -> Option<f64> {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         let n = self.count();
         if n == 0 {
-            return 0.0;
+            return None;
+        }
+        if q <= 0.0 {
+            let first = self.buckets.iter().position(|&c| c > 0).expect("count > 0");
+            return Some(bucket_lower_bound(first) as f64);
+        }
+        if q >= 1.0 {
+            let last = self.buckets.iter().rposition(|&c| c > 0).expect("count > 0");
+            return Some(bucket_upper_bound(last) as f64);
         }
         let rank = (q * n as f64).max(1.0).min(n as f64);
         let mut seen = 0u64;
@@ -147,13 +180,13 @@ impl HistogramSnapshot {
             if (seen as f64) >= rank {
                 // Bucket i spans [lo, hi]; spread its count uniformly and
                 // take the within-bucket offset of the requested rank.
-                let lo = if i == 0 { 0.0 } else { (1u64 << (i - 1)) as f64 };
+                let lo = bucket_lower_bound(i) as f64;
                 let hi = bucket_upper_bound(i) as f64;
                 let frac = (rank - before) / c as f64;
-                return lo + frac * (hi - lo);
+                return Some(lo + frac * (hi - lo));
             }
         }
-        bucket_upper_bound(BUCKETS - 1) as f64
+        Some(bucket_upper_bound(BUCKETS - 1) as f64)
     }
 
     /// Element-wise accumulation (for merging per-thread histograms).
@@ -263,9 +296,43 @@ mod tests {
     }
 
     #[test]
+    fn quantile_extremes_anchor_at_min_and_max_edges() {
+        assert_eq!(HistogramSnapshot::empty().try_p(0.5), None, "empty is no data, not zero");
+        assert_eq!(HistogramSnapshot::empty().p(0.5), 0.0, "p() keeps the 0.0 convention");
+        let h = LogHistogram::new();
+        h.record(4);
+        let s = h.snapshot();
+        // A single observation of 4 lives in bucket [4, 7]: q=0 anchors at
+        // the lower edge, q=1 at the upper, instead of interpolating.
+        assert_eq!(s.try_p(0.0), Some(4.0));
+        assert_eq!(s.try_p(1.0), Some(7.0));
+        let h = LogHistogram::new();
+        for v in [1u64, 60, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.p(0.0), 1.0, "min edge of the first nonempty bucket");
+        assert_eq!(s.p(1.0), 1023.0, "max edge of the last nonempty bucket");
+        for q in [0.0, 0.25, 0.5, 0.75, 1.0] {
+            let v = s.p(q);
+            assert!(s.p(0.0) <= v && v <= s.p(1.0), "p({q}) = {v} outside [min, max]");
+        }
+        let zeros = LogHistogram::new();
+        zeros.record(0);
+        assert_eq!(zeros.snapshot().try_p(0.0), Some(0.0));
+        assert_eq!(zeros.snapshot().try_p(1.0), Some(0.0));
+    }
+
+    #[test]
     #[should_panic(expected = "quantile must be in [0, 1]")]
     fn interpolated_quantile_rejects_bad_q() {
         let _ = HistogramSnapshot::empty().p(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0, 1]")]
+    fn try_p_rejects_bad_q() {
+        let _ = HistogramSnapshot::empty().try_p(-0.1);
     }
 
     #[test]

@@ -1,0 +1,489 @@
+//! The write-ahead log proper: group-commit batching, snapshot install
+//! with log truncation, and crash recovery.
+//!
+//! ## Write path
+//!
+//! [`Wal::append`] is called *after* a transaction committed (the caller
+//! tags the record with the engine's global commit sequence number), so
+//! logging is entirely off the lock-hold path: the committer published its
+//! writes and released its stripes before the record exists. Records land
+//! in a bounded in-flight buffer; when [`WalConfig::batch_records`]
+//! accumulate (or on an explicit [`Wal::flush`]) the whole batch is encoded
+//! and appended to the log device in one call — group commit. A crash
+//! loses at most one buffer of records, never a committed-and-flushed one.
+//!
+//! ## Snapshot / truncate
+//!
+//! [`Wal::install_snapshot`] persists an opaque state blob covering
+//! commits `1..=upto_seq`, then rewrites the log device keeping only the
+//! flushed frames beyond `upto_seq`. Recovery work is therefore bounded by
+//! the snapshot interval (O(delta), not O(history)).
+//!
+//! ## Crash model
+//!
+//! An armed [`KillSwitch`] freezes the disk at a structural crash point:
+//! mid-batch (a torn frame is left behind), mid-snapshot (the old snapshot
+//! and full log survive; the new snapshot never installs), or
+//! post-truncate (the freshly truncated state survives). After the switch
+//! trips, every device mutation silently stops — exactly the bytes a real
+//! crash would leave are what [`recover`] later reads.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use gstm_core::sync::Mutex;
+use gstm_core::{KillPoint, KillSwitch};
+
+use crate::device::LogDevice;
+use crate::frame::{decode_log, decode_snapshot, encode_frame, encode_snapshot, WalError};
+
+/// Sizing knobs of a [`Wal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Group-commit batch size: the in-flight buffer flushes when this many
+    /// records accumulate.
+    pub batch_records: usize,
+    /// Callers are advised (via [`Wal::wants_snapshot`]) to snapshot after
+    /// this many records were flushed since the last snapshot.
+    pub snapshot_every: u64,
+}
+
+impl WalConfig {
+    /// Defaults: batches of 32 records, snapshot advice every 256.
+    pub fn new() -> Self {
+        WalConfig { batch_records: 32, snapshot_every: 256 }
+    }
+
+    /// Sets the group-commit batch size (min 1).
+    pub fn with_batch_records(mut self, n: usize) -> Self {
+        self.batch_records = n.max(1);
+        self
+    }
+
+    /// Sets the snapshot advice interval (min 1).
+    pub fn with_snapshot_every(mut self, n: u64) -> Self {
+        self.snapshot_every = n.max(1);
+        self
+    }
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Counters reported by [`Wal::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WalStats {
+    /// Records accepted into the in-flight buffer.
+    pub appended: u64,
+    /// Group-commit flushes that reached the device.
+    pub flushes: u64,
+    /// Records those flushes persisted.
+    pub flushed_records: u64,
+    /// Snapshots installed.
+    pub snapshots: u64,
+    /// Frames dropped from the log by snapshot truncation.
+    pub truncated_records: u64,
+    /// Records discarded because the disk was already dead (crashed).
+    pub lost_dead: u64,
+}
+
+struct WalInner {
+    /// The bounded in-flight buffer (group-commit batch under assembly).
+    buf: Vec<(u64, Vec<u8>)>,
+    /// Flushed frames currently in the log device, in append order —
+    /// needed to rewrite the device at truncation.
+    in_log: Vec<(u64, Vec<u8>)>,
+    /// Sequence number the installed snapshot covers (0 = none).
+    snapshot_seq: u64,
+}
+
+/// A write-ahead log over two [`LogDevice`]s (log + snapshot).
+pub struct Wal {
+    cfg: WalConfig,
+    log: Arc<dyn LogDevice>,
+    snap: Arc<dyn LogDevice>,
+    kill: Option<Arc<KillSwitch>>,
+    inner: Mutex<WalInner>,
+    appended: AtomicU64,
+    flushes: AtomicU64,
+    flushed_records: AtomicU64,
+    snapshots: AtomicU64,
+    truncated_records: AtomicU64,
+    lost_dead: AtomicU64,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("cfg", &self.cfg)
+            .field("stats", &self.stats())
+            .field("dead", &self.is_dead())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Wal {
+    /// A log writing through `log` and `snap`, with no crash injection.
+    pub fn new(cfg: WalConfig, log: Arc<dyn LogDevice>, snap: Arc<dyn LogDevice>) -> Self {
+        Wal {
+            cfg,
+            log,
+            snap,
+            kill: None,
+            inner: Mutex::new(WalInner { buf: Vec::new(), in_log: Vec::new(), snapshot_seq: 0 }),
+            appended: AtomicU64::new(0),
+            flushes: AtomicU64::new(0),
+            flushed_records: AtomicU64::new(0),
+            snapshots: AtomicU64::new(0),
+            truncated_records: AtomicU64::new(0),
+            lost_dead: AtomicU64::new(0),
+        }
+    }
+
+    /// Arms crash injection: the switch's requested [`KillPoint`] trips as
+    /// the log passes it.
+    pub fn with_kill(mut self, kill: Arc<KillSwitch>) -> Self {
+        self.kill = Some(kill);
+        self
+    }
+
+    /// Whether the simulated disk has crashed.
+    pub fn is_dead(&self) -> bool {
+        self.kill.as_ref().is_some_and(|k| k.is_dead())
+    }
+
+    fn observe(&self, point: KillPoint) -> bool {
+        self.kill.as_ref().is_some_and(|k| k.observe(point))
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> WalStats {
+        WalStats {
+            appended: self.appended.load(Ordering::SeqCst),
+            flushes: self.flushes.load(Ordering::SeqCst),
+            flushed_records: self.flushed_records.load(Ordering::SeqCst),
+            snapshots: self.snapshots.load(Ordering::SeqCst),
+            truncated_records: self.truncated_records.load(Ordering::SeqCst),
+            lost_dead: self.lost_dead.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Buffers one committed record. `seq` is the engine's global commit
+    /// sequence number; replay applies records in `seq` order. Triggers a
+    /// group-commit flush when the buffer reaches its bound.
+    pub fn append(&self, seq: u64, payload: &[u8]) {
+        if self.is_dead() {
+            self.lost_dead.fetch_add(1, Ordering::SeqCst);
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.buf.push((seq, payload.to_vec()));
+        self.appended.fetch_add(1, Ordering::SeqCst);
+        if inner.buf.len() >= self.cfg.batch_records {
+            self.flush_locked(&mut inner);
+        }
+    }
+
+    /// Flushes the in-flight buffer to the device (one group commit).
+    pub fn flush(&self) {
+        let mut inner = self.inner.lock();
+        self.flush_locked(&mut inner);
+    }
+
+    fn flush_locked(&self, inner: &mut WalInner) {
+        if inner.buf.is_empty() || self.is_dead() {
+            return;
+        }
+        let batch: Vec<(u64, Vec<u8>)> = std::mem::take(&mut inner.buf);
+        let mut bytes = Vec::new();
+        for (seq, payload) in &batch {
+            encode_frame(*seq, payload, &mut bytes);
+        }
+        if self.observe(KillPoint::MidBatch) {
+            // The crash lands partway through the device write: a torn
+            // prefix, cut inside the final frame's checksum so the tear is
+            // structural, is all that reaches the disk.
+            let cut = bytes.len() - crate::frame::FRAME_OVERHEAD / 2;
+            self.log.append(&bytes[..cut]);
+            self.lost_dead.fetch_add(batch.len() as u64, Ordering::SeqCst);
+            return;
+        }
+        self.log.append(&bytes);
+        self.flushes.fetch_add(1, Ordering::SeqCst);
+        self.flushed_records.fetch_add(batch.len() as u64, Ordering::SeqCst);
+        inner.in_log.extend(batch);
+    }
+
+    /// Whether enough records accumulated since the last snapshot that the
+    /// caller should build one ([`WalConfig::snapshot_every`]).
+    pub fn wants_snapshot(&self) -> bool {
+        let inner = self.inner.lock();
+        (inner.in_log.len() + inner.buf.len()) as u64 >= self.cfg.snapshot_every
+    }
+
+    /// Installs a snapshot covering commits `1..=upto_seq` and truncates
+    /// the log to the flushed frames beyond `upto_seq`. The caller
+    /// guarantees `state` is the materialized effect of exactly those
+    /// commits. Returns whether the install completed (a crash at a
+    /// snapshot-phase kill point aborts it).
+    pub fn install_snapshot(&self, upto_seq: u64, state: &[u8]) -> bool {
+        let mut inner = self.inner.lock();
+        // Everything the snapshot covers must be durable one way or the
+        // other; flushing first keeps the log a superset until the rename.
+        self.flush_locked(&mut inner);
+        if self.is_dead() {
+            return false;
+        }
+        if self.observe(KillPoint::MidSnapshot) {
+            // Crashed before the atomic install: old snapshot + full log
+            // survive untouched.
+            return false;
+        }
+        self.snap.reset(&encode_snapshot(upto_seq, state));
+        let (keep, drop): (Vec<_>, Vec<_>) =
+            std::mem::take(&mut inner.in_log).into_iter().partition(|(seq, _)| *seq > upto_seq);
+        let mut bytes = Vec::new();
+        for (seq, payload) in &keep {
+            encode_frame(*seq, payload, &mut bytes);
+        }
+        self.log.reset(&bytes);
+        inner.in_log = keep;
+        inner.snapshot_seq = upto_seq;
+        self.snapshots.fetch_add(1, Ordering::SeqCst);
+        self.truncated_records.fetch_add(drop.len() as u64, Ordering::SeqCst);
+        // The crash lands after a fully consistent snapshot+truncate; the
+        // disk merely stops accepting new writes.
+        self.observe(KillPoint::PostTruncate);
+        true
+    }
+
+    /// The current device contents, as recovery would read them after a
+    /// crash at this instant: `(log_bytes, snapshot_bytes)`.
+    pub fn disk_image(&self) -> (Vec<u8>, Vec<u8>) {
+        (self.log.contents(), self.snap.contents())
+    }
+}
+
+/// What [`recover`] reconstructed from a disk image.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Recovered {
+    /// The snapshot's opaque state payload, if one was installed.
+    pub snapshot: Option<Vec<u8>>,
+    /// Sequence number the snapshot covers (0 = none).
+    pub base_seq: u64,
+    /// Log records to replay on top, sorted by sequence number, gap-free
+    /// from `base_seq + 1`.
+    pub tail: Vec<(u64, Vec<u8>)>,
+    /// Whether the log ended in a torn frame (normal after a crash).
+    pub torn: bool,
+    /// Flushed records discarded because an earlier sequence number was
+    /// missing — they are beyond the recoverable prefix.
+    pub dropped_after_gap: u64,
+}
+
+impl Recovered {
+    /// The last sequence number recovery restores.
+    pub fn recovered_seq(&self) -> u64 {
+        self.tail.last().map_or(self.base_seq, |(seq, _)| *seq)
+    }
+}
+
+/// Rebuilds the recoverable prefix from a disk image.
+///
+/// The snapshot envelope is verified, the log frames are checksummed
+/// (a torn tail is tolerated; corruption is not), and the surviving
+/// records are sorted by sequence number and cut at the first gap after
+/// the snapshot — group commit flushes whole batches, so the recovered
+/// set is always a consistent prefix of the commit order.
+///
+/// # Errors
+///
+/// Returns [`WalError`] if the snapshot or any complete log frame fails
+/// its checksum.
+pub fn recover(log_bytes: &[u8], snap_bytes: &[u8]) -> Result<Recovered, WalError> {
+    let (base_seq, snapshot) = match decode_snapshot(snap_bytes)? {
+        Some((seq, state)) => (seq, Some(state)),
+        None => (0, None),
+    };
+    let decoded = decode_log(log_bytes)?;
+    let mut frames: Vec<(u64, Vec<u8>)> =
+        decoded.frames.into_iter().filter(|(seq, _)| *seq > base_seq).collect();
+    frames.sort_by_key(|(seq, _)| *seq);
+    let mut tail = Vec::with_capacity(frames.len());
+    let mut next = base_seq + 1;
+    let mut dropped = 0u64;
+    for (seq, payload) in frames {
+        if seq == next {
+            tail.push((seq, payload));
+            next += 1;
+        } else {
+            dropped += 1;
+        }
+    }
+    Ok(Recovered { snapshot, base_seq, tail, torn: decoded.torn, dropped_after_gap: dropped })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::MemDevice;
+
+    fn wal(batch: usize, snap_every: u64) -> Wal {
+        Wal::new(
+            WalConfig::new().with_batch_records(batch).with_snapshot_every(snap_every),
+            Arc::new(MemDevice::new()),
+            Arc::new(MemDevice::new()),
+        )
+    }
+
+    #[test]
+    fn group_commit_batches_appends() {
+        let w = wal(4, 1000);
+        for seq in 1..=10u64 {
+            w.append(seq, &[seq as u8]);
+        }
+        let s = w.stats();
+        assert_eq!(s.appended, 10);
+        assert_eq!(s.flushes, 2, "two full batches of 4");
+        assert_eq!(s.flushed_records, 8, "two records still buffered");
+        w.flush();
+        assert_eq!(w.stats().flushes, 3);
+        assert_eq!(w.stats().flushed_records, 10);
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert_eq!(r.recovered_seq(), 10);
+        assert!(!r.torn);
+    }
+
+    #[test]
+    fn crash_loses_only_the_unflushed_buffer() {
+        let w = wal(4, 1000);
+        for seq in 1..=6u64 {
+            w.append(seq, b"x");
+        }
+        // No flush: records 5..6 sit in the buffer; the disk image holds
+        // exactly the first batch.
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert_eq!(r.recovered_seq(), 4);
+        assert_eq!(r.tail.len(), 4);
+    }
+
+    #[test]
+    fn snapshot_truncates_and_recovery_uses_both() {
+        let w = wal(2, 1000);
+        for seq in 1..=7u64 {
+            w.append(seq, &seq.to_le_bytes());
+        }
+        w.flush();
+        assert!(w.install_snapshot(5, b"state-at-5"));
+        let s = w.stats();
+        assert_eq!(s.snapshots, 1);
+        assert_eq!(s.truncated_records, 5);
+        for seq in 8..=9u64 {
+            w.append(seq, &seq.to_le_bytes());
+        }
+        w.flush();
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert_eq!(r.base_seq, 5);
+        assert_eq!(r.snapshot.as_deref(), Some(&b"state-at-5"[..]));
+        assert_eq!(r.tail.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![6, 7, 8, 9]);
+        assert_eq!(r.recovered_seq(), 9);
+    }
+
+    #[test]
+    fn out_of_order_appends_recover_in_seq_order_and_gaps_cut() {
+        let w = wal(100, 1000);
+        for seq in [2u64, 1, 3, 5, 7, 6] {
+            w.append(seq, &[seq as u8]);
+        }
+        w.flush();
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert_eq!(r.tail.iter().map(|(s, _)| *s).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(r.dropped_after_gap, 3, "5, 6, 7 are beyond the missing 4");
+    }
+
+    #[test]
+    fn mid_batch_kill_leaves_a_recoverable_torn_log() {
+        let kill = Arc::new(KillSwitch::new());
+        kill.request(KillPoint::MidBatch);
+        let w = wal(4, 1000).with_kill(Arc::clone(&kill));
+        for seq in 1..=8u64 {
+            w.append(seq, b"payload");
+        }
+        assert!(kill.is_dead(), "first batch flush tripped the switch");
+        assert!(w.stats().lost_dead >= 4, "the torn batch and later appends are lost");
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert!(r.torn, "half a batch is a torn tail");
+        assert!(r.recovered_seq() < 4, "the torn batch cannot fully survive");
+    }
+
+    #[test]
+    fn mid_snapshot_kill_preserves_old_snapshot_and_log() {
+        let kill = Arc::new(KillSwitch::new());
+        let w = wal(2, 1000).with_kill(Arc::clone(&kill));
+        for seq in 1..=4u64 {
+            w.append(seq, &[seq as u8]);
+        }
+        assert!(w.install_snapshot(4, b"first"), "no crash requested yet");
+        for seq in 5..=6u64 {
+            w.append(seq, &[seq as u8]);
+        }
+        kill.request(KillPoint::MidSnapshot);
+        assert!(!w.install_snapshot(6, b"second"), "crashed before install");
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some(&b"first"[..]), "old snapshot survives");
+        assert_eq!(r.recovered_seq(), 6, "full log still replays on top");
+    }
+
+    #[test]
+    fn post_truncate_kill_recovers_from_fresh_snapshot() {
+        let kill = Arc::new(KillSwitch::new());
+        kill.request(KillPoint::PostTruncate);
+        let w = wal(2, 1000).with_kill(Arc::clone(&kill));
+        for seq in 1..=4u64 {
+            w.append(seq, &[seq as u8]);
+        }
+        assert!(w.install_snapshot(4, b"state"), "install completes, then the disk dies");
+        assert!(kill.is_dead());
+        w.append(5, b"lost");
+        w.flush();
+        let (log, snap) = w.disk_image();
+        let r = recover(&log, &snap).unwrap();
+        assert_eq!(r.base_seq, 4);
+        assert!(r.tail.is_empty(), "post-truncate image is snapshot-only");
+    }
+
+    #[test]
+    fn corrupted_tail_is_detected_not_replayed() {
+        let w = wal(2, 1000);
+        for seq in 1..=4u64 {
+            w.append(seq, b"payload");
+        }
+        w.flush();
+        let (mut log, snap) = w.disk_image();
+        let off = log.len() - 12; // inside the last complete frame's payload
+        log[off] ^= 0x01;
+        assert!(matches!(recover(&log, &snap), Err(WalError::CorruptFrame { .. })));
+    }
+
+    #[test]
+    fn wants_snapshot_tracks_volume() {
+        let w = wal(2, 5);
+        assert!(!w.wants_snapshot());
+        for seq in 1..=5u64 {
+            w.append(seq, b"x");
+        }
+        assert!(w.wants_snapshot());
+        w.flush();
+        assert!(w.install_snapshot(5, b"s"));
+        assert!(!w.wants_snapshot(), "truncation resets the counter");
+    }
+}

@@ -67,8 +67,38 @@ grep -qE "runs [1-9][0-9]* hit / 0 miss" "$serve_dir/warm.err" \
 rm -rf "$serve_dir"
 
 echo "==> chaos matrix: opacity oracle must report zero violations"
+cp results/check.txt target/check-committed.txt
 ./target/release/experiments check --tiny --seed 7 --jobs 2 \
     || { echo "chaos matrix: opacity/serializability violations (see results/check.txt)"; exit 1; }
+diff -u target/check-committed.txt results/check.txt \
+    || { echo "chaos matrix: results/check.txt drifted from the committed table"; exit 1; }
+rm -f target/check-committed.txt
+
+echo "==> recovery smoke: kill-and-recover matrix must pass and replay from cache"
+recover_dir="target/gstm-ci-recover-smoke"
+rm -rf "$recover_dir"
+mkdir -p "$recover_dir"
+cp results/recover.txt "$recover_dir/committed.txt"
+./target/release/experiments recover --tiny --seed 7 --jobs 2 \
+    --cache-dir "$recover_dir/cache" \
+    >"$recover_dir/cold.out" 2>"$recover_dir/cold.err" \
+    || { echo "recovery smoke: recovered store diverged from serial history (see results/recover.txt)"; exit 1; }
+./target/release/experiments recover --tiny --seed 7 --jobs 2 \
+    --cache-dir "$recover_dir/cache" \
+    >"$recover_dir/warm.out" 2>"$recover_dir/warm.err" \
+    || { echo "recovery smoke: warm rerun failed"; exit 1; }
+diff -u "$recover_dir/cold.out" "$recover_dir/warm.out" \
+    || { echo "recovery smoke: warm rerun output diverged"; exit 1; }
+diff -u "$recover_dir/committed.txt" results/recover.txt \
+    || { echo "recovery smoke: results/recover.txt drifted from the committed table"; exit 1; }
+grep -qE "runs [1-9][0-9]* hit / 0 miss" "$recover_dir/warm.err" \
+    || { echo "recovery smoke: warm run missed the run cache"; exit 1; }
+rm -rf "$recover_dir"
+
+echo "==> wal bench smoke: artifact must be well-formed"
+./target/release/experiments bench-wal --smoke --profile release \
+    --out target/BENCH_wal_smoke.json
+./target/release/experiments bench-check target/BENCH_wal_smoke.json
 
 echo "==> pipeline bench: cold-vs-warm artifact must be well-formed"
 ./target/release/experiments bench-pipeline --profile release \

@@ -9,8 +9,9 @@
 //! virtual-core machine, [`stamp`] and [`synquake`] for the workloads,
 //! [`stats`] for the metrics, [`telemetry`] for the sharded metric
 //! registries, flight recorder, and snapshot export, [`check`] for the
-//! offline opacity/serializability oracle, and [`serve`] for the sharded
-//! transactional store service with open-loop traffic.
+//! offline opacity/serializability oracle, [`serve`] for the sharded
+//! transactional store service with open-loop traffic, and [`wal`] for the
+//! durable commit log with snapshot/recovery behind it.
 
 #![warn(missing_docs)]
 
@@ -25,6 +26,7 @@ pub use gstm_stamp as stamp;
 pub use gstm_stats as stats;
 pub use gstm_synquake as synquake;
 pub use gstm_telemetry as telemetry;
+pub use gstm_wal as wal;
 
 pub use gstm_core::{Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn};
 
