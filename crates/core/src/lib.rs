@@ -50,6 +50,8 @@ pub mod gate;
 pub mod ids;
 pub mod kill;
 pub mod lock_table;
+pub mod pad;
+pub mod placement;
 pub mod policy;
 pub mod readset;
 pub mod rng;
@@ -58,12 +60,16 @@ pub mod stm;
 pub mod sync;
 pub mod tvar;
 
-pub use config::{Detection, Resolution, StmConfig};
+pub use clock::{ClockStats, VersionClock};
+pub use config::{ClockStrategy, Detection, Resolution, StmConfig};
 pub use error::{Abort, AbortReason, StmError};
 pub use events::{CountingSink, EventSink, MemorySink, MulticastSink, NullSink, TxEvent};
 pub use gate::{CostModel, Gate, NullGate, RealGate, Ticks};
 pub use ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
 pub use kill::{KillPoint, KillSwitch};
+pub use lock_table::RegistryFootprint;
+pub use pad::CachePadded;
+pub use placement::{available_cores, Placement, TouchMap};
 pub use policy::{AdmissionPolicy, AdmitAll};
 pub use site_stats::{SiteStats, SiteStatsSink};
 pub use stm::{retry, CommitInfo, DoomHandle, Stm, Txn};

@@ -12,17 +12,41 @@
 //! [`VarId`]s hash into stripes exactly like TL2 hashes memory addresses into
 //! its versioned-lock array; distinct variables may share a stripe, giving
 //! the same (rare) false conflicts a word-based STM has.
+//!
+//! Since the commit-spine work (DESIGN.md §3.1c) the table is the second
+//! de-contended hot spot:
+//!
+//! * each stripe's lock word and stamp live together on their own 64-byte
+//!   [`CachePadded`] line, so committers hammering neighbouring stripes no
+//!   longer false-share;
+//! * the table can be built with several **partitions**
+//!   ([`LockTable::new_sharded`]): variables whose [`VarId`] carries a
+//!   placement tag hash only within partition `tag % parts`, which gives
+//!   `gstm-serve` a private lock table per store shard;
+//! * the visible-reader registries are **lazily allocated** per stripe —
+//!   a table serving `AbortReaders`/`WaitForReaders` traffic only pays for
+//!   the registries of stripes that actually see visible readers
+//!   ([`LockTable::reader_registry_footprint`] reports the saving).
 
 use crate::sync::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 use crate::ids::{CommitSeq, Participant, ThreadId, TxId, VarId};
+use crate::pad::CachePadded;
 
 /// Number of low bits used for the owner + lock flag in a lock word.
 const VERSION_SHIFT: u32 = 17;
 const LOCKED_BIT: u64 = 1;
 const OWNER_SHIFT: u32 = 1;
 const OWNER_MASK: u64 = 0xFFFF << OWNER_SHIFT;
+
+/// Largest version a lock word can carry: the high `64 - VERSION_SHIFT`
+/// (47) bits. Versions come from the global clock, so at one commit per
+/// nanosecond the space lasts ~52 months; the encode paths assert rather
+/// than silently wrap (a wrapped version would *unlock* a stripe into the
+/// past and corrupt every future validation).
+pub const MAX_VERSION: u64 = u64::MAX >> VERSION_SHIFT;
 
 /// Decoded snapshot of one stripe's lock word.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,10 +71,16 @@ impl LockWord {
     }
 
     fn encode_unlocked(version: u64) -> u64 {
+        // A version past 2^47 would shift its high bits away and publish a
+        // *smaller* version — silent wraparound that corrupts validation.
+        // Fail loudly instead, in release builds too: a long-running serve
+        // process must crash, not serve stale reads.
+        assert!(version <= MAX_VERSION, "lock-word version overflow: {version} > {MAX_VERSION}");
         version << VERSION_SHIFT
     }
 
     fn encode_locked(version: u64, owner: ThreadId) -> u64 {
+        assert!(version <= MAX_VERSION, "lock-word version overflow: {version} > {MAX_VERSION}");
         (version << VERSION_SHIFT) | ((owner.raw() as u64) << OWNER_SHIFT) | LOCKED_BIT
     }
 }
@@ -59,6 +89,42 @@ impl LockWord {
 /// entries behind a short lock.
 type ReaderRegistry = Mutex<Vec<(u16, u32)>>;
 
+/// One stripe's contended state — lock word and last-writer stamp —
+/// padded to a cache line so neighbouring stripes never false-share.
+#[derive(Debug, Default)]
+struct Stripe {
+    word: AtomicU64,
+    stamp: AtomicU64,
+}
+
+/// Lazily-populated visible-reader registries.
+///
+/// One `OnceLock<Box<…>>` slot per stripe (16 bytes) instead of an eager
+/// `Mutex<Vec<…>>` (40 bytes, plus its eventual heap): a registry is only
+/// boxed the first time a reader actually registers on that stripe, which
+/// for Zipf-skewed workloads is a small fraction of the table.
+#[derive(Debug)]
+struct ReaderTable {
+    slots: Vec<OnceLock<Box<ReaderRegistry>>>,
+    allocated: AtomicUsize,
+}
+
+/// Memory-footprint report for the visible-reader registries
+/// (`experiments bench-scale` publishes these in `BENCH_scale.json`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RegistryFootprint {
+    /// Stripes in the table.
+    pub stripes: usize,
+    /// Registries actually allocated (stripes that saw ≥ 1 registration).
+    pub allocated: usize,
+    /// Bytes the lazy scheme holds now: one slot per stripe plus the
+    /// allocated registries (heap `Vec` storage excluded in both schemes).
+    pub lazy_bytes: usize,
+    /// Bytes the old eager scheme would hold: one inline registry per
+    /// stripe, allocated up front.
+    pub eager_bytes: usize,
+}
+
 /// Index of a stripe within the table.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub struct StripeIndex(pub u32);
@@ -66,11 +132,14 @@ pub struct StripeIndex(pub u32);
 /// The striped lock table.
 #[derive(Debug)]
 pub struct LockTable {
-    words: Vec<AtomicU64>,
-    stamps: Vec<AtomicU64>,
+    stripes: Vec<CachePadded<Stripe>>,
     /// Visible-reader registries; entries are `(thread raw id, nesting count)`.
-    readers: Option<Vec<ReaderRegistry>>,
+    readers: Option<ReaderTable>,
+    /// Intra-partition stripe mask (`(1 << log2_stripes) - 1`).
     mask: u64,
+    /// Number of partitions (1 = the classic single global table).
+    parts: u32,
+    log2_stripes: u32,
     /// Unlock attempts rejected because the caller did not own the stripe.
     /// Always zero in a correct engine; the opacity oracle and the chaos
     /// harness assert on it.
@@ -86,20 +155,41 @@ impl LockTable {
     ///
     /// Panics if `log2_stripes` is 0 or greater than 24.
     pub fn new(log2_stripes: u32, visible_readers: bool) -> Self {
+        LockTable::new_sharded(log2_stripes, visible_readers, 1)
+    }
+
+    /// Creates a table with `parts` partitions of `1 << log2_stripes`
+    /// stripes each.
+    ///
+    /// Placement-tagged variables ([`VarId::place`]) hash only within
+    /// partition `tag % parts`; untagged variables are spread over all
+    /// partitions by hash. With `parts == 1` the stripe mapping is
+    /// bit-identical to the classic table, which is what keeps the sim-mode
+    /// determinism goldens stable at the default configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log2_stripes` is outside 1..=24 or `parts` outside 1..=64.
+    pub fn new_sharded(log2_stripes: u32, visible_readers: bool, parts: u32) -> Self {
         assert!((1..=24).contains(&log2_stripes), "log2_stripes must be in 1..=24");
-        let n = 1usize << log2_stripes;
+        assert!((1..=64).contains(&parts), "parts must be in 1..=64");
+        let n = (parts as usize) << log2_stripes;
         LockTable {
-            words: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            stamps: (0..n).map(|_| AtomicU64::new(0)).collect(),
-            readers: visible_readers.then(|| (0..n).map(|_| Mutex::new(Vec::new())).collect()),
-            mask: (n - 1) as u64,
+            stripes: (0..n).map(|_| CachePadded::new(Stripe::default())).collect(),
+            readers: visible_readers.then(|| ReaderTable {
+                slots: (0..n).map(|_| OnceLock::new()).collect(),
+                allocated: AtomicUsize::new(0),
+            }),
+            mask: ((1usize << log2_stripes) - 1) as u64,
+            parts,
+            log2_stripes,
             violations: AtomicU64::new(0),
         }
     }
 
-    /// Number of stripes.
+    /// Number of stripes (across all partitions).
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.stripes.len()
     }
 
     /// A lock table is never empty.
@@ -107,11 +197,25 @@ impl LockTable {
         false
     }
 
-    /// Maps a variable to its stripe (Fibonacci hashing of the id).
+    /// Number of partitions.
+    pub fn parts(&self) -> u32 {
+        self.parts
+    }
+
+    /// Maps a variable to its stripe (Fibonacci hashing of the id; the
+    /// placement tag, if any, selects the partition).
     #[inline]
     pub fn stripe_of(&self, var: VarId) -> StripeIndex {
         let h = var.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        StripeIndex(((h >> 24) & self.mask) as u32)
+        let intra = ((h >> 24) & self.mask) as u32;
+        if self.parts == 1 {
+            return StripeIndex(intra);
+        }
+        let part = match var.place() {
+            Some(p) => u32::from(p) % self.parts,
+            None => ((h >> 32) as u32) % self.parts,
+        };
+        StripeIndex((part << self.log2_stripes) | intra)
     }
 
     /// Loads and decodes a stripe's lock word.
@@ -119,7 +223,7 @@ impl LockTable {
     pub fn load(&self, s: StripeIndex) -> LockWord {
         // Acquire: pairs with the Release stores in `unlock_*` so a reader
         // that observes version `wv` also sees the data written under it.
-        LockWord::decode(self.words[s.0 as usize].load(Ordering::Acquire))
+        LockWord::decode(self.stripes[s.0 as usize].word.load(Ordering::Acquire))
     }
 
     /// Loads a stripe's raw lock word without decoding — the uncontended
@@ -129,7 +233,7 @@ impl LockTable {
     /// [`LockTable::load`].
     #[inline]
     pub fn load_raw(&self, s: StripeIndex) -> u64 {
-        self.words[s.0 as usize].load(Ordering::Acquire)
+        self.stripes[s.0 as usize].word.load(Ordering::Acquire)
     }
 
     /// Decodes a raw word obtained from [`LockTable::load_raw`].
@@ -154,7 +258,7 @@ impl LockTable {
     /// version on success; `Err(observed)` if the stripe was already locked
     /// (by anyone, including `owner` — callers dedup stripes first).
     pub fn try_lock(&self, s: StripeIndex, owner: ThreadId) -> Result<u64, LockWord> {
-        let w = &self.words[s.0 as usize];
+        let w = &self.stripes[s.0 as usize].word;
         // Acquire on both the probe and the CAS: acquiring the lock is a
         // lock-acquire in the classical sense — everything the previous
         // unlocker released must be visible before we write under the lock.
@@ -203,7 +307,9 @@ impl LockTable {
         }
         // Release: publishes the redo-log writes performed under the lock —
         // any Acquire load that sees `new_version` sees those writes too.
-        self.words[s.0 as usize].store(LockWord::encode_unlocked(new_version), Ordering::Release);
+        self.stripes[s.0 as usize]
+            .word
+            .store(LockWord::encode_unlocked(new_version), Ordering::Release);
         true
     }
 
@@ -221,7 +327,9 @@ impl LockTable {
         // Release: no data was published (abort restores the old version),
         // but the unlock must still order after any tentative stores so the
         // next locker never observes them.
-        self.words[s.0 as usize].store(LockWord::encode_unlocked(old_version), Ordering::Release);
+        self.stripes[s.0 as usize]
+            .word
+            .store(LockWord::encode_unlocked(old_version), Ordering::Release);
         true
     }
 
@@ -236,7 +344,7 @@ impl LockTable {
         let enc = (seq.raw() << 32) | ((who.thread.raw() as u64) << 16) | who.tx.raw() as u64;
         // Release: a stamp written before `unlock_publish` must be visible
         // to any aborting reader that attributes its conflict to `seq`.
-        self.stamps[s.0 as usize].store(enc, Ordering::Release);
+        self.stripes[s.0 as usize].stamp.store(enc, Ordering::Release);
     }
 
     /// Last committer of this stripe, if any commit has written it.
@@ -246,7 +354,7 @@ impl LockTable {
     pub fn last_writer(&self, s: StripeIndex) -> Option<(Participant, CommitSeq)> {
         // Acquire: pairs with the Release in `stamp` — attribution is
         // best-effort (a racing commit may overwrite), but never torn.
-        let raw = self.stamps[s.0 as usize].load(Ordering::Acquire);
+        let raw = self.stripes[s.0 as usize].stamp.load(Ordering::Acquire);
         if raw == 0 {
             return None;
         }
@@ -258,10 +366,15 @@ impl LockTable {
 
     /// Registers `thread` as a visible reader of the stripe (no-op when the
     /// table was built without reader registries). Reentrant: nested reads
-    /// bump a per-thread count.
+    /// bump a per-thread count. Allocates the stripe's registry on first
+    /// use.
     pub fn register_reader(&self, s: StripeIndex, thread: ThreadId) {
-        if let Some(readers) = &self.readers {
-            let mut list = readers[s.0 as usize].lock();
+        if let Some(rt) = &self.readers {
+            let reg = rt.slots[s.0 as usize].get_or_init(|| {
+                rt.allocated.fetch_add(1, Ordering::Relaxed);
+                Box::new(Mutex::new(Vec::new()))
+            });
+            let mut list = reg.lock();
             if let Some(entry) = list.iter_mut().find(|(t, _)| *t == thread.raw()) {
                 entry.1 += 1;
             } else {
@@ -272,8 +385,10 @@ impl LockTable {
 
     /// Removes one registration of `thread` from the stripe.
     pub fn unregister_reader(&self, s: StripeIndex, thread: ThreadId) {
-        if let Some(readers) = &self.readers {
-            let mut list = readers[s.0 as usize].lock();
+        if let Some(rt) = &self.readers {
+            // A stripe nobody ever registered on has no registry to clean.
+            let Some(reg) = rt.slots[s.0 as usize].get() else { return };
+            let mut list = reg.lock();
             if let Some(pos) = list.iter().position(|(t, _)| *t == thread.raw()) {
                 list[pos].1 -= 1;
                 if list[pos].1 == 0 {
@@ -287,12 +402,15 @@ impl LockTable {
     /// disabled.
     pub fn readers_excluding(&self, s: StripeIndex, me: ThreadId) -> Vec<ThreadId> {
         match &self.readers {
-            Some(readers) => readers[s.0 as usize]
-                .lock()
-                .iter()
-                .filter(|(t, _)| *t != me.raw())
-                .map(|(t, _)| ThreadId::new(*t))
-                .collect(),
+            Some(rt) => match rt.slots[s.0 as usize].get() {
+                Some(reg) => reg
+                    .lock()
+                    .iter()
+                    .filter(|(t, _)| *t != me.raw())
+                    .map(|(t, _)| ThreadId::new(*t))
+                    .collect(),
+                None => Vec::new(),
+            },
             None => Vec::new(),
         }
     }
@@ -300,6 +418,27 @@ impl LockTable {
     /// Whether reader registries are enabled.
     pub fn tracks_readers(&self) -> bool {
         self.readers.is_some()
+    }
+
+    /// Current reader-registry memory footprint, with the eager scheme's
+    /// cost for comparison. All-zero when registries are disabled (neither
+    /// scheme allocates anything then).
+    pub fn reader_registry_footprint(&self) -> RegistryFootprint {
+        use std::mem::size_of;
+        match &self.readers {
+            Some(rt) => {
+                let stripes = rt.slots.len();
+                let allocated = rt.allocated.load(Ordering::Relaxed);
+                RegistryFootprint {
+                    stripes,
+                    allocated,
+                    lazy_bytes: stripes * size_of::<OnceLock<Box<ReaderRegistry>>>()
+                        + allocated * size_of::<ReaderRegistry>(),
+                    eager_bytes: stripes * size_of::<ReaderRegistry>(),
+                }
+            }
+            None => RegistryFootprint::default(),
+        }
     }
 }
 
@@ -418,6 +557,67 @@ mod tests {
         }
     }
 
+    /// The single-partition mapping is the determinism contract: it must
+    /// stay bit-identical to the classic table's Fibonacci hash, or every
+    /// sim-mode golden digest moves.
+    #[test]
+    fn single_part_mapping_matches_legacy_hash() {
+        let lt = LockTable::new(6, false);
+        assert_eq!(lt.parts(), 1);
+        for i in 0..1000u64 {
+            let v = VarId::from_raw(i * 2_654_435_761 + 1);
+            let legacy = ((v.raw().wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 24) & 63) as u32;
+            assert_eq!(lt.stripe_of(v), StripeIndex(legacy));
+        }
+    }
+
+    #[test]
+    fn padded_stripes_own_their_cache_lines() {
+        let lt = LockTable::new(2, false);
+        let a = &lt.stripes[0] as *const _ as usize;
+        let b = &lt.stripes[1] as *const _ as usize;
+        assert_eq!(a % 64, 0, "stripe 0 not line-aligned");
+        assert!(b - a >= 64, "stripes {a:#x}/{b:#x} share a cache line");
+    }
+
+    #[test]
+    fn sharded_table_confines_tagged_vars_to_their_partition() {
+        let parts = 4u32;
+        let log2 = 6u32;
+        let lt = LockTable::new_sharded(log2, false, parts);
+        assert_eq!(lt.len(), (parts as usize) << log2);
+        for base in 0..500u64 {
+            for tag in 0..8u8 {
+                let v = VarId::from_raw(base + 1).with_place(tag);
+                let s = lt.stripe_of(v);
+                assert_eq!(
+                    s.0 >> log2,
+                    u32::from(tag) % parts,
+                    "tag {tag} must land in partition {}",
+                    u32::from(tag) % parts
+                );
+            }
+            // Untagged vars stay in range (spread by hash).
+            let s = lt.stripe_of(VarId::from_raw(base + 1));
+            assert!((s.0 as usize) < lt.len());
+        }
+    }
+
+    #[test]
+    fn sharded_table_isolates_different_tags() {
+        // Two vars with different placement tags may never share a stripe,
+        // whatever their ids hash to — that is the whole point of the
+        // per-shard spine.
+        let lt = LockTable::new_sharded(4, false, 4);
+        for a in 0..200u64 {
+            for b in 0..8u64 {
+                let va = VarId::from_raw(a + 1).with_place(0);
+                let vb = VarId::from_raw(b + 1).with_place(1);
+                assert_ne!(lt.stripe_of(va), lt.stripe_of(vb));
+            }
+        }
+    }
+
     #[test]
     fn reader_registry_counts_nesting() {
         let lt = LockTable::new(4, true);
@@ -447,6 +647,30 @@ mod tests {
         assert!(!lt.tracks_readers());
         lt.register_reader(StripeIndex(0), ThreadId::new(1));
         assert!(lt.readers_excluding(StripeIndex(0), ThreadId::new(9)).is_empty());
+        assert_eq!(lt.reader_registry_footprint(), RegistryFootprint::default());
+    }
+
+    #[test]
+    fn reader_registries_allocate_lazily() {
+        let lt = LockTable::new(8, true);
+        assert_eq!(lt.reader_registry_footprint().allocated, 0, "nothing allocated up front");
+        // Probing an untouched stripe must not allocate its registry.
+        assert!(lt.readers_excluding(StripeIndex(5), ThreadId::new(0)).is_empty());
+        lt.unregister_reader(StripeIndex(5), ThreadId::new(0));
+        assert_eq!(lt.reader_registry_footprint().allocated, 0);
+
+        lt.register_reader(StripeIndex(5), ThreadId::new(0));
+        lt.register_reader(StripeIndex(5), ThreadId::new(1));
+        lt.register_reader(StripeIndex(9), ThreadId::new(0));
+        let fp = lt.reader_registry_footprint();
+        assert_eq!(fp.allocated, 2, "one registry per touched stripe");
+        assert_eq!(fp.stripes, 256);
+        assert!(
+            fp.lazy_bytes < fp.eager_bytes,
+            "lazy ({}) must undercut eager ({}) at this fill rate",
+            fp.lazy_bytes,
+            fp.eager_bytes
+        );
     }
 
     #[test]
@@ -486,5 +710,28 @@ mod tests {
         let w = lt.load(s);
         assert_eq!(w.version, (1 << 46) + 12345);
         assert!(!w.locked);
+    }
+
+    #[test]
+    fn version_at_exactly_max_is_accepted() {
+        let lt = LockTable::new(2, false);
+        let s = StripeIndex(1);
+        let owner = ThreadId::new(7);
+        lt.try_lock(s, owner).unwrap();
+        assert!(lt.unlock_publish(s, owner, MAX_VERSION));
+        assert_eq!(lt.load(s).version, MAX_VERSION);
+    }
+
+    /// A version past 2^47 used to wrap silently into the owner/lock bits;
+    /// now the encode path aborts loudly (in release builds too) instead of
+    /// letting a long-running serve process corrupt its lock words.
+    #[test]
+    #[should_panic(expected = "lock-word version overflow")]
+    fn version_overflow_fails_loudly() {
+        let lt = LockTable::new(2, false);
+        let s = StripeIndex(0);
+        let owner = ThreadId::new(0);
+        lt.try_lock(s, owner).unwrap();
+        let _ = lt.unlock_publish(s, owner, MAX_VERSION + 1);
     }
 }

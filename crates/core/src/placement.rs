@@ -1,0 +1,230 @@
+//! Core-affinity placement: co-locating worker threads with the lock-table
+//! partitions they predominantly touch.
+//!
+//! PAPERS.md's thread-and-data-mapping survey observes that once the
+//! version clock stops bouncing between cores (the skip-ahead clock,
+//! DESIGN.md §3.1c), the next lever is keeping each thread's working set —
+//! its store shard and that shard's lock-table partition — resident in one
+//! core's cache. This module computes such an assignment from *touch
+//! counts* (how often each thread hit each shard/partition) and exposes it
+//! through [`crate::RealGate`].
+//!
+//! The pipeline is deliberately split:
+//!
+//! 1. a [`TouchMap`] aggregates touches — from `gstm-serve`'s generated
+//!    schedules, or from [`crate::SiteStatsSink`] snapshots via
+//!    [`TouchMap::record`];
+//! 2. [`Placement::plan`] turns it into a deterministic thread → CPU
+//!    assignment (greedy: each thread homes on its most-touched slot,
+//!    slots are spread over cores busiest-first round-robin);
+//! 3. [`pin_current_thread`] applies it — **best-effort**: pure-std Rust
+//!    has no affinity syscall and this workspace builds offline with no
+//!    libc crate, so the current implementation records the intent and
+//!    returns `false`. On the single-core CI host (and under `SimGate`,
+//!    which never consults a placement) the whole policy is a no-op by
+//!    construction: [`Placement::plan`] returns [`Placement::noop`]
+//!    whenever fewer than two cores are available.
+
+use crate::ids::ThreadId;
+
+/// Dense `threads × slots` matrix of touch counts.
+///
+/// A *slot* is whatever placement unit the caller works in — a store
+/// shard, a lock-table partition, or a stripe bucket.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TouchMap {
+    threads: usize,
+    slots: usize,
+    counts: Vec<u64>,
+}
+
+impl TouchMap {
+    /// Creates an all-zero map for `threads` threads and `slots` slots.
+    pub fn new(threads: usize, slots: usize) -> Self {
+        TouchMap { threads, slots, counts: vec![0; threads * slots] }
+    }
+
+    /// Number of threads tracked.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Number of slots tracked.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    /// Adds `n` touches of `slot` by `thread`. Out-of-range pairs are
+    /// ignored (schedules may reference more threads than the map tracks).
+    pub fn record(&mut self, thread: ThreadId, slot: usize, n: u64) {
+        if thread.index() < self.threads && slot < self.slots {
+            self.counts[thread.index() * self.slots + slot] += n;
+        }
+    }
+
+    /// Touches of `slot` by `thread`.
+    pub fn get(&self, thread: ThreadId, slot: usize) -> u64 {
+        self.counts.get(thread.index() * self.slots + slot).copied().unwrap_or(0)
+    }
+
+    /// The slot `thread` touches most (ties break to the lowest slot);
+    /// `None` if the thread touched nothing.
+    pub fn home_slot(&self, thread: ThreadId) -> Option<usize> {
+        if thread.index() >= self.threads {
+            return None;
+        }
+        let row = &self.counts[thread.index() * self.slots..(thread.index() + 1) * self.slots];
+        let (best, &count) = row.iter().enumerate().max_by_key(|&(i, &c)| (c, usize::MAX - i))?;
+        (count > 0).then_some(best)
+    }
+
+    /// Total touches of `slot` across all threads.
+    pub fn slot_load(&self, slot: usize) -> u64 {
+        (0..self.threads).map(|t| self.counts[t * self.slots + slot]).sum()
+    }
+}
+
+/// A deterministic thread → CPU assignment produced by [`Placement::plan`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Placement {
+    cpu_of: Vec<usize>,
+    cores: usize,
+}
+
+impl Placement {
+    /// The empty placement: applies to nothing, pins nothing.
+    pub fn noop() -> Self {
+        Placement { cpu_of: Vec::new(), cores: 0 }
+    }
+
+    /// Whether this placement assigns any thread at all.
+    pub fn is_noop(&self) -> bool {
+        self.cpu_of.is_empty()
+    }
+
+    /// The CPU `thread` should run on, if the plan assigned one.
+    pub fn cpu_of(&self, thread: ThreadId) -> Option<usize> {
+        self.cpu_of.get(thread.index()).copied()
+    }
+
+    /// Cores the plan spread threads over.
+    pub fn cores(&self) -> usize {
+        self.cores
+    }
+
+    /// Greedy placement: every thread homes on its most-touched slot, and
+    /// slots are assigned to cores busiest-first round-robin, so threads
+    /// sharing a hot shard land on the same core's cache while distinct
+    /// hot shards spread across cores.
+    ///
+    /// Returns [`Placement::noop`] when `cores < 2` (nothing to spread
+    /// over — the single-core CI case) or the map recorded no touches.
+    pub fn plan(touches: &TouchMap, cores: usize) -> Self {
+        if cores < 2 || touches.threads() == 0 || touches.slots() == 0 {
+            return Placement::noop();
+        }
+        let mut order: Vec<usize> = (0..touches.slots()).collect();
+        // Busiest slots first; ties by slot index for determinism.
+        order.sort_by_key(|&s| (u64::MAX - touches.slot_load(s), s));
+        let mut core_of_slot = vec![0usize; touches.slots()];
+        for (rank, &slot) in order.iter().enumerate() {
+            core_of_slot[slot] = rank % cores;
+        }
+        let mut cpu_of = Vec::with_capacity(touches.threads());
+        let mut any = false;
+        for t in 0..touches.threads() {
+            let home = touches.home_slot(ThreadId::new(t as u16));
+            any |= home.is_some();
+            // Threads that touched nothing spread round-robin by index.
+            cpu_of.push(core_of_slot[home.unwrap_or(t % touches.slots())]);
+        }
+        if !any {
+            return Placement::noop();
+        }
+        Placement { cpu_of, cores }
+    }
+}
+
+/// Cores available to this process (1 when detection fails — which also
+/// makes every [`Placement::plan`] a no-op).
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Best-effort: pin the calling thread to `cpu`.
+///
+/// Pure-std Rust exposes no CPU-affinity call and this workspace builds
+/// offline without a libc binding, so the current implementation cannot
+/// actually pin — it returns `false` and the caller proceeds unpinned.
+/// This is the documented seam where `sched_setaffinity` (Linux) /
+/// `SetThreadAffinityMask` (Windows) would go; everything upstream — the
+/// touch accounting, the plan, the gate hook — is real and tested, and the
+/// policy degrades to a no-op exactly as ISSUE 7 requires on the
+/// single-core CI host.
+pub fn pin_current_thread(_cpu: usize) -> bool {
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(i: u16) -> ThreadId {
+        ThreadId::new(i)
+    }
+
+    #[test]
+    fn touch_map_records_and_homes() {
+        let mut m = TouchMap::new(2, 3);
+        m.record(t(0), 1, 5);
+        m.record(t(0), 2, 3);
+        m.record(t(1), 2, 9);
+        assert_eq!(m.get(t(0), 1), 5);
+        assert_eq!(m.home_slot(t(0)), Some(1));
+        assert_eq!(m.home_slot(t(1)), Some(2));
+        assert_eq!(m.slot_load(2), 12);
+        // Out-of-range records are ignored, untouched threads have no home.
+        m.record(t(7), 0, 1);
+        let empty = TouchMap::new(1, 2);
+        assert_eq!(empty.home_slot(t(0)), None);
+    }
+
+    #[test]
+    fn plan_groups_cotouching_threads_and_spreads_hot_slots() {
+        // Threads 0,1 hammer shard 0; threads 2,3 hammer shard 1.
+        let mut m = TouchMap::new(4, 2);
+        m.record(t(0), 0, 100);
+        m.record(t(1), 0, 90);
+        m.record(t(2), 1, 80);
+        m.record(t(3), 1, 70);
+        let p = Placement::plan(&m, 2);
+        assert!(!p.is_noop());
+        assert_eq!(p.cpu_of(t(0)), p.cpu_of(t(1)), "co-touching threads share a core");
+        assert_eq!(p.cpu_of(t(2)), p.cpu_of(t(3)));
+        assert_ne!(p.cpu_of(t(0)), p.cpu_of(t(2)), "distinct hot shards spread out");
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let mut m = TouchMap::new(3, 4);
+        for (th, sl, n) in [(0, 3, 7), (1, 3, 7), (2, 0, 2)] {
+            m.record(t(th), sl, n);
+        }
+        assert_eq!(Placement::plan(&m, 4), Placement::plan(&m, 4));
+    }
+
+    #[test]
+    fn single_core_and_empty_maps_plan_to_noop() {
+        let mut m = TouchMap::new(4, 2);
+        m.record(t(0), 0, 10);
+        assert!(Placement::plan(&m, 1).is_noop(), "one core: nothing to place");
+        assert!(Placement::plan(&TouchMap::new(4, 2), 8).is_noop(), "no touches: no plan");
+        assert_eq!(Placement::noop().cpu_of(t(0)), None);
+    }
+
+    #[test]
+    fn pinning_is_a_documented_noop_without_an_affinity_binding() {
+        assert!(!pin_current_thread(0), "pure-std build cannot pin; must report so");
+        assert!(available_cores() >= 1);
+    }
+}

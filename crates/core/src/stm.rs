@@ -157,8 +157,12 @@ impl Stm {
         cm: Arc<dyn ContentionManager>,
     ) -> Self {
         Stm {
-            locks: LockTable::new(config.log2_stripes, config.resolution.needs_visible_readers()),
-            clock: VersionClock::new(),
+            locks: LockTable::new_sharded(
+                config.log2_stripes,
+                config.resolution.needs_visible_readers(),
+                config.table_shards,
+            ),
+            clock: VersionClock::with_strategy(config.clock),
             gate,
             sink,
             policy,
@@ -185,6 +189,22 @@ impl Stm {
     /// Number of commits so far.
     pub fn commit_count(&self) -> u64 {
         self.commit_seq.load(Ordering::SeqCst)
+    }
+
+    /// Version-clock stat counters (CAS wins, skip-aheads, read-only
+    /// commits spared a tick).
+    ///
+    /// Read by `experiments bench-scale`; deliberately *not* folded into
+    /// the default telemetry snapshot, whose text the determinism goldens
+    /// digest byte-for-byte.
+    pub fn clock_stats(&self) -> crate::clock::ClockStats {
+        self.clock.stats()
+    }
+
+    /// Memory-footprint report for the lock table's visible-reader
+    /// registries (all-zero when the resolution needs none).
+    pub fn reader_registry_footprint(&self) -> crate::lock_table::RegistryFootprint {
+        self.locks.reader_registry_footprint()
     }
 
     /// Global sequence number of `thread`'s most recent commit (0 if the
@@ -711,8 +731,10 @@ impl<'stm> Txn<'stm> {
 
         // Read-only fast path: every read was validated inline against rv,
         // so a read-only transaction is already serializable. TL2 commits it
-        // without touching the clock.
+        // without touching the clock (the GV4 read-mostly fast path; the
+        // clock only counts the spared tick, and only under SkipAhead).
         if self.scratch.writes.is_empty() {
+            stm.clock.note_read_only_commit();
             self.release(None);
             let seq = CommitSeq::new(stm.commit_seq.fetch_add(1, Ordering::SeqCst) + 1);
             self.record_commit_check(seq, self.rv, 0);
@@ -772,8 +794,10 @@ impl<'stm> Txn<'stm> {
         scratch.held.extend_from_slice(&scratch.acquired);
         scratch.eager_filter.clear();
 
-        // 2. Obtain the write version.
-        let wv = stm.clock.tick();
+        // 2. Obtain the write version. Under the skip-ahead strategy a CAS
+        //    win yields wv == rv + 1, which step 3 rewards by skipping
+        //    validation; a loss claims a unique wv in one wait-free RMW.
+        let wv = stm.clock.tick_for(self.rv);
 
         // 3. Validate the read set (skippable when nobody committed since
         //    our snapshot — the TL2 rv + 1 == wv optimization). Sorting
@@ -1052,6 +1076,50 @@ mod tests {
         assert_eq!(got, 7);
         assert_eq!(stm.clock.sample(), before);
         assert_eq!(stm.commit_count(), 1, "commit still sequenced");
+    }
+
+    /// ISSUE 7 satellite: under the skip-ahead strategy an empty-write-set
+    /// transaction must never touch the clock word, and the spared tick is
+    /// counted; writer commits count as CAS wins or skip-aheads.
+    #[test]
+    fn skip_ahead_read_only_never_ticks_and_is_counted() {
+        use crate::config::ClockStrategy;
+        let stm = Stm::new(StmConfig::new(1).with_clock_strategy(ClockStrategy::SkipAhead));
+        let v = TVar::new(7u8);
+
+        stm.run(t(0), x(0), |tx| tx.read(&v));
+        stm.run(t(0), x(0), |tx| tx.read(&v));
+        assert_eq!(stm.clock.sample(), 0, "read-only commits must never tick");
+        assert_eq!(stm.clock_stats().read_only_spared, 2);
+        assert_eq!(stm.clock_stats().cas_success, 0);
+
+        stm.run(t(0), x(1), |tx| tx.write(&v, 9));
+        let stats = stm.clock_stats();
+        assert_eq!(stats.read_only_spared, 2, "writer commit is not a spared tick");
+        assert_eq!(stats.cas_success + stats.skip_ahead, 1, "writer commit ticked once");
+        assert_eq!(*v.load_unlogged(), 9);
+    }
+
+    /// The per-shard table is transparent to transaction semantics:
+    /// cross-partition writes commit atomically and conflicts still abort.
+    #[test]
+    fn sharded_table_preserves_conflict_detection() {
+        let stm = Stm::new(StmConfig::new(2).with_table_shards(4));
+        let a = TVar::new_placed(0, 0i64);
+        let b = TVar::new_placed(1, 0i64);
+        // Cross-partition transaction commits atomically.
+        stm.run(t(0), x(0), |tx| {
+            tx.write(&a, 1)?;
+            tx.write(&b, 2)
+        });
+        assert_eq!((*a.load_unlogged(), *b.load_unlogged()), (1, 2));
+        // A stale read in partition 1 still aborts.
+        let r = stm.try_run_once(t(0), x(0), |tx| {
+            let _ = tx.read(&a)?;
+            stm.run(t(1), x(1), |tx2| tx2.write(&b, 5));
+            tx.read(&b)
+        });
+        assert!(r.is_err(), "conflict across partitions must still be caught: {r:?}");
     }
 
     #[test]

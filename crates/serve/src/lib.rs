@@ -51,8 +51,8 @@ pub use backend::{
     BackendKind, DurableBackend, EphemeralBackend, Materializer, RecoveredStore, StoreBackend,
 };
 pub use service::{
-    run_native, run_simulated, serve_schedule, GateClock, NativeReport, ServeClock, ServeRun,
-    ServeSpec, ServeWorkload, ThreadLog, WallClock,
+    run_native, run_simulated, serve_schedule, spine_config, GateClock, NativeReport, ServeClock,
+    ServeRun, ServeSpec, ServeWorkload, SpineMode, ThreadLog, WallClock,
 };
 pub use store::{Entry, Request, Response, ShardedStore, INITIAL_BALANCE, MAX_SCAN_LEN};
 pub use traffic::{generate_schedule, Arrival, Mix, ScheduledRequest, TrafficSpec};

@@ -32,12 +32,14 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
-use gstm_core::{Gate, RealGate, Stm, StmConfig, ThreadId};
+use gstm_core::{
+    available_cores, ClockStrategy, Gate, Placement, RealGate, Stm, StmConfig, ThreadId, TouchMap,
+};
 use gstm_guide::{RunOptions, RunOutcome, WorkerEnv, Workload, WorkloadRun};
 use gstm_telemetry::histogram::{HistogramSnapshot, LogHistogram};
 
 use crate::backend::{BackendKind, DurableBackend, EphemeralBackend, StoreBackend};
-use crate::store::ShardedStore;
+use crate::store::{Request, ShardedStore};
 use crate::traffic::{generate_schedule, Arrival, Mix, ScheduledRequest, TrafficSpec};
 use gstm_wal::{FileDevice, LogDevice, Wal, WalConfig};
 
@@ -45,6 +47,32 @@ use gstm_wal::{FileDevice, LogDevice, Wal, WalConfig};
 /// small steps and re-reading the clock keeps the simulator's per-pass cost
 /// jitter from overshooting the scheduled arrival by more than one chunk.
 const WAIT_CHUNK: u64 = 32;
+
+/// How the engine's commit spine is organized for this service
+/// (DESIGN.md §3.1c).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum SpineMode {
+    /// One global lock table and the legacy `fetch_add` clock — the
+    /// configuration every run before this knob existed used, and still
+    /// the default (so cached sim results and goldens stay valid).
+    #[default]
+    Global,
+    /// One lock-table partition per store shard (every shard's buckets are
+    /// placement-tagged into their own padded stripe range), the skip-ahead
+    /// version clock, and — native runs only — core-affinity placement of
+    /// worker threads derived from their schedules' shard touch counts.
+    PerShard,
+}
+
+impl SpineMode {
+    /// Short tag used in cache keys and result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SpineMode::Global => "global",
+            SpineMode::PerShard => "pershard",
+        }
+    }
+}
 
 /// Full description of one serve configuration — store shape, traffic, and
 /// service parameters. Everything that defines the offered load lives
@@ -74,6 +102,8 @@ pub struct ServeSpec {
     /// Storage backend: ephemeral (in-memory only) or durable
     /// (WAL-backed command logging with snapshots).
     pub backend: BackendKind,
+    /// Commit-spine organization (global vs per-shard lock tables).
+    pub spine: SpineMode,
 }
 
 impl ServeSpec {
@@ -93,6 +123,7 @@ impl ServeSpec {
             scan_len: 8,
             mix: Mix::transfer_heavy(),
             backend: BackendKind::Ephemeral,
+            spine: SpineMode::Global,
         }
     }
 
@@ -112,6 +143,7 @@ impl ServeSpec {
             scan_len: 8,
             mix: Mix::read_mostly(),
             backend: BackendKind::Ephemeral,
+            spine: SpineMode::Global,
         }
     }
 
@@ -127,6 +159,12 @@ impl ServeSpec {
         self
     }
 
+    /// Replaces the commit-spine mode.
+    pub fn with_spine(mut self, spine: SpineMode) -> Self {
+        self.spine = spine;
+        self
+    }
+
     /// Canonical cache-key fragment: every field that shapes the run, in a
     /// fixed order. Feeds the pipeline's content-addressed run cache, so
     /// any spec change must change this string.
@@ -135,7 +173,7 @@ impl ServeSpec {
             Arrival::Poisson { mean_gap } => format!("poisson(g={mean_gap})"),
             Arrival::Bursty { mean_gap, burst } => format!("bursty(g={mean_gap},b={burst})"),
         };
-        format!(
+        let mut key = format!(
             "sh={};bk={};keys={};th={};arr={};rq={};qd={};wk={};sc={};mix={:?};be={}",
             self.shards,
             self.buckets_per_shard,
@@ -148,7 +186,15 @@ impl ServeSpec {
             self.scan_len,
             self.mix.0,
             self.backend.label(),
-        )
+        );
+        // Appended (rather than inlined) and only when non-default, so the
+        // key of every spec that predates the spine knob is byte-identical
+        // to what the pipeline cache already holds.
+        if self.spine != SpineMode::Global {
+            key.push_str(";spine=");
+            key.push_str(self.spine.label());
+        }
+        key
     }
 
     fn traffic(&self) -> TrafficSpec {
@@ -315,7 +361,7 @@ impl ServeRun {
     /// deterministic simulator disk; native runs that want real files use
     /// [`run_native`], which builds the backend itself.
     pub fn new(spec: ServeSpec, threads: usize, seed: u64) -> Self {
-        let store = ShardedStore::new(spec.shards, spec.buckets_per_shard, spec.keys);
+        let store = build_store(&spec);
         let backend: Arc<dyn StoreBackend> = match spec.backend {
             BackendKind::Ephemeral => Arc::new(EphemeralBackend::new(store)),
             BackendKind::Durable => Arc::new(DurableBackend::in_memory(store, WalConfig::new()).0),
@@ -436,8 +482,65 @@ impl Workload for ServeWorkload {
     }
 
     fn stm_config(&self, threads: usize) -> StmConfig {
-        StmConfig::new(threads)
+        spine_config(&self.spec, threads)
     }
+}
+
+/// The engine configuration a spec's spine mode implies. `Global` is the
+/// untouched default (`fetch_add` clock, one lock-table partition) so sim
+/// outcomes at default specs stay byte-identical; `PerShard` gives the
+/// engine one padded lock-table partition per store shard and the
+/// skip-ahead clock.
+pub fn spine_config(spec: &ServeSpec, threads: usize) -> StmConfig {
+    match spec.spine {
+        SpineMode::Global => StmConfig::new(threads),
+        SpineMode::PerShard => StmConfig::new(threads)
+            .with_table_shards(spec.shards.clamp(1, 64) as u32)
+            .with_clock_strategy(ClockStrategy::SkipAhead),
+    }
+}
+
+/// The store a spec implies: placement-tagged shards under `PerShard` (so
+/// each shard's buckets hash into their own lock-table partition),
+/// untagged otherwise.
+fn build_store(spec: &ServeSpec) -> ShardedStore {
+    ShardedStore::with_placement(
+        spec.shards,
+        spec.buckets_per_shard,
+        spec.keys,
+        spec.spine == SpineMode::PerShard,
+    )
+}
+
+/// Derives a placement [`TouchMap`] (threads × shards) from the
+/// pre-materialized schedules: each single-key request touches its key's
+/// shard, a transfer touches both endpoints' shards, and a scan touches
+/// every shard its range crosses. Schedules are pure functions of
+/// `(spec, seed, thread)`, so the plan is known before any worker starts —
+/// no warm-up pass needed.
+fn schedule_touch_map(spec: &ServeSpec, schedules: &[Arc<Vec<ScheduledRequest>>]) -> TouchMap {
+    let shards = spec.shards.max(1) as u64;
+    let mut map = TouchMap::new(schedules.len(), shards as usize);
+    for (t, schedule) in schedules.iter().enumerate() {
+        let thread = ThreadId::new(t as u16);
+        for sr in schedule.iter() {
+            match sr.req {
+                Request::Get { key } | Request::Put { key, .. } | Request::Cas { key, .. } => {
+                    map.record(thread, (key % shards) as usize, 1)
+                }
+                Request::Transfer { from, to, .. } => {
+                    map.record(thread, (from % shards) as usize, 1);
+                    map.record(thread, (to % shards) as usize, 1);
+                }
+                Request::Scan { start, len } => {
+                    for i in 0..len.min(shards) {
+                        map.record(thread, ((start + i) % shards) as usize, 1);
+                    }
+                }
+            }
+        }
+    }
+    map
 }
 
 /// Convenience: one simulated serve run under `opts`, via the guide
@@ -479,8 +582,7 @@ pub fn run_native(
     yield_every: u32,
 ) -> NativeReport {
     assert!(threads > 0, "need at least one serve thread");
-    let stm = Arc::new(Stm::new_on(StmConfig::new(threads), Arc::new(RealGate::new(yield_every))));
-    let store = ShardedStore::new(spec.shards, spec.buckets_per_shard, spec.keys);
+    let store = build_store(spec);
     let mut wal_dir = None;
     let backend: Arc<dyn StoreBackend> = match spec.backend {
         BackendKind::Ephemeral => Arc::new(EphemeralBackend::new(store)),
@@ -495,6 +597,19 @@ pub fn run_native(
         }
     };
     let run = ServeRun::with_backend(spec.clone(), backend, threads, seed);
+    // Under the per-shard spine, home each worker thread on the core
+    // nearest the shard partition its schedule touches most. On a host
+    // with fewer than two cores the plan is a no-op, and without an OS
+    // affinity binding pinning itself is best-effort — the gate still
+    // counts attempts so the bench can report what happened.
+    let gate = match spec.spine {
+        SpineMode::Global => RealGate::new(yield_every),
+        SpineMode::PerShard => {
+            let touches = schedule_touch_map(spec, &run.schedules);
+            RealGate::with_placement(yield_every, Placement::plan(&touches, available_cores()))
+        }
+    };
+    let stm = Arc::new(Stm::new_on(spine_config(spec, threads), Arc::new(gate)));
     let clock = WallClock::new(nanos_per_tick);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -619,6 +734,48 @@ mod tests {
                 .with_arrival(Arrival::Bursty { mean_gap: 220.0, burst: 8 })
                 .cache_key()
         );
+    }
+
+    #[test]
+    fn default_spec_cache_key_has_no_spine_suffix() {
+        // Pre-spine cached artifacts stay addressable: the default key is
+        // the exact pre-knob string, and only PerShard extends it.
+        let key = ServeSpec::hot(100).cache_key();
+        assert!(!key.contains("spine"), "default key must be unchanged: {key}");
+        let sharded = ServeSpec::hot(100).with_spine(SpineMode::PerShard).cache_key();
+        assert!(sharded.ends_with(";spine=pershard"), "unexpected key: {sharded}");
+        assert_ne!(key, sharded);
+    }
+
+    #[test]
+    fn per_shard_spine_serves_and_conserves_in_sim() {
+        let spec = tiny_spec().with_spine(SpineMode::PerShard);
+        let cfg = spine_config(&spec, 3);
+        assert_eq!(cfg.table_shards, 2, "hot spec has two shards");
+        assert_eq!(cfg.clock, ClockStrategy::SkipAhead);
+        let out = run_simulated(&spec, &RunOptions::new(3, 5));
+        let stats: std::collections::HashMap<_, _> = out.workload_stats.iter().cloned().collect();
+        assert_eq!(stats["req_done"] + stats["req_shed"], 3.0 * 120.0);
+        assert!(stats["req_done"] > 0.0);
+    }
+
+    #[test]
+    fn schedule_touch_map_routes_threads_to_their_shards() {
+        let spec = tiny_spec();
+        let schedules: Vec<Arc<Vec<ScheduledRequest>>> = vec![
+            Arc::new(vec![
+                ScheduledRequest { at: 0, req: Request::Get { key: 4 } },
+                ScheduledRequest { at: 1, req: Request::Put { key: 6, blob: 0 } },
+                ScheduledRequest { at: 2, req: Request::Transfer { from: 2, to: 3, amount: 1 } },
+            ]),
+            Arc::new(vec![ScheduledRequest { at: 0, req: Request::Scan { start: 1, len: 1 } }]),
+        ];
+        let map = schedule_touch_map(&spec, &schedules);
+        // Thread 0: keys 4, 6, 2 are shard 0; transfer also touches shard 1.
+        assert_eq!(map.get(ThreadId::new(0), 0), 3);
+        assert_eq!(map.get(ThreadId::new(0), 1), 1);
+        assert_eq!(map.home_slot(ThreadId::new(0)), Some(0));
+        assert_eq!(map.home_slot(ThreadId::new(1)), Some(1));
     }
 
     #[test]

@@ -44,6 +44,7 @@ pub mod recorder;
 pub mod registry;
 pub mod sink;
 pub mod snapshot;
+pub mod spine;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use json::JsonValue;
@@ -52,3 +53,4 @@ pub use recorder::{AnomalyConfig, AnomalyDump, FlightRecorder};
 pub use registry::{reason_index, MetricsRegistry, ThreadMetrics, ABORT_REASONS};
 pub use sink::{SnapshotAccumulator, TelemetrySink};
 pub use snapshot::{Snapshot, MACHINE_FORMAT_VERSION};
+pub use spine::SpineGauges;

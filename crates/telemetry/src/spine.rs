@@ -1,0 +1,116 @@
+//! Commit-spine gauges: version-clock behaviour and lock-table footprint
+//! under the low-contention spine (DESIGN.md §3.1c).
+//!
+//! `experiments bench-scale` fills one [`SpineGauges`] per measured engine
+//! from [`gstm_core::Stm::clock_stats`] and
+//! [`gstm_core::Stm::reader_registry_footprint`], then publishes the values
+//! in `BENCH_scale.json`. Like [`crate::PipelineGauges`], the bundle is
+//! plain `AtomicU64`s folded into a [`Snapshot`] on demand — and like the
+//! pipeline's wall-clock fields, these gauges are **not** wired into the
+//! default run telemetry: the determinism goldens digest that snapshot
+//! text byte-for-byte, and a native-mode counter has no business there.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::Snapshot;
+
+/// Gauge name: skip-ahead commits whose `compare_exchange(rv, rv+1)` won.
+pub const GAUGE_CLOCK_CAS_SUCCESS: &str = "gstm_spine_clock_cas_success_total";
+/// Gauge name: skip-ahead commits that fell back to one `fetch_add(Δ)`.
+pub const GAUGE_CLOCK_SKIP_AHEAD: &str = "gstm_spine_clock_skip_ahead_total";
+/// Gauge name: read-only commits that never touched the clock word.
+pub const GAUGE_CLOCK_READ_ONLY_SPARED: &str = "gstm_spine_clock_read_only_spared_total";
+/// Gauge name: visible-reader registries actually allocated (lazy scheme).
+pub const GAUGE_REGISTRIES_ALLOCATED: &str = "gstm_spine_reader_registries_allocated";
+/// Gauge name: bytes the lazy registry scheme holds.
+pub const GAUGE_REGISTRY_LAZY_BYTES: &str = "gstm_spine_reader_registry_lazy_bytes";
+/// Gauge name: bytes the old eager registry scheme would hold.
+pub const GAUGE_REGISTRY_EAGER_BYTES: &str = "gstm_spine_reader_registry_eager_bytes";
+
+/// Lock-free counters describing one engine's commit-spine behaviour.
+#[derive(Debug, Default)]
+pub struct SpineGauges {
+    /// Skip-ahead commits whose CAS won (validation skipped).
+    pub cas_success: AtomicU64,
+    /// Skip-ahead commits that claimed their `wv` via `fetch_add(Δ)`.
+    pub skip_ahead: AtomicU64,
+    /// Read-only commits spared a clock tick.
+    pub read_only_spared: AtomicU64,
+    /// Visible-reader registries allocated under the lazy scheme.
+    pub registries_allocated: AtomicU64,
+    /// Bytes held by the lazy registry scheme.
+    pub registry_lazy_bytes: AtomicU64,
+    /// Bytes the eager scheme would have held.
+    pub registry_eager_bytes: AtomicU64,
+}
+
+impl SpineGauges {
+    /// Creates a zeroed gauge bundle.
+    pub fn new() -> Self {
+        SpineGauges::default()
+    }
+
+    /// Stores `v` into a gauge (convenience for the bench harness, which
+    /// copies finished-run totals rather than incrementing live).
+    pub fn set(gauge: &AtomicU64, v: u64) {
+        gauge.store(v, Ordering::Relaxed);
+    }
+
+    /// Folds the current values into a [`Snapshot`] as gauges.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_gauge(GAUGE_CLOCK_CAS_SUCCESS, self.cas_success.load(Ordering::Relaxed));
+        snap.set_gauge(GAUGE_CLOCK_SKIP_AHEAD, self.skip_ahead.load(Ordering::Relaxed));
+        snap.set_gauge(GAUGE_CLOCK_READ_ONLY_SPARED, self.read_only_spared.load(Ordering::Relaxed));
+        snap.set_gauge(
+            GAUGE_REGISTRIES_ALLOCATED,
+            self.registries_allocated.load(Ordering::Relaxed),
+        );
+        snap.set_gauge(GAUGE_REGISTRY_LAZY_BYTES, self.registry_lazy_bytes.load(Ordering::Relaxed));
+        snap.set_gauge(
+            GAUGE_REGISTRY_EAGER_BYTES,
+            self.registry_eager_bytes.load(Ordering::Relaxed),
+        );
+        snap
+    }
+
+    /// One-line human summary, e.g.
+    /// `spine: cas 9500 / skip 500, read-only spared 2000, registries 3 (lazy 4160 B vs eager 10240 B)`.
+    pub fn summary(&self) -> String {
+        format!(
+            "spine: cas {} / skip {}, read-only spared {}, registries {} (lazy {} B vs eager {} B)",
+            self.cas_success.load(Ordering::Relaxed),
+            self.skip_ahead.load(Ordering::Relaxed),
+            self.read_only_spared.load(Ordering::Relaxed),
+            self.registries_allocated.load(Ordering::Relaxed),
+            self.registry_lazy_bytes.load(Ordering::Relaxed),
+            self.registry_eager_bytes.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_exposes_all_gauges() {
+        let g = SpineGauges::new();
+        SpineGauges::set(&g.cas_success, 9500);
+        SpineGauges::set(&g.skip_ahead, 500);
+        SpineGauges::set(&g.registry_lazy_bytes, 4160);
+        let snap = g.snapshot();
+        assert_eq!(snap.gauge_value(GAUGE_CLOCK_CAS_SUCCESS), Some(9500));
+        assert_eq!(snap.gauge_value(GAUGE_CLOCK_SKIP_AHEAD), Some(500));
+        assert_eq!(snap.gauge_value(GAUGE_CLOCK_READ_ONLY_SPARED), Some(0));
+        assert_eq!(snap.gauge_value(GAUGE_REGISTRY_LAZY_BYTES), Some(4160));
+    }
+
+    #[test]
+    fn summary_is_greppable() {
+        let g = SpineGauges::new();
+        SpineGauges::set(&g.cas_success, 7);
+        let s = g.summary();
+        assert!(s.starts_with("spine: cas 7 / skip 0"), "unexpected summary: {s}");
+    }
+}

@@ -105,4 +105,12 @@ echo "==> pipeline bench: cold-vs-warm artifact must be well-formed"
     --out target/BENCH_pipeline_smoke.json
 ./target/release/experiments bench-check target/BENCH_pipeline_smoke.json
 
+echo "==> scale bench smoke: commit-spine artifact must be well-formed"
+./target/release/experiments bench-scale --preset tiny --smoke --profile release \
+    --out target/BENCH_scale_smoke.json
+./target/release/experiments bench-check target/BENCH_scale_smoke.json
+
+echo "==> determinism goldens: default knobs must still pin the legacy spine"
+cargo test -q --offline --test determinism
+
 echo "CI gate passed."
