@@ -46,7 +46,7 @@
 //!
 //! let sink = Arc::new(MemorySink::new());
 //! let stm = Stm::with_parts(
-//!     StmConfig::new(1).with_check_events(true),
+//!     StmConfig::builder(1).check_events(true).build(),
 //!     Arc::new(gstm_core::NullGate),
 //!     sink.clone(),
 //!     Arc::new(gstm_core::AdmitAll),
@@ -171,6 +171,33 @@ pub enum Violation {
         /// Write-set size the commit declared.
         declared: u32,
     },
+    /// A snapshot read observed a version newer than its snapshot
+    /// timestamp — the MVCC read path leaked a future commit.
+    SnapshotFutureRead {
+        /// The reader.
+        who: Participant,
+        /// Variable read.
+        var: VarId,
+        /// The reader's snapshot timestamp.
+        ts: u64,
+        /// The observed version (`> ts`).
+        wv: u64,
+    },
+    /// A snapshot read observed an older committed version than the newest
+    /// one with `wv <= ts` — the version ring GC evicted a version an
+    /// active reader still needed.
+    SnapshotStaleRead {
+        /// The reader.
+        who: Participant,
+        /// Variable read.
+        var: VarId,
+        /// The reader's snapshot timestamp.
+        ts: u64,
+        /// Version the reader observed (0 = initial-value fallback).
+        observed: u64,
+        /// Version it should have observed.
+        expected: u64,
+    },
 }
 
 impl fmt::Display for Violation {
@@ -212,6 +239,13 @@ impl fmt::Display for Violation {
                 f,
                 "write count mismatch: {who} logged {logged} write-backs, declared {declared}"
             ),
+            Violation::SnapshotFutureRead { who, var, ts, wv } => {
+                write!(f, "snapshot future read: {who} at ts {ts} saw {var} version wv {wv}")
+            }
+            Violation::SnapshotStaleRead { who, var, ts, observed, expected } => write!(
+                f,
+                "snapshot stale read: {who} at ts {ts} saw {var} wv {observed}, expected {expected}"
+            ),
         }
     }
 }
@@ -230,6 +264,8 @@ pub struct OracleReport {
     pub writers: usize,
     /// Write-backs examined.
     pub write_backs: usize,
+    /// Snapshot-mode read observations examined (MVCC read path).
+    pub snapshot_reads: usize,
 }
 
 impl OracleReport {
@@ -243,7 +279,7 @@ impl OracleReport {
     /// without the `check` feature or `check_events` was left off), so
     /// harnesses must treat `ok() && is_vacuous()` as a failure.
     pub fn is_vacuous(&self) -> bool {
-        self.reads == 0 && self.write_backs == 0
+        self.reads == 0 && self.write_backs == 0 && self.snapshot_reads == 0
     }
 
     /// One-line human summary.
@@ -277,6 +313,7 @@ pub fn check_history(events: &[TxEvent]) -> OracleReport {
     // them and collecting the per-variable committed-write history.
     let mut pending: BTreeMap<u16, Vec<PendingWrite>> = BTreeMap::new();
     let mut reads: Vec<(Participant, VarId, u64, u64)> = Vec::new();
+    let mut snap_reads: Vec<(Participant, VarId, u64, u64)> = Vec::new(); // (who, var, wv, ts)
     let mut committed: BTreeMap<VarId, Vec<(u64, u64)>> = BTreeMap::new(); // var -> [(wv, stamp)]
     let mut wv_seen: BTreeSet<u64> = BTreeSet::new();
     for event in events {
@@ -284,6 +321,21 @@ pub fn check_history(events: &[TxEvent]) -> OracleReport {
             TxEvent::ReadCheck { who, var, stamp, rv, .. } => {
                 report.reads += 1;
                 reads.push((*who, *var, *stamp, *rv));
+            }
+            TxEvent::SnapshotReadCheck { who, var, wv, ts, .. } => {
+                report.snapshot_reads += 1;
+                // The timestamp rule needs no history: an observed version
+                // above the snapshot is wrong no matter what committed.
+                if wv > ts {
+                    report.violations.push(Violation::SnapshotFutureRead {
+                        who: *who,
+                        var: *var,
+                        ts: *ts,
+                        wv: *wv,
+                    });
+                } else {
+                    snap_reads.push((*who, *var, *wv, *ts));
+                }
             }
             TxEvent::WriteBackCheck { who, var, stamp, held, .. } => {
                 report.write_backs += 1;
@@ -406,6 +458,24 @@ pub fn check_history(events: &[TxEvent]) -> OracleReport {
             }
         }
     }
+    // Snapshot reads are judged by version, not stamp: the read must have
+    // resolved to the newest committed version with wv <= ts (0 = the
+    // initial value when no such version exists). Anything older means the
+    // ring GC evicted a version a live reader still needed.
+    for (who, var, observed, ts) in snap_reads {
+        let history = committed.get(&var).unwrap_or(&empty);
+        let cut = history.partition_point(|&(wv, _)| wv <= ts);
+        let expected = if cut == 0 { 0 } else { history[cut - 1].0 };
+        if observed != expected {
+            report.violations.push(Violation::SnapshotStaleRead {
+                who,
+                var,
+                ts,
+                observed,
+                expected,
+            });
+        }
+    }
     report
 }
 
@@ -451,6 +521,10 @@ mod tests {
 
     fn abort(t: u16) -> TxEvent {
         TxEvent::Abort { who: who(t), attempt: 0, abort: Abort::new(AbortReason::UserRetry), at: 0 }
+    }
+
+    fn sread(t: u16, var: u64, wv: u64, ts: u64) -> TxEvent {
+        TxEvent::SnapshotReadCheck { who: who(t), var: VarId::from_raw(var), wv, ts, at: 0 }
     }
 
     #[test]
@@ -611,5 +685,98 @@ mod tests {
         assert!(report.summary().contains("1 violations"));
         let text = report.violations[0].to_string();
         assert!(text.contains("dirty read"), "{text}");
+    }
+
+    #[test]
+    fn clean_snapshot_reads_pass_and_count() {
+        let events = vec![
+            wb(0, 1, 10, true),
+            commit(0, 0, 3, 1),
+            wb(0, 1, 11, true),
+            commit(0, 3, 7, 1),
+            sread(1, 1, 3, 5), // ts 5 covers wv 3 but not wv 7
+            sread(1, 1, 7, 9), // ts 9 covers wv 7
+            sread(1, 2, 0, 9), // never-written var: initial-value fallback
+        ];
+        let report = check_history(&events);
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.snapshot_reads, 3);
+        assert!(!report.is_vacuous());
+    }
+
+    #[test]
+    fn snapshot_read_newer_than_ts_is_flagged() {
+        let events = vec![wb(0, 1, 10, true), commit(0, 0, 7, 1), sread(1, 1, 7, 5)];
+        let report = check_history(&events);
+        assert!(matches!(
+            report.violations.as_slice(),
+            [Violation::SnapshotFutureRead { ts: 5, wv: 7, .. }]
+        ));
+    }
+
+    #[test]
+    fn snapshot_read_of_evicted_version_is_stale() {
+        // wv 3 and wv 7 both committed; a reader at ts 9 resolving to wv 3
+        // means the ring dropped wv 7 — or, reading the initial value (0),
+        // dropped everything.
+        for (observed, expected) in [(3u64, 7u64), (0, 7)] {
+            let events = vec![
+                wb(0, 1, 10, true),
+                commit(0, 0, 3, 1),
+                wb(0, 1, 11, true),
+                commit(0, 3, 7, 1),
+                sread(1, 1, observed, 9),
+            ];
+            let report = check_history(&events);
+            assert!(
+                matches!(
+                    report.violations.as_slice(),
+                    [Violation::SnapshotStaleRead { ts: 9, observed: o, expected: e, .. }]
+                        if *o == observed && *e == expected
+                ),
+                "observed {observed}: {:?}",
+                report.violations
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_violations_render() {
+        let f =
+            Violation::SnapshotFutureRead { who: who(1), var: VarId::from_raw(1), ts: 5, wv: 7 };
+        assert!(f.to_string().contains("snapshot future read"), "{f}");
+        let s = Violation::SnapshotStaleRead {
+            who: who(1),
+            var: VarId::from_raw(1),
+            ts: 9,
+            observed: 3,
+            expected: 7,
+        };
+        assert!(s.to_string().contains("snapshot stale read"), "{s}");
+    }
+
+    /// End-to-end: a snapshot-mode engine under read/write interference
+    /// produces a history the oracle accepts, with snapshot reads counted.
+    #[test]
+    fn live_snapshot_engine_history_is_clean() {
+        use gstm_core::{MemorySink, ReadMode, Stm, StmConfig, TVar, ThreadId, TxId};
+        use std::sync::Arc;
+        let sink = Arc::new(MemorySink::new());
+        let stm = Stm::with_parts(
+            StmConfig::builder(2).read_mode(ReadMode::Snapshot).check_events(true).build(),
+            Arc::new(gstm_core::NullGate),
+            sink.clone(),
+            Arc::new(gstm_core::AdmitAll),
+            Arc::new(gstm_core::cm::Aggressive),
+        );
+        let v = TVar::new(0i64);
+        for i in 0..5 {
+            stm.run(ThreadId::new(0), TxId::new(0), |tx| tx.write(&v, i));
+            stm.run_read_only(ThreadId::new(1), TxId::new(1), |tx| tx.read(&v));
+        }
+        let report = check_history(&sink.take());
+        assert!(report.ok(), "{:?}", report.violations);
+        assert_eq!(report.snapshot_reads, 5);
+        assert!(!report.is_vacuous());
     }
 }

@@ -145,7 +145,7 @@ mod tests {
     fn run_history(txns: usize) -> Vec<TxEvent> {
         let sink = Arc::new(MemorySink::new());
         let stm = Stm::with_parts(
-            StmConfig::new(1).with_check_events(true),
+            StmConfig::builder(1).check_events(true).build(),
             Arc::new(gstm_core::NullGate),
             sink.clone(),
             Arc::new(gstm_core::AdmitAll),

@@ -40,6 +40,51 @@ impl Resolution {
     }
 }
 
+/// How read-only transactions obtain a consistent view (DESIGN.md §3.1d).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum ReadMode {
+    /// Legacy TL2 reads: every read (update and read-only transactions
+    /// alike) runs the pre/post lock-word sandwich against the latest
+    /// committed value and aborts on staleness. The default — the
+    /// determinism goldens pin this behavior bit-for-bit.
+    #[default]
+    Latest,
+    /// Multi-version snapshot reads: committers additionally publish each
+    /// written value into a bounded per-cell version ring, and a
+    /// [`TxnKind::ReadOnly`] transaction picks a snapshot timestamp at
+    /// begin, reading the newest version `<= ts` with zero validation and
+    /// zero engine aborts. Update transactions are unchanged except for the
+    /// version publication in commit step 5.
+    Snapshot,
+}
+
+impl ReadMode {
+    /// Short label used in cache keys and bench artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            ReadMode::Latest => "latest",
+            ReadMode::Snapshot => "snapshot",
+        }
+    }
+}
+
+/// Declared intent of one transaction invocation.
+///
+/// [`crate::Stm::run`] runs [`TxnKind::Update`] transactions;
+/// [`crate::Stm::run_read_only`] runs [`TxnKind::ReadOnly`] ones, which must
+/// not call [`crate::Txn::write`] (doing so panics). Under
+/// [`ReadMode::Snapshot`] the read-only kind selects the zero-abort
+/// snapshot read path; under [`ReadMode::Latest`] it behaves like a regular
+/// transaction that happens to have an empty write set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum TxnKind {
+    /// May read and write; commits through the full TL2 protocol.
+    #[default]
+    Update,
+    /// Reads only; never takes locks, never ticks the clock.
+    ReadOnly,
+}
+
 /// How the global [version clock](crate::VersionClock) hands out commit
 /// timestamps (DESIGN.md §3.1c).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
@@ -63,11 +108,14 @@ pub enum ClockStrategy {
 
 /// Configuration of an [`crate::Stm`] instance.
 ///
+/// Build one with the fluent [`StmConfig::builder`]:
+///
 /// ```
 /// use gstm_core::{StmConfig, Detection, Resolution};
-/// let cfg = StmConfig::new(8)
-///     .with_detection(Detection::CommitTime)
-///     .with_resolution(Resolution::SelfAbort);
+/// let cfg = StmConfig::builder(8)
+///     .detection(Detection::CommitTime)
+///     .resolution(Resolution::SelfAbort)
+///     .build();
 /// assert_eq!(cfg.max_threads, 8);
 /// ```
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -110,6 +158,19 @@ pub struct StmConfig {
     /// false-share a stripe — `gstm-serve` tags each store shard's keys so
     /// single-shard requests get a private lock table.
     pub table_shards: u32,
+    /// Read-path strategy for [`TxnKind::ReadOnly`] transactions (default
+    /// [`ReadMode::Latest`], the legacy behavior the determinism goldens
+    /// pin). See DESIGN.md §3.1d.
+    pub read_mode: ReadMode,
+    /// Soft capacity of each cell's version ring under
+    /// [`ReadMode::Snapshot`] (default 8).
+    ///
+    /// The watermark GC never evicts a version a registered snapshot reader
+    /// could still need, so a ring may temporarily exceed this bound while
+    /// readers lag — each such publication is counted as a `gc_lag` event
+    /// in [`crate::MvccStats`] rather than breaking the zero-abort
+    /// guarantee. Ignored under [`ReadMode::Latest`].
+    pub version_ring_capacity: u32,
 }
 
 impl StmConfig {
@@ -130,34 +191,52 @@ impl StmConfig {
             check_events: false,
             clock: ClockStrategy::default(),
             table_shards: 1,
+            read_mode: ReadMode::default(),
+            version_ring_capacity: 8,
         }
     }
 
+    /// Starts a fluent [`StmConfigBuilder`] with defaults for `max_threads`
+    /// threads — the one place every knob (detection, resolution, clock
+    /// strategy, table shards, read mode, …) is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_threads` is 0 or exceeds `u16::MAX`.
+    pub fn builder(max_threads: usize) -> StmConfigBuilder {
+        StmConfigBuilder { cfg: StmConfig::new(max_threads) }
+    }
+
     /// Sets the detection mode.
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).detection(..)")]
     pub fn with_detection(mut self, d: Detection) -> Self {
         self.detection = d;
         self
     }
 
     /// Sets the resolution mode.
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).resolution(..)")]
     pub fn with_resolution(mut self, r: Resolution) -> Self {
         self.resolution = r;
         self
     }
 
     /// Sets the lock-table size (`1 << log2_stripes` stripes).
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).log2_stripes(..)")]
     pub fn with_log2_stripes(mut self, n: u32) -> Self {
         self.log2_stripes = n;
         self
     }
 
     /// Sets the tick cost model.
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).costs(..)")]
     pub fn with_costs(mut self, c: CostModel) -> Self {
         self.costs = c;
         self
     }
 
     /// Sets the `WaitForReaders` patience (polls before self-aborting).
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).reader_wait_limit(..)")]
     pub fn with_reader_wait_limit(mut self, polls: u32) -> Self {
         self.reader_wait_limit = polls;
         self
@@ -165,12 +244,14 @@ impl StmConfig {
 
     /// Enables emission of the oracle's `*Check` events (requires the
     /// `check` feature to have any effect).
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).check_events(..)")]
     pub fn with_check_events(mut self, on: bool) -> Self {
         self.check_events = on;
         self
     }
 
     /// Sets the version-clock strategy.
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).clock_strategy(..)")]
     pub fn with_clock_strategy(mut self, s: ClockStrategy) -> Self {
         self.clock = s;
         self
@@ -183,6 +264,7 @@ impl StmConfig {
     /// Panics if `n` is 0 or exceeds 64 (partitions multiply the table's
     /// `1 << log2_stripes` footprint; 64 already gives a 64 MiB spine at the
     /// default stripe count).
+    #[deprecated(since = "0.8.0", note = "use StmConfig::builder(..).table_shards(..)")]
     pub fn with_table_shards(mut self, n: u32) -> Self {
         assert!((1..=64).contains(&n), "table_shards must be in 1..=64, got {n}");
         self.table_shards = n;
@@ -192,9 +274,109 @@ impl StmConfig {
     /// The LibTM configuration the paper uses for SynQuake:
     /// fully-optimistic detection with abort-readers resolution.
     pub fn libtm(max_threads: usize) -> Self {
-        StmConfig::new(max_threads)
-            .with_detection(Detection::CommitTime)
-            .with_resolution(Resolution::AbortReaders)
+        StmConfig::builder(max_threads)
+            .detection(Detection::CommitTime)
+            .resolution(Resolution::AbortReaders)
+            .build()
+    }
+}
+
+/// Fluent builder for [`StmConfig`] — the consolidated home of every knob
+/// that used to live on scattered `with_*` constructors (now deprecated
+/// shims). Obtained from [`StmConfig::builder`]; finish with
+/// [`build`](StmConfigBuilder::build).
+///
+/// ```
+/// use gstm_core::{ClockStrategy, ReadMode, StmConfig};
+/// let cfg = StmConfig::builder(8)
+///     .clock_strategy(ClockStrategy::SkipAhead)
+///     .table_shards(4)
+///     .read_mode(ReadMode::Snapshot)
+///     .build();
+/// assert_eq!(cfg.table_shards, 4);
+/// assert_eq!(cfg.read_mode, ReadMode::Snapshot);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct StmConfigBuilder {
+    cfg: StmConfig,
+}
+
+impl StmConfigBuilder {
+    /// Sets the detection mode.
+    pub fn detection(mut self, d: Detection) -> Self {
+        self.cfg.detection = d;
+        self
+    }
+
+    /// Sets the resolution mode.
+    pub fn resolution(mut self, r: Resolution) -> Self {
+        self.cfg.resolution = r;
+        self
+    }
+
+    /// Sets the lock-table size (`1 << log2_stripes` stripes).
+    pub fn log2_stripes(mut self, n: u32) -> Self {
+        self.cfg.log2_stripes = n;
+        self
+    }
+
+    /// Sets the tick cost model.
+    pub fn costs(mut self, c: CostModel) -> Self {
+        self.cfg.costs = c;
+        self
+    }
+
+    /// Sets the `WaitForReaders` patience (polls before self-aborting).
+    pub fn reader_wait_limit(mut self, polls: u32) -> Self {
+        self.cfg.reader_wait_limit = polls;
+        self
+    }
+
+    /// Enables emission of the oracle's `*Check` events (requires the
+    /// `check` feature to have any effect).
+    pub fn check_events(mut self, on: bool) -> Self {
+        self.cfg.check_events = on;
+        self
+    }
+
+    /// Sets the version-clock strategy.
+    pub fn clock_strategy(mut self, s: ClockStrategy) -> Self {
+        self.cfg.clock = s;
+        self
+    }
+
+    /// Sets the number of lock-table partitions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 or exceeds 64.
+    pub fn table_shards(mut self, n: u32) -> Self {
+        assert!((1..=64).contains(&n), "table_shards must be in 1..=64, got {n}");
+        self.cfg.table_shards = n;
+        self
+    }
+
+    /// Sets the read-path strategy for read-only transactions.
+    pub fn read_mode(mut self, m: ReadMode) -> Self {
+        self.cfg.read_mode = m;
+        self
+    }
+
+    /// Sets the soft per-cell version-ring capacity used under
+    /// [`ReadMode::Snapshot`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is 0 (a ring must hold at least the newest version).
+    pub fn version_ring_capacity(mut self, n: u32) -> Self {
+        assert!(n > 0, "version_ring_capacity must be at least 1");
+        self.cfg.version_ring_capacity = n;
+        self
+    }
+
+    /// Finalizes the configuration.
+    pub fn build(self) -> StmConfig {
+        self.cfg
     }
 }
 
@@ -208,24 +390,77 @@ mod tests {
         assert_eq!(c.detection, Detection::CommitTime);
         assert_eq!(c.resolution, Resolution::SelfAbort);
         assert!(!c.resolution.needs_visible_readers());
-        // The determinism goldens were captured on the legacy spine; these
-        // two defaults are what keeps them bit-identical.
+        // The determinism goldens were captured on the legacy spine and the
+        // legacy read path; these defaults are what keeps them bit-identical.
         assert_eq!(c.clock, ClockStrategy::FetchAdd);
         assert_eq!(c.table_shards, 1);
+        assert_eq!(c.read_mode, ReadMode::Latest);
+        assert!(c.version_ring_capacity >= 1);
     }
 
     #[test]
-    fn spine_knobs_round_trip() {
-        let c =
-            StmConfig::new(4).with_clock_strategy(ClockStrategy::SkipAhead).with_table_shards(8);
+    fn builder_sets_every_knob() {
+        let costs = CostModel { begin: 9, ..CostModel::default() };
+        let c = StmConfig::builder(4)
+            .detection(Detection::EncounterTime)
+            .resolution(Resolution::WaitForReaders)
+            .log2_stripes(10)
+            .costs(costs)
+            .reader_wait_limit(7)
+            .check_events(true)
+            .clock_strategy(ClockStrategy::SkipAhead)
+            .table_shards(8)
+            .read_mode(ReadMode::Snapshot)
+            .version_ring_capacity(4)
+            .build();
+        assert_eq!(c.detection, Detection::EncounterTime);
+        assert_eq!(c.resolution, Resolution::WaitForReaders);
+        assert_eq!(c.log2_stripes, 10);
+        assert_eq!(c.costs, costs);
+        assert_eq!(c.reader_wait_limit, 7);
+        assert!(c.check_events);
         assert_eq!(c.clock, ClockStrategy::SkipAhead);
         assert_eq!(c.table_shards, 8);
+        assert_eq!(c.read_mode, ReadMode::Snapshot);
+        assert_eq!(c.version_ring_capacity, 4);
+    }
+
+    /// The deprecated `with_*` shims must keep producing the exact configs
+    /// the builder does, so pre-redesign call sites behave identically.
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_match_builder() {
+        let shimmed = StmConfig::new(4)
+            .with_clock_strategy(ClockStrategy::SkipAhead)
+            .with_table_shards(8)
+            .with_reader_wait_limit(3)
+            .with_check_events(true);
+        let built = StmConfig::builder(4)
+            .clock_strategy(ClockStrategy::SkipAhead)
+            .table_shards(8)
+            .reader_wait_limit(3)
+            .check_events(true)
+            .build();
+        assert_eq!(shimmed, built);
+    }
+
+    #[test]
+    fn read_mode_labels_are_stable_cache_key_tokens() {
+        assert_eq!(ReadMode::Latest.label(), "latest");
+        assert_eq!(ReadMode::Snapshot.label(), "snapshot");
+        assert_eq!(TxnKind::default(), TxnKind::Update);
     }
 
     #[test]
     #[should_panic]
     fn zero_table_shards_rejected() {
-        let _ = StmConfig::new(1).with_table_shards(0);
+        let _ = StmConfig::builder(1).table_shards(0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_ring_capacity_rejected() {
+        let _ = StmConfig::builder(1).version_ring_capacity(0);
     }
 
     #[test]

@@ -121,6 +121,22 @@ pub enum TxEvent {
         /// Gate timestamp.
         at: u64,
     },
+    /// Oracle instrumentation: a snapshot-mode read resolved against a
+    /// version ring (`ReadMode::Snapshot` read-only transactions only).
+    /// Emitted under the same gating as [`TxEvent::ReadCheck`].
+    SnapshotReadCheck {
+        /// Who read.
+        who: Participant,
+        /// The variable read.
+        var: VarId,
+        /// Write version of the observed ring entry (0 = ring empty, the
+        /// read fell back to the cell's initial value).
+        wv: u64,
+        /// The transaction's snapshot timestamp.
+        ts: u64,
+        /// Gate timestamp.
+        at: u64,
+    },
     /// Oracle instrumentation: one stripe unlock, publishing a new version
     /// or restoring the old one.
     UnlockCheck {
@@ -149,6 +165,7 @@ impl TxEvent {
             | TxEvent::ReadCheck { who, .. }
             | TxEvent::WriteBackCheck { who, .. }
             | TxEvent::CommitCheck { who, .. }
+            | TxEvent::SnapshotReadCheck { who, .. }
             | TxEvent::UnlockCheck { who, .. } => *who,
         }
     }
@@ -173,6 +190,9 @@ impl fmt::Display for TxEvent {
             }
             TxEvent::CommitCheck { who, seq, rv, wv, writes, .. } => {
                 write!(f, "V {who} {seq} rv{rv} wv{wv} {writes}w")
+            }
+            TxEvent::SnapshotReadCheck { who, var, wv, ts, .. } => {
+                write!(f, "S {who} {var} wv{wv} ts{ts}")
             }
             TxEvent::UnlockCheck { who, stripe, owner_ok, publish, .. } => {
                 write!(

@@ -50,6 +50,11 @@ pub struct CostModel {
     /// One admission-policy hold poll (guided execution's retry spin — a
     /// hash-map lookup in §VI's implementation, so it is cheap).
     pub poll: Ticks,
+    /// Publishing one written value into its cell's version ring at commit
+    /// (MVCC snapshot mode only; charged per write-set entry in addition to
+    /// `commit_entry`). Never charged under `ReadMode::Latest`, so the
+    /// legacy schedules — and the determinism goldens — are untouched.
+    pub version_publish: Ticks,
 }
 
 impl Default for CostModel {
@@ -62,6 +67,7 @@ impl Default for CostModel {
             validate_entry: 1,
             abort: 10,
             poll: 1,
+            version_publish: 1,
         }
     }
 }

@@ -95,15 +95,40 @@ fn next_var_id() -> VarId {
     VarId::from_raw(raw.unwrap_or_else(|| NEXT_VAR_ID.fetch_add(1, Ordering::Relaxed)))
 }
 
+/// Outcome of one [`VarCell::push_version`] publication, reported back to
+/// the engine's MVCC stat counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub(crate) struct PushOutcome {
+    /// Versions the watermark GC evicted during this publication.
+    pub evicted: u32,
+    /// Ring length after publication and GC.
+    pub len: u32,
+    /// Whether the ring exceeds its soft capacity (watermark lag: a
+    /// registered reader still needs the older versions).
+    pub over_capacity: bool,
+}
+
 /// Type-erased storage cell shared by all clones of a [`TVar`].
 ///
 /// The cell holds the current value as an `Arc` snapshot behind a very short
 /// mutex. Readers clone the `Arc` (cheap) and validate against the stripe
 /// version afterwards, so a racing commit can never produce a torn value —
 /// at worst a consistent-but-stale snapshot that TL2 validation then rejects.
+///
+/// Under `ReadMode::Snapshot` the cell additionally keeps a bounded
+/// **version ring**: the trailing `(wv, value)` history of committed writes,
+/// ordered by write version, GC'd against the engine's min-active-reader
+/// watermark (DESIGN.md §3.1d). Snapshot readers consult only the ring
+/// (falling back to the initial value when it is empty), never `data`, so
+/// the legacy read path and the ring never contend on one lock.
 pub(crate) struct VarCell {
     id: VarId,
     data: Mutex<ErasedValue>,
+    /// Committed `(wv, value)` history, ascending by `wv`, newest last.
+    /// Empty (never allocated) until the first snapshot-mode commit writes
+    /// this cell. Writers to one cell serialize on its stripe lock and
+    /// claim strictly increasing `wv`s, so pushes arrive in order.
+    history: Mutex<Vec<(u64, ErasedValue)>>,
     /// Write stamp of the value currently in `data`: a globally unique id
     /// assigned per transactional write-back, or 0 for initial/unlogged
     /// values. The oracle uses stamps to identify *which* committed write a
@@ -118,6 +143,7 @@ impl VarCell {
         VarCell {
             id,
             data: Mutex::new(value),
+            history: Mutex::new(Vec::new()),
             #[cfg(feature = "check")]
             stamp: AtomicU64::new(0),
         }
@@ -159,6 +185,56 @@ impl VarCell {
         self.stamp.store(stamp, Ordering::Relaxed);
         *data = value;
         stamp
+    }
+
+    /// Publishes a committed version into the ring and GCs versions no
+    /// active snapshot reader can need.
+    ///
+    /// The eviction rule is the zero-abort invariant's load-bearing half: a
+    /// version `v` may be dropped only if a *newer retained* version `v'`
+    /// has `wv' <= watermark` — then every reader (all of whom hold
+    /// `ts >= watermark`, guaranteed by the registry protocol) resolves to
+    /// `v'` or newer, never to `v`. `capacity` is a **soft** bound: when a
+    /// lagging reader pins more than `capacity` versions the ring grows
+    /// past it and the caller counts a gc-lag event instead of evicting.
+    ///
+    /// Called only by committers holding this cell's stripe lock, so the
+    /// ring mutex is uncontended on the write side.
+    pub(crate) fn push_version(
+        &self,
+        wv: u64,
+        value: ErasedValue,
+        watermark: u64,
+        capacity: u32,
+    ) -> PushOutcome {
+        let mut h = self.history.lock();
+        debug_assert!(
+            h.last().is_none_or(|&(last, _)| last < wv),
+            "version ring requires strictly increasing wvs"
+        );
+        h.push((wv, value));
+        let keep_from = h.partition_point(|&(w, _)| w <= watermark).saturating_sub(1);
+        let evicted = keep_from as u32;
+        if keep_from > 0 {
+            h.drain(..keep_from);
+        }
+        let len = h.len() as u32;
+        PushOutcome { evicted, len, over_capacity: len > capacity }
+    }
+
+    /// Snapshot read: the newest committed version with `wv <= ts`, or
+    /// `None` when the ring holds no such version (the cell has not been
+    /// written since snapshot mode began — the caller falls back to the
+    /// initial value in `data`).
+    pub(crate) fn read_at(&self, ts: u64) -> Option<(u64, ErasedValue)> {
+        let h = self.history.lock();
+        let cut = h.partition_point(|&(w, _)| w <= ts);
+        if cut == 0 {
+            None
+        } else {
+            let (wv, ref value) = h[cut - 1];
+            Some((wv, Arc::clone(value)))
+        }
     }
 }
 
@@ -360,5 +436,81 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<TVar<u64>>();
         assert_send_sync::<TVar<Vec<String>>>();
+    }
+
+    fn val(n: i64) -> ErasedValue {
+        Arc::new(n)
+    }
+
+    fn read_i64(cell: &VarCell, ts: u64) -> Option<(u64, i64)> {
+        cell.read_at(ts).map(|(wv, v)| (wv, *downcast::<i64>(v)))
+    }
+
+    #[test]
+    fn ring_read_at_picks_newest_at_or_below_ts() {
+        let cell = VarCell::new(VarId::from_raw(1), val(0));
+        for wv in [2u64, 5, 9] {
+            cell.push_version(wv, val(wv as i64 * 10), 0, 8);
+        }
+        assert_eq!(read_i64(&cell, 1), None, "nothing committed at ts=1: initial-value fallback");
+        assert_eq!(read_i64(&cell, 2), Some((2, 20)));
+        assert_eq!(read_i64(&cell, 4), Some((2, 20)));
+        assert_eq!(read_i64(&cell, 5), Some((5, 50)));
+        assert_eq!(read_i64(&cell, 100), Some((9, 90)));
+    }
+
+    #[test]
+    fn ring_gc_keeps_newest_version_at_or_below_watermark() {
+        let cell = VarCell::new(VarId::from_raw(1), val(0));
+        cell.push_version(2, val(20), 0, 8);
+        cell.push_version(5, val(50), 0, 8);
+        // Watermark 6: version 5 covers every reader with ts >= 6, so
+        // version 2 is evictable; 5 itself must survive.
+        let out = cell.push_version(9, val(90), 6, 8);
+        assert_eq!(out, PushOutcome { evicted: 1, len: 2, over_capacity: false });
+        assert_eq!(read_i64(&cell, 6), Some((5, 50)), "watermark-pinned version retained");
+        assert_eq!(read_i64(&cell, 9), Some((9, 90)));
+    }
+
+    #[test]
+    fn ring_gc_with_lagging_watermark_evicts_nothing() {
+        let cell = VarCell::new(VarId::from_raw(1), val(0));
+        let cap = 2u32;
+        let mut out = PushOutcome::default();
+        for wv in 1..=5u64 {
+            out = cell.push_version(wv, val(wv as i64), 0, cap);
+        }
+        // Watermark 0 (a reader from before any commit is still active):
+        // every version is pinned, the soft capacity is exceeded.
+        assert_eq!(out, PushOutcome { evicted: 0, len: 5, over_capacity: true });
+        for wv in 1..=5u64 {
+            assert_eq!(read_i64(&cell, wv), Some((wv, wv as i64)), "lagging reader still served");
+        }
+    }
+
+    #[test]
+    fn ring_gc_at_current_watermark_retains_single_version() {
+        let cell = VarCell::new(VarId::from_raw(1), val(0));
+        for wv in 1..=10u64 {
+            // Watermark trails by one commit: the previous version stays
+            // pinned (a reader at ts == watermark needs it), so the
+            // steady state is exactly two entries.
+            let out = cell.push_version(wv, val(wv as i64), wv.saturating_sub(1), 4);
+            assert_eq!(out.len, if wv == 1 { 1 } else { 2 }, "wv={wv}");
+            assert!(!out.over_capacity);
+        }
+        // Watermark caught up to the newest commit: history collapses to
+        // the single newest version — the legacy latest-value shape.
+        let out = cell.push_version(11, val(11), 11, 4);
+        assert_eq!(out.len, 1);
+        assert_eq!(read_i64(&cell, 11), Some((11, 11)));
+        assert_eq!(read_i64(&cell, 10), None, "older versions GC'd once unreachable");
+    }
+
+    #[test]
+    fn ring_empty_until_first_publication() {
+        let cell = VarCell::new(VarId::from_raw(1), val(7));
+        assert_eq!(read_i64(&cell, u64::MAX), None);
+        assert_eq!(*downcast::<i64>(cell.load()), 7, "fallback path sees the initial value");
     }
 }

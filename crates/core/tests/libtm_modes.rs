@@ -11,7 +11,7 @@ use gstm_core::{
 
 fn abort_readers_stm(sink: Arc<MemorySink>) -> Stm {
     Stm::with_parts(
-        StmConfig::new(4).with_resolution(Resolution::AbortReaders),
+        StmConfig::builder(4).resolution(Resolution::AbortReaders).build(),
         Arc::new(NullGate),
         sink,
         Arc::new(AdmitAll),
@@ -83,7 +83,7 @@ fn doom_names_the_committer() {
 #[test]
 fn wait_for_readers_times_out_rather_than_deadlocks() {
     let stm = Stm::with_parts(
-        StmConfig::new(2).with_resolution(Resolution::WaitForReaders),
+        StmConfig::builder(2).resolution(Resolution::WaitForReaders).build(),
         Arc::new(NullGate),
         Arc::new(gstm_core::NullSink),
         Arc::new(AdmitAll),
@@ -111,7 +111,7 @@ fn wait_for_readers_times_out_rather_than_deadlocks() {
 #[test]
 fn wait_for_readers_proceeds_once_reader_finishes() {
     let stm = Stm::with_parts(
-        StmConfig::new(2).with_resolution(Resolution::WaitForReaders),
+        StmConfig::builder(2).resolution(Resolution::WaitForReaders).build(),
         Arc::new(NullGate),
         Arc::new(gstm_core::NullSink),
         Arc::new(AdmitAll),

@@ -32,11 +32,11 @@
 use std::time::Instant;
 
 use gstm_core::{
-    ClockStats, ClockStrategy, Detection, RealGate, RegistryFootprint, Resolution, Stm, StmConfig,
-    TVar, ThreadId, TxId,
+    ClockStats, ClockStrategy, Detection, MvccStats, ReadMode, RealGate, RegistryFootprint,
+    Resolution, Stm, StmConfig, TVar, ThreadId, TxId,
 };
 use gstm_guide::{run_workload, RunOptions};
-use gstm_telemetry::{JsonValue, SpineGauges};
+use gstm_telemetry::{JsonValue, MvccGauges, SpineGauges};
 
 use crate::progress::Progress;
 
@@ -54,6 +54,8 @@ pub const SUITE_PIPELINE: &str = "pipeline";
 pub const SUITE_WAL: &str = "wal";
 /// Suite tag of the commit-spine scaling artifact (`BENCH_scale.json`).
 pub const SUITE_SCALE: &str = "scale";
+/// Suite tag of the multi-version read-path artifact (`BENCH_mvcc.json`).
+pub const SUITE_MVCC: &str = "mvcc";
 
 /// Metric keys every valid hot-path artifact must contain (`bench-check`
 /// gates on presence, never on values).
@@ -129,6 +131,27 @@ pub const SCALE_REQUIRED_METRICS: &[&str] = &[
     "footprint.reader_registry_eager_bytes",
 ];
 
+/// Metric keys every valid MVCC artifact must contain: the read-mostly
+/// serve cell under each read mode (throughput, overall and read-only
+/// tail, read-only aborts), plus the snapshot engine's version-ring
+/// counters.
+pub const MVCC_REQUIRED_METRICS: &[&str] = &[
+    "mvcc.latest.req_per_sec",
+    "mvcc.latest.sojourn_p99_ticks",
+    "mvcc.latest.sojourn_ro_p99_ticks",
+    "mvcc.latest.ro_aborts",
+    "mvcc.snapshot.req_per_sec",
+    "mvcc.snapshot.sojourn_p99_ticks",
+    "mvcc.snapshot.sojourn_ro_p99_ticks",
+    "mvcc.snapshot.ro_aborts",
+    "mvcc.snapshot.snapshot_txns",
+    "mvcc.snapshot.snapshot_reads",
+    "mvcc.snapshot.spared_validations",
+    "mvcc.snapshot.versions_published",
+    "mvcc.snapshot.gc_lag_events",
+    "mvcc.snapshot.ring_len_max",
+];
+
 /// Harness parameters (iteration counts scale with the preset, repetition
 /// counts with smoke mode).
 #[derive(Clone, Debug)]
@@ -182,7 +205,7 @@ const SET_SIZE: usize = 32;
 fn engine(detection: Detection) -> Stm {
     // Two logical threads: 0 runs the measured loop, 1 plays the
     // interfering committer that forces validation / aborts.
-    Stm::new(StmConfig::new(2).with_detection(detection))
+    Stm::new(StmConfig::builder(2).detection(detection).build())
 }
 
 fn vars(n: usize) -> Vec<TVar<u64>> {
@@ -429,7 +452,7 @@ fn bench_scale_commit(
     let mut stats = ClockStats::default();
     for _ in 0..cfg.reps {
         let stm = Arc::new(Stm::new_on(
-            StmConfig::new(threads).with_clock_strategy(strategy),
+            StmConfig::builder(threads).clock_strategy(strategy).build(),
             Arc::new(RealGate::new(0)),
         ));
         let vars: Vec<Vec<TVar<u64>>> =
@@ -464,7 +487,7 @@ fn bench_scale_commit(
 /// spared a clock RMW (all of them — the assertion is the suite's
 /// plumbing check, the artifact publishes the count).
 fn bench_scale_read_only(cfg: &BenchConfig) -> f64 {
-    let stm = Stm::new(StmConfig::new(1).with_clock_strategy(ClockStrategy::SkipAhead));
+    let stm = Stm::new(StmConfig::builder(1).clock_strategy(ClockStrategy::SkipAhead).build());
     let vs = vars(SET_SIZE);
     for _ in 0..cfg.iters {
         stm.run(t0(), TxId::new(1), |txn| {
@@ -508,7 +531,7 @@ fn bench_scale_serve(cfg: &BenchConfig, spine: gstm_serve::SpineMode) -> (f64, f
 /// hold allocated registries — the lazy-vs-eager byte delta is the
 /// ridealong fix's win.
 fn bench_scale_footprint() -> RegistryFootprint {
-    let stm = Stm::new(StmConfig::new(2).with_resolution(Resolution::AbortReaders));
+    let stm = Stm::new(StmConfig::builder(2).resolution(Resolution::AbortReaders).build());
     let vs = vars(8);
     stm.run(t0(), TxId::new(1), |txn| {
         let mut acc = 0u64;
@@ -562,6 +585,84 @@ pub fn run_scale_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(Strin
     SpineGauges::set(&gauges.registries_allocated, fp.allocated as u64);
     SpineGauges::set(&gauges.registry_lazy_bytes, fp.lazy_bytes as u64);
     SpineGauges::set(&gauges.registry_eager_bytes, fp.eager_bytes as u64);
+    progress.report(&gauges.summary());
+    metrics
+}
+
+/// The MVCC study's serve cell: the contended hot store shape under the
+/// read-mostly `mvcc_read` mix, offered faster than the validated path
+/// can absorb — so throughput reflects service capacity, not the arrival
+/// rate, and the two read modes separate.
+fn mvcc_spec(cfg: &BenchConfig, read_mode: ReadMode) -> gstm_serve::ServeSpec {
+    let requests = (cfg.iters / 10).clamp(50, 1_000);
+    gstm_serve::ServeSpec::hot(requests)
+        .with_mix(gstm_serve::Mix::mvcc_read())
+        .with_arrival(gstm_serve::Arrival::Poisson { mean_gap: 60.0 })
+        .with_read_mode(read_mode)
+}
+
+/// One native MVCC serve cell under the given read mode. Returns
+/// best-of-reps `(req/sec, sojourn p99, read-only sojourn p99, read-only
+/// aborts, engine mvcc counters)` — the last three from the best rep.
+fn bench_mvcc_serve(cfg: &BenchConfig, read_mode: ReadMode) -> (f64, f64, f64, u64, MvccStats) {
+    let spec = mvcc_spec(cfg, read_mode);
+    let mut best_rate = 0.0f64;
+    let (mut p99, mut ro_p99) = (0.0f64, 0.0f64);
+    let mut ro_aborts = 0u64;
+    let mut mvcc = MvccStats::default();
+    for _ in 0..cfg.reps {
+        let start = Instant::now();
+        let report = gstm_serve::run_native(&spec, 3, 11, 50, 64);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let rate = report.done as f64 / secs;
+        if rate > best_rate {
+            best_rate = rate;
+            p99 = report.sojourn.p(0.99);
+            ro_p99 = report.sojourn_ro.p(0.99);
+            ro_aborts = report.read_only_aborts();
+            mvcc = report.mvcc;
+        }
+    }
+    (best_rate, p99, ro_p99, ro_aborts, mvcc)
+}
+
+/// Runs the multi-version read-path suite: the same read-mostly serve
+/// cell under `ReadMode::Latest` (validated read-only transactions) and
+/// `ReadMode::Snapshot` (version-ring reads at a frozen timestamp), plus
+/// the snapshot engine's ring counters. Returns the
+/// [`MVCC_REQUIRED_METRICS`] map.
+pub fn run_mvcc_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String, f64)> {
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut snap = MvccStats::default();
+    for (label, read_mode) in [("latest", ReadMode::Latest), ("snapshot", ReadMode::Snapshot)] {
+        let (rate, p99, ro_p99, ro_aborts, mvcc) = bench_mvcc_serve(cfg, read_mode);
+        progress.report(&format!(
+            "mvcc.{label}: {rate:.0} req/s, p99 {p99:.0} ticks, ro p99 {ro_p99:.0} ticks, \
+             ro aborts {ro_aborts}"
+        ));
+        metrics.push((format!("mvcc.{label}.req_per_sec"), rate));
+        metrics.push((format!("mvcc.{label}.sojourn_p99_ticks"), p99));
+        metrics.push((format!("mvcc.{label}.sojourn_ro_p99_ticks"), ro_p99));
+        metrics.push((format!("mvcc.{label}.ro_aborts"), ro_aborts as f64));
+        if read_mode == ReadMode::Snapshot {
+            snap = mvcc;
+        }
+    }
+    metrics.push(("mvcc.snapshot.snapshot_txns".into(), snap.snapshot_txns as f64));
+    metrics.push(("mvcc.snapshot.snapshot_reads".into(), snap.snapshot_reads as f64));
+    metrics.push(("mvcc.snapshot.spared_validations".into(), snap.spared_validations as f64));
+    metrics.push(("mvcc.snapshot.versions_published".into(), snap.versions_published as f64));
+    metrics.push(("mvcc.snapshot.gc_lag_events".into(), snap.gc_lag_events as f64));
+    metrics.push(("mvcc.snapshot.ring_len_max".into(), snap.ring_len_max as f64));
+    let gauges = MvccGauges::new();
+    MvccGauges::set(&gauges.snapshot_txns, snap.snapshot_txns);
+    MvccGauges::set(&gauges.snapshot_reads, snap.snapshot_reads);
+    MvccGauges::set(&gauges.fallback_initial, snap.fallback_initial);
+    MvccGauges::set(&gauges.spared_validations, snap.spared_validations);
+    MvccGauges::set(&gauges.versions_published, snap.versions_published);
+    MvccGauges::set(&gauges.versions_evicted, snap.versions_evicted);
+    MvccGauges::set(&gauges.gc_lag_events, snap.gc_lag_events);
+    MvccGauges::set(&gauges.ring_len_max, snap.ring_len_max);
     progress.report(&gauges.summary());
     metrics
 }
@@ -764,6 +865,7 @@ pub fn check_artifact(text: &str) -> Result<(), String> {
         Some(Ok(SUITE_PIPELINE)) => PIPELINE_REQUIRED_METRICS,
         Some(Ok(SUITE_WAL)) => WAL_REQUIRED_METRICS,
         Some(Ok(SUITE_SCALE)) => SCALE_REQUIRED_METRICS,
+        Some(Ok(SUITE_MVCC)) => MVCC_REQUIRED_METRICS,
         Some(other) => return Err(format!("unknown suite: {other:?}")),
     };
     let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
@@ -848,6 +950,19 @@ mod tests {
     }
 
     #[test]
+    fn mvcc_suite_keys_and_serve_cell() {
+        let mut cfg = smoke_cfg();
+        cfg.suite = SUITE_MVCC.to_string();
+        let mvcc: Vec<(String, f64)> =
+            MVCC_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &mvcc, None)).unwrap();
+        let (rate, _p99, _ro_p99, ro_aborts, stats) = bench_mvcc_serve(&cfg, ReadMode::Snapshot);
+        assert!(rate > 0.0);
+        assert_eq!(ro_aborts, 0, "snapshot reads never abort");
+        assert!(stats.snapshot_txns > 0, "the mvcc mix is read-mostly");
+    }
+
+    #[test]
     fn unknown_preset_is_rejected() {
         assert!(BenchConfig::for_preset("huge", false).is_err());
     }
@@ -871,6 +986,13 @@ mod tests {
         check_artifact(&render_artifact(&cfg, &wal, None)).unwrap();
         let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
         assert!(err.contains("wal."), "{err}");
+        // ...as does the MVCC suite...
+        cfg.suite = SUITE_MVCC.to_string();
+        let mvcc: Vec<(String, f64)> =
+            MVCC_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &mvcc, None)).unwrap();
+        let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
+        assert!(err.contains("mvcc."), "{err}");
         // ...an unknown suite is rejected outright...
         cfg.suite = "nonsense".to_string();
         let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();

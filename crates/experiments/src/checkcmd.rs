@@ -127,10 +127,11 @@ fn run_cell(spec: CellSpec, opts: &CheckOptions) -> CellOutcome {
     let machine = SimMachine::new(SimConfig::new(threads, opts.seed));
     let chaos = Arc::new(ChaosGate::new(ChaosConfig::new(cell_seed), machine.gate(), threads));
     let sink = Arc::new(MemorySink::new());
-    let config = StmConfig::new(threads)
-        .with_detection(spec.detection)
-        .with_resolution(spec.resolution)
-        .with_check_events(true);
+    let config = StmConfig::builder(threads)
+        .detection(spec.detection)
+        .resolution(spec.resolution)
+        .check_events(true)
+        .build();
     let stm = Arc::new(Stm::with_parts(
         config,
         chaos.clone() as Arc<dyn gstm_core::Gate>,

@@ -40,6 +40,11 @@
 //!                               clock over 1..16 OS threads, global vs
 //!                               per-shard serve spine, reader-registry
 //!                               footprint -> BENCH_scale.json)
+//!   bench-mvcc [--out PATH] [--preset tiny|default] [--smoke] [--profile NAME]
+//!                              (multi-version read path: the read-mostly
+//!                               serve cell under Latest vs Snapshot read
+//!                               modes, read-only aborts, version-ring
+//!                               counters -> BENCH_mvcc.json)
 //! ```
 //!
 //! Every study command resolves through the experiment pipeline: trained
@@ -70,7 +75,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|serve|all|\
          cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-wal|bench-scale|\
-         bench-check|check|\
+         bench-mvcc|bench-check|check|\
          recover|ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
          [--cache-dir PATH] [--no-cache]"
@@ -178,6 +183,36 @@ fn run_bench_scale(args: &[String]) -> ! {
     let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
     std::fs::write(out, &text).unwrap_or_else(|e| {
         eprintln!("bench-scale: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    progress.report(&format!("wrote {out}"));
+    std::process::exit(0);
+}
+
+/// `bench-mvcc`: run the multi-version read-path suite (the read-mostly
+/// serve cell under `Latest` vs `Snapshot` read modes, plus the snapshot
+/// engine's version-ring counters) and write the JSON artifact.
+fn run_bench_mvcc(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let out = flag("--out").map_or("BENCH_mvcc.json", String::as_str);
+    let preset = flag("--preset").map_or("default", String::as_str);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg =
+        gstm_experiments::bench::BenchConfig::for_preset(preset, smoke).unwrap_or_else(|e| {
+            eprintln!("bench-mvcc: {e}");
+            std::process::exit(2);
+        });
+    cfg.suite = gstm_experiments::bench::SUITE_MVCC.to_string();
+    if let Some(profile) = flag("--profile") {
+        cfg.profile = profile.clone();
+    }
+    let progress = StderrProgress::new();
+    let metrics = gstm_experiments::bench::run_mvcc_suite(&cfg, &progress);
+    let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("bench-mvcc: cannot write {out}: {e}");
         std::process::exit(2);
     });
     progress.report(&format!("wrote {out}"));
@@ -362,6 +397,7 @@ fn main() {
         "bench-pipeline" => run_bench_pipeline(&args[1..]),
         "bench-wal" => run_bench_wal(&args[1..]),
         "bench-scale" => run_bench_scale(&args[1..]),
+        "bench-mvcc" => run_bench_mvcc(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         "check" => run_check(&args[1..]),
         "recover" => run_recover(&args[1..]),

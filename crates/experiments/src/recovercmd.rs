@@ -199,7 +199,7 @@ fn run_seed(cell: CellSpec, opts: &RecoverOptions, run_seed: u64) -> String {
     let chaos = Arc::new(ChaosGate::new(chaos_cfg, machine.gate(), threads));
     let sink = Arc::new(MemorySink::new());
     let stm = Arc::new(Stm::with_parts(
-        StmConfig::new(threads).with_check_events(true),
+        StmConfig::builder(threads).check_events(true).build(),
         Arc::clone(&chaos) as Arc<dyn Gate>,
         Arc::clone(&sink) as Arc<dyn gstm_core::EventSink>,
         Arc::new(AdmitAll),

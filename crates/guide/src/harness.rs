@@ -348,10 +348,10 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
 
     let mut config = workload.stm_config(threads);
     if let Some(d) = opts.detection {
-        config = config.with_detection(d);
+        config.detection = d;
     }
     if let Some(r) = opts.resolution {
-        config = config.with_resolution(r);
+        config.resolution = r;
     }
     let stm = Arc::new(Stm::with_parts(
         config,

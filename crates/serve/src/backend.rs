@@ -70,20 +70,38 @@ pub trait StoreBackend: Send + Sync {
         let _ = (seq, req);
     }
 
+    /// Called for a request that was served on the engine's **snapshot
+    /// read path** (`Stm::run_read_only` under `ReadMode::Snapshot`), in
+    /// addition to [`StoreBackend::on_commit`] — snapshot reads still
+    /// claim a commit sequence number, so durable backends must keep
+    /// logging them through `on_commit` to keep the recoverable prefix
+    /// gap-free. This hook only observes that the validation-free
+    /// multi-version path served the request.
+    fn on_snapshot_read(&self, req: &Request) {
+        let _ = req;
+    }
+
     /// Called once per worker when its schedule is drained.
     fn flush(&self) {}
 }
 
-/// The no-durability backend: exactly the pre-WAL serve behavior.
+/// The no-durability backend: exactly the pre-WAL serve behavior, plus a
+/// counter of requests served on the snapshot read path.
 #[derive(Debug)]
 pub struct EphemeralBackend {
     store: ShardedStore,
+    snapshot_reads: std::sync::atomic::AtomicU64,
 }
 
 impl EphemeralBackend {
     /// Wraps a populated store.
     pub fn new(store: ShardedStore) -> Self {
-        EphemeralBackend { store }
+        EphemeralBackend { store, snapshot_reads: std::sync::atomic::AtomicU64::new(0) }
+    }
+
+    /// Requests this backend observed on the snapshot read path.
+    pub fn snapshot_reads(&self) -> u64 {
+        self.snapshot_reads.load(std::sync::atomic::Ordering::Relaxed)
     }
 }
 
@@ -94,6 +112,10 @@ impl StoreBackend for EphemeralBackend {
 
     fn label(&self) -> &'static str {
         BackendKind::Ephemeral.label()
+    }
+
+    fn on_snapshot_read(&self, _req: &Request) {
+        self.snapshot_reads.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }
 
@@ -110,6 +132,7 @@ pub fn encode_request(req: &Request) -> [u8; REQUEST_PAYLOAD_LEN] {
         Request::Cas { key, expect, update } => (2, key, expect, update),
         Request::Transfer { from, to, amount } => (3, from, to, amount as u64),
         Request::Scan { start, len } => (4, start, len, 0),
+        Request::GetMany { start, stride, count } => (5, start, stride, count),
     };
     let mut out = [0u8; REQUEST_PAYLOAD_LEN];
     out[0] = kind;
@@ -134,6 +157,7 @@ pub fn decode_request(payload: &[u8]) -> Option<Request> {
         2 => Request::Cas { key: a, expect: b, update: c },
         3 => Request::Transfer { from: a, to: b, amount: c as i64 },
         4 => Request::Scan { start: a, len: b },
+        5 => Request::GetMany { start: a, stride: b, count: c },
         _ => return None,
     })
 }
@@ -221,8 +245,8 @@ impl Materializer {
                 self.state.get_mut(&from).expect("checked").balance -= amount;
                 self.state.get_mut(&to).expect("checked").balance += amount;
             }
-            Request::Scan { .. } => {
-                let _ = MAX_SCAN_LEN; // scans read; nothing to do
+            Request::Scan { .. } | Request::GetMany { .. } => {
+                let _ = MAX_SCAN_LEN; // reads; nothing to do
             }
         }
     }
@@ -418,6 +442,7 @@ mod tests {
             Request::Cas { key: 5, expect: 1, update: 2 },
             Request::Transfer { from: 1, to: 2, amount: -40 },
             Request::Scan { start: 9, len: 4 },
+            Request::GetMany { start: 2, stride: 3, count: 5 },
         ];
         for req in reqs {
             assert_eq!(decode_request(&encode_request(&req)), Some(req));

@@ -28,12 +28,15 @@
 //! SimGate run is deterministic per seed), and [`WallClock`] maps real
 //! nanoseconds to ticks for native `RealGate` runs.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
+use gstm_core::cm::Aggressive;
 use gstm_core::{
-    available_cores, ClockStrategy, Gate, Placement, RealGate, Stm, StmConfig, ThreadId, TouchMap,
+    available_cores, AdmitAll, ClockStrategy, Gate, MvccStats, Participant, Placement, ReadMode,
+    RealGate, SiteStats, SiteStatsSink, Stm, StmConfig, ThreadId, TouchMap, TxnKind,
 };
 use gstm_guide::{RunOptions, RunOutcome, WorkerEnv, Workload, WorkloadRun};
 use gstm_telemetry::histogram::{HistogramSnapshot, LogHistogram};
@@ -104,6 +107,11 @@ pub struct ServeSpec {
     pub backend: BackendKind,
     /// Commit-spine organization (global vs per-shard lock tables).
     pub spine: SpineMode,
+    /// Read path for read-only requests: `Latest` is the legacy validated
+    /// path (the default — cached results and goldens unchanged);
+    /// `Snapshot` serves `Get`/`Scan`/`GetMany` from the MVCC version
+    /// rings with zero validation and zero aborts (DESIGN.md §3.1d).
+    pub read_mode: ReadMode,
 }
 
 impl ServeSpec {
@@ -124,6 +132,7 @@ impl ServeSpec {
             mix: Mix::transfer_heavy(),
             backend: BackendKind::Ephemeral,
             spine: SpineMode::Global,
+            read_mode: ReadMode::Latest,
         }
     }
 
@@ -144,6 +153,7 @@ impl ServeSpec {
             mix: Mix::read_mostly(),
             backend: BackendKind::Ephemeral,
             spine: SpineMode::Global,
+            read_mode: ReadMode::Latest,
         }
     }
 
@@ -165,6 +175,18 @@ impl ServeSpec {
         self
     }
 
+    /// Replaces the read path for read-only requests.
+    pub fn with_read_mode(mut self, read_mode: ReadMode) -> Self {
+        self.read_mode = read_mode;
+        self
+    }
+
+    /// Replaces the request-kind mix.
+    pub fn with_mix(mut self, mix: Mix) -> Self {
+        self.mix = mix;
+        self
+    }
+
     /// Canonical cache-key fragment: every field that shapes the run, in a
     /// fixed order. Feeds the pipeline's content-addressed run cache, so
     /// any spec change must change this string.
@@ -173,6 +195,14 @@ impl ServeSpec {
             Arrival::Poisson { mean_gap } => format!("poisson(g={mean_gap})"),
             Arrival::Bursty { mean_gap, burst } => format!("bursty(g={mean_gap},b={burst})"),
         };
+        // Trailing zero weights are dropped before rendering: presets that
+        // predate `GetMany` carry a sixth weight of 0 (a pure placeholder
+        // that draws nothing), and their keys must stay byte-identical to
+        // the five-element strings the pipeline cache already holds.
+        let mut mix: &[u32] = &self.mix.0;
+        while let [rest @ .., 0] = mix {
+            mix = rest;
+        }
         let mut key = format!(
             "sh={};bk={};keys={};th={};arr={};rq={};qd={};wk={};sc={};mix={:?};be={}",
             self.shards,
@@ -184,7 +214,7 @@ impl ServeSpec {
             self.max_queue_depth,
             self.work,
             self.scan_len,
-            self.mix.0,
+            mix,
             self.backend.label(),
         );
         // Appended (rather than inlined) and only when non-default, so the
@@ -193,6 +223,10 @@ impl ServeSpec {
         if self.spine != SpineMode::Global {
             key.push_str(";spine=");
             key.push_str(self.spine.label());
+        }
+        // Same append-only discipline for the read path.
+        if self.read_mode != ReadMode::Latest {
+            key.push_str(";rm=snapshot");
         }
         key
     }
@@ -286,10 +320,16 @@ impl ServeClock for WallClock {
 /// workers still hold clones.
 #[derive(Debug, Default)]
 pub struct ThreadLog {
-    /// Sojourn-latency histogram (ticks).
+    /// Sojourn-latency histogram (ticks), all served requests.
     pub sojourn: LogHistogram,
+    /// Sojourn-latency histogram (ticks) for read-only requests alone
+    /// (`Get`/`Scan`/`GetMany`), so the MVCC study can report the read
+    /// path's tail separately from the update path's.
+    pub sojourn_ro: LogHistogram,
     /// Requests served to completion.
     pub done: AtomicU64,
+    /// Read-only requests served to completion.
+    pub done_ro: AtomicU64,
     /// Requests shed by backpressure.
     pub shed: AtomicU64,
 }
@@ -334,13 +374,38 @@ pub fn serve_schedule(
             }
         }
         let req = sr.req;
-        stm.run(thread, req.site(), |tx| {
-            tx.work(work);
-            store.apply(tx, &req)
-        });
+        let read_only = req.txn_kind() == TxnKind::ReadOnly;
+        if read_only {
+            // Read-only intent is declared up front: under `ReadMode::Latest`
+            // this is the legacy validated read path with the write
+            // capability removed (same gate crossings, same outcome — the
+            // Latest goldens hold); under `ReadMode::Snapshot` the engine
+            // serves the request from the version rings at a frozen
+            // timestamp, with zero validation and zero aborts.
+            stm.run_read_only(thread, req.site(), |tx| {
+                tx.work(work);
+                store.apply(tx, &req)
+            });
+            if spec.read_mode == ReadMode::Snapshot {
+                backend.on_snapshot_read(&req);
+            }
+        } else {
+            stm.run(thread, req.site(), |tx| {
+                tx.work(work);
+                store.apply(tx, &req)
+            });
+        }
+        // Snapshot read-only transactions still claim a commit sequence
+        // number, so durable backends log them too — skipping them would
+        // leave gaps that truncate the recoverable prefix.
         backend.on_commit(stm.last_commit_seq(thread), &req);
-        log.sojourn.record(clock.now(thread).saturating_sub(sr.at));
+        let sojourn = clock.now(thread).saturating_sub(sr.at);
+        log.sojourn.record(sojourn);
         log.done.fetch_add(1, Ordering::Relaxed);
+        if read_only {
+            log.sojourn_ro.record(sojourn);
+            log.done_ro.fetch_add(1, Ordering::Relaxed);
+        }
         i += 1;
     }
     backend.flush();
@@ -402,11 +467,25 @@ impl ServeRun {
         merged
     }
 
+    /// Merged read-only sojourn histogram across threads.
+    pub fn sojourn_ro_snapshot(&self) -> HistogramSnapshot {
+        let mut merged = HistogramSnapshot::empty();
+        for log in &self.logs {
+            merged.merge(&log.sojourn_ro.snapshot());
+        }
+        merged
+    }
+
     /// Total requests served / shed across threads.
     pub fn totals(&self) -> (u64, u64) {
         let done = self.logs.iter().map(|l| l.done.load(Ordering::Relaxed)).sum();
         let shed = self.logs.iter().map(|l| l.shed.load(Ordering::Relaxed)).sum();
         (done, shed)
+    }
+
+    /// Total read-only requests served across threads.
+    pub fn total_read_only(&self) -> u64 {
+        self.logs.iter().map(|l| l.done_ro.load(Ordering::Relaxed)).sum()
     }
 
     fn check_conservation(&self) -> Result<(), String> {
@@ -445,7 +524,10 @@ impl WorkloadRun for ServeRun {
 
     fn stats(&self) -> Vec<(String, f64)> {
         let s = self.sojourn_snapshot();
+        let ro = self.sojourn_ro_snapshot();
         let (done, shed) = self.totals();
+        // Kind-split keys are appended after the legacy block so renderers
+        // and tests that address stats by name see an unchanged prefix.
         vec![
             ("req_done".into(), done as f64),
             ("req_shed".into(), shed as f64),
@@ -453,6 +535,11 @@ impl WorkloadRun for ServeRun {
             ("sojourn_p50".into(), s.p(0.50)),
             ("sojourn_p95".into(), s.p(0.95)),
             ("sojourn_p99".into(), s.p(0.99)),
+            ("req_done_ro".into(), self.total_read_only() as f64),
+            ("sojourn_ro_mean".into(), ro.mean()),
+            ("sojourn_ro_p50".into(), ro.p(0.50)),
+            ("sojourn_ro_p95".into(), ro.p(0.95)),
+            ("sojourn_ro_p99".into(), ro.p(0.99)),
         ]
     }
 }
@@ -492,12 +579,15 @@ impl Workload for ServeWorkload {
 /// engine one padded lock-table partition per store shard and the
 /// skip-ahead clock.
 pub fn spine_config(spec: &ServeSpec, threads: usize) -> StmConfig {
-    match spec.spine {
+    let mut cfg = match spec.spine {
         SpineMode::Global => StmConfig::new(threads),
-        SpineMode::PerShard => StmConfig::new(threads)
-            .with_table_shards(spec.shards.clamp(1, 64) as u32)
-            .with_clock_strategy(ClockStrategy::SkipAhead),
-    }
+        SpineMode::PerShard => StmConfig::builder(threads)
+            .table_shards(spec.shards.clamp(1, 64) as u32)
+            .clock_strategy(ClockStrategy::SkipAhead)
+            .build(),
+    };
+    cfg.read_mode = spec.read_mode;
+    cfg
 }
 
 /// The store a spec implies: placement-tagged shards under `PerShard` (so
@@ -537,6 +627,12 @@ fn schedule_touch_map(spec: &ServeSpec, schedules: &[Arc<Vec<ScheduledRequest>>]
                         map.record(thread, ((start + i) % shards) as usize, 1);
                     }
                 }
+                Request::GetMany { start, stride, count } => {
+                    let stride = stride.max(1);
+                    for i in 0..count.min(shards) {
+                        map.record(thread, ((start + i * stride) % shards) as usize, 1);
+                    }
+                }
             }
         }
     }
@@ -555,12 +651,36 @@ pub fn run_simulated(spec: &ServeSpec, opts: &RunOptions) -> RunOutcome {
 pub struct NativeReport {
     /// Requests served to completion.
     pub done: u64,
+    /// Read-only requests served to completion.
+    pub done_ro: u64,
     /// Requests shed by backpressure.
     pub shed: u64,
     /// Merged sojourn histogram (ticks of `nanos_per_tick` each).
     pub sojourn: HistogramSnapshot,
+    /// Merged sojourn histogram for read-only requests alone.
+    pub sojourn_ro: HistogramSnapshot,
     /// Wall time of the whole run, in clock ticks.
     pub elapsed_ticks: u64,
+    /// The engine's multi-version read-path counters (all zero under
+    /// [`ReadMode::Latest`]).
+    pub mvcc: MvccStats,
+    /// Per-site commit/abort tallies, keyed by participant. The bench uses
+    /// the read-only sites' abort counts to prove the snapshot path's
+    /// zero-abort claim.
+    pub sites: BTreeMap<Participant, SiteStats>,
+}
+
+impl NativeReport {
+    /// Total aborts across the read-only request sites (`Get` = 0,
+    /// `Scan` = 4, `GetMany` = 5). Zero under `ReadMode::Snapshot` by
+    /// construction; nonzero under contention on the validated path.
+    pub fn read_only_aborts(&self) -> u64 {
+        self.sites
+            .iter()
+            .filter(|(who, _)| matches!(who.tx.raw(), 0 | 4 | 5))
+            .map(|(_, s)| s.aborts)
+            .sum()
+    }
 }
 
 /// Runs the service natively: OS threads, [`RealGate`], wall-clock
@@ -609,7 +729,18 @@ pub fn run_native(
             RealGate::with_placement(yield_every, Placement::plan(&touches, available_cores()))
         }
     };
-    let stm = Arc::new(Stm::new_on(spine_config(spec, threads), Arc::new(gate)));
+    // Same engine defaults as `Stm::new_on` (AdmitAll, Aggressive), plus a
+    // per-site stats sink: lifecycle events are recorded unconditionally,
+    // so the bench gets commit/abort tallies per request site — including
+    // the read-only sites' abort count — without `check_events` overhead.
+    let sink = Arc::new(SiteStatsSink::new());
+    let stm = Arc::new(Stm::with_parts(
+        spine_config(spec, threads),
+        Arc::new(gate),
+        Arc::clone(&sink) as Arc<dyn gstm_core::EventSink>,
+        Arc::new(AdmitAll),
+        Arc::new(Aggressive),
+    ));
     let clock = WallClock::new(nanos_per_tick);
     std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
@@ -638,9 +769,13 @@ pub fn run_native(
     let (done, shed) = run.totals();
     NativeReport {
         done,
+        done_ro: run.total_read_only(),
         shed,
         sojourn: run.sojourn_snapshot(),
+        sojourn_ro: run.sojourn_ro_snapshot(),
         elapsed_ticks: clock.now(ThreadId::new(0)),
+        mvcc: stm.mvcc_stats(),
+        sites: sink.snapshot(),
     }
 }
 
@@ -776,6 +911,130 @@ mod tests {
         assert_eq!(map.get(ThreadId::new(0), 1), 1);
         assert_eq!(map.home_slot(ThreadId::new(0)), Some(0));
         assert_eq!(map.home_slot(ThreadId::new(1)), Some(1));
+    }
+
+    #[test]
+    fn default_spec_cache_key_is_unchanged_by_mix_widening_and_read_mode() {
+        // Pre-GetMany cached artifacts stay addressable: the sixth (zero)
+        // mix weight is trimmed out of the rendered key, and only a
+        // non-default read mode extends it.
+        let key = ServeSpec::hot(100).cache_key();
+        assert!(key.contains("mix=[20, 10, 10, 55, 5];"), "unexpected key: {key}");
+        assert!(!key.contains("rm="), "default key must be unchanged: {key}");
+        let snap = ServeSpec::hot(100).with_read_mode(ReadMode::Snapshot).cache_key();
+        assert!(snap.ends_with(";rm=snapshot"), "unexpected key: {snap}");
+        assert_ne!(key, snap);
+        let mvcc = ServeSpec::wide(100).with_mix(Mix::mvcc_read()).cache_key();
+        assert!(mvcc.contains("mix=[50, 10, 5, 5, 15, 15];"), "unexpected key: {mvcc}");
+    }
+
+    #[test]
+    fn snapshot_mode_serves_conserves_and_is_deterministic() {
+        let spec = tiny_spec().with_read_mode(ReadMode::Snapshot);
+        let a = run_simulated(&spec, &RunOptions::new(3, 5));
+        let stats: std::collections::HashMap<_, _> = a.workload_stats.iter().cloned().collect();
+        assert_eq!(stats["req_done"] + stats["req_shed"], 3.0 * 120.0);
+        assert!(stats["req_done_ro"] > 0.0, "hot mix still has gets and scans");
+        assert!(stats["sojourn_ro_p99"] <= stats["sojourn_p99"] * 10.0, "ro tail is sane");
+        let b = run_simulated(&spec, &RunOptions::new(3, 5));
+        assert_eq!(a.workload_stats, b.workload_stats);
+        assert_eq!(a.makespan, b.makespan);
+    }
+
+    #[test]
+    fn snapshot_reads_hit_the_backend_hook() {
+        let mut spec = tiny_spec().with_read_mode(ReadMode::Snapshot);
+        spec.max_queue_depth = 100_000; // serve everything, shed nothing
+        let eph = Arc::new(EphemeralBackend::new(build_store(&spec)));
+        let run =
+            ServeRun::with_backend(spec.clone(), Arc::clone(&eph) as Arc<dyn StoreBackend>, 2, 13);
+        let stm = Stm::new_on(spine_config(&spec, 2), Arc::new(RealGate::new(64)));
+        let clock = WallClock::new(1);
+        for t in 0..2usize {
+            serve_schedule(
+                &stm,
+                ThreadId::new(t as u16),
+                eph.as_ref(),
+                &run.schedules[t],
+                &clock,
+                &spec,
+                &run.logs[t],
+            );
+        }
+        run.verify().expect("snapshot run conserves");
+        let ro = run.total_read_only();
+        assert!(ro > 0);
+        assert_eq!(eph.snapshot_reads(), ro, "every served RO request hit the hook once");
+        assert_eq!(stm.mvcc_stats().snapshot_txns, ro, "every RO request ran as a snapshot txn");
+        assert_eq!(run.sojourn_ro_snapshot().count(), ro);
+    }
+
+    #[test]
+    fn native_snapshot_run_has_zero_read_only_aborts() {
+        let mut spec =
+            ServeSpec::hot(150).with_read_mode(ReadMode::Snapshot).with_mix(Mix::mvcc_read());
+        spec.arrival = Arrival::Poisson { mean_gap: 60.0 };
+        let report = run_native(&spec, 3, 11, 50, 64);
+        assert!(report.done_ro > 0);
+        assert_eq!(report.read_only_aborts(), 0, "snapshot reads never abort");
+        assert_eq!(report.mvcc.snapshot_txns, report.done_ro);
+        assert!(report.mvcc.snapshot_reads >= report.mvcc.snapshot_txns);
+        assert_eq!(report.sojourn_ro.count(), report.done_ro);
+        // Latest mode on the same spec keeps the MVCC machinery dormant.
+        let latest = run_native(&spec.clone().with_read_mode(ReadMode::Latest), 3, 11, 50, 64);
+        assert_eq!(latest.mvcc, MvccStats::default());
+        assert!(latest.done_ro > 0);
+    }
+
+    #[test]
+    fn durable_snapshot_mode_keeps_the_wal_contiguous_and_recoverable() {
+        // Snapshot read-only transactions still claim commit sequence
+        // numbers; the serve loop must log them through `on_commit` or the
+        // recoverable prefix truncates at the first read's seq.
+        let mut spec = tiny_spec().with_read_mode(ReadMode::Snapshot);
+        spec.backend = crate::backend::BackendKind::Durable;
+        spec.max_queue_depth = 100_000;
+        let (backend, log_dev, snap_dev) = crate::backend::DurableBackend::in_memory(
+            build_store(&spec),
+            gstm_wal::WalConfig::new(),
+        );
+        let backend = Arc::new(backend);
+        let run = ServeRun::with_backend(
+            spec.clone(),
+            Arc::clone(&backend) as Arc<dyn StoreBackend>,
+            2,
+            21,
+        );
+        let stm = Stm::new_on(spine_config(&spec, 2), Arc::new(RealGate::new(64)));
+        let clock = WallClock::new(1);
+        for t in 0..2usize {
+            serve_schedule(
+                &stm,
+                ThreadId::new(t as u16),
+                backend.as_ref(),
+                &run.schedules[t],
+                &clock,
+                &spec,
+                &run.logs[t],
+            );
+        }
+        run.verify().expect("durable snapshot run conserves");
+        assert!(run.total_read_only() > 0, "the mix served read-only requests");
+        let last_seq = backend.ledger().last().expect("ledger is non-empty").0;
+        let rec = crate::backend::recover_store(
+            spec.shards,
+            spec.buckets_per_shard,
+            spec.keys,
+            &log_dev.contents(),
+            &snap_dev.contents(),
+        )
+        .expect("disk image recovers");
+        assert_eq!(rec.recovered_seq, last_seq, "no gap truncated the recoverable prefix");
+        assert_eq!(
+            crate::backend::store_digest(&rec.store),
+            crate::backend::store_digest(backend.store()),
+            "recovered state matches the live store"
+        );
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! with a machine-checkable invariant.
 
 use gstm_collections::THashMap;
-use gstm_core::{Abort, TxId, Txn};
+use gstm_core::{Abort, TxId, Txn, TxnKind};
 
 /// Every key starts with this balance; `Transfer`s conserve the total.
 pub const INITIAL_BALANCE: i64 = 100;
@@ -86,9 +86,51 @@ pub enum Request {
         /// Range length (clamped to [`MAX_SCAN_LEN`]).
         len: u64,
     },
+    /// Bounded atomic multi-key read: `count` strided keys starting at
+    /// `start` (wrapping around the keyspace). Unlike [`Request::Scan`]
+    /// the keys are not consecutive, so a `GetMany` crosses shards even
+    /// when a scan of the same length would not.
+    GetMany {
+        /// First key of the stride walk.
+        start: u64,
+        /// Distance between consecutive keys (0 is treated as 1).
+        stride: u64,
+        /// Keys to read (clamped to [`MAX_SCAN_LEN`]).
+        count: u64,
+    },
 }
 
 impl Request {
+    /// Builds a [`Request::Get`].
+    pub fn get(key: u64) -> Self {
+        Request::Get { key }
+    }
+
+    /// Builds a [`Request::Put`].
+    pub fn put(key: u64, blob: u64) -> Self {
+        Request::Put { key, blob }
+    }
+
+    /// Builds a [`Request::Cas`].
+    pub fn cas(key: u64, expect: u64, update: u64) -> Self {
+        Request::Cas { key, expect, update }
+    }
+
+    /// Builds a [`Request::Transfer`].
+    pub fn transfer(from: u64, to: u64, amount: i64) -> Self {
+        Request::Transfer { from, to, amount }
+    }
+
+    /// Builds a [`Request::Scan`] — a read-only request by construction.
+    pub fn scan(start: u64, len: u64) -> Self {
+        Request::Scan { start, len }
+    }
+
+    /// Builds a [`Request::GetMany`] — a read-only request by construction.
+    pub fn get_many(start: u64, stride: u64, count: u64) -> Self {
+        Request::GetMany { start, stride, count }
+    }
+
     /// The static transaction site of this request kind (the paper's
     /// `TM_BEGIN(ID)` argument; the model's per-site states key off it).
     pub fn site(&self) -> TxId {
@@ -98,6 +140,7 @@ impl Request {
             Request::Cas { .. } => 2,
             Request::Transfer { .. } => 3,
             Request::Scan { .. } => 4,
+            Request::GetMany { .. } => 5,
         })
     }
 
@@ -109,6 +152,20 @@ impl Request {
             Request::Cas { .. } => "cas",
             Request::Transfer { .. } => "transfer",
             Request::Scan { .. } => "scan",
+            Request::GetMany { .. } => "get_many",
+        }
+    }
+
+    /// The transaction kind this request declares: `Get`, `Scan` and
+    /// `GetMany` never write, so the service runs them as
+    /// [`TxnKind::ReadOnly`] transactions — on a snapshot-mode engine that
+    /// is the zero-abort multi-version read path.
+    pub fn txn_kind(&self) -> TxnKind {
+        match self {
+            Request::Get { .. } | Request::Scan { .. } | Request::GetMany { .. } => {
+                TxnKind::ReadOnly
+            }
+            Request::Put { .. } | Request::Cas { .. } | Request::Transfer { .. } => TxnKind::Update,
         }
     }
 }
@@ -128,6 +185,13 @@ pub enum Response {
     ScanSum {
         /// Keys visited.
         count: u64,
+        /// Sum of their balances.
+        sum: i64,
+    },
+    /// `GetMany`: keys found and their balance sum.
+    Many {
+        /// Keys that existed.
+        found: u32,
         /// Sum of their balances.
         sum: i64,
     },
@@ -269,6 +333,19 @@ impl ShardedStore {
                 }
                 Ok(Response::ScanSum { count: len, sum })
             }
+            Request::GetMany { start, stride, count } => {
+                let count = count.min(MAX_SCAN_LEN).min(self.keys);
+                let stride = stride.max(1);
+                let (mut found, mut sum) = (0u32, 0i64);
+                for i in 0..count {
+                    let key = (start + i * stride) % self.keys;
+                    if let Some(e) = self.read_entry(tx, key)? {
+                        found += 1;
+                        sum += e.balance;
+                    }
+                }
+                Ok(Response::Many { found, sum })
+            }
         }
     }
 
@@ -389,15 +466,40 @@ mod tests {
     #[test]
     fn request_sites_are_distinct_per_kind() {
         let reqs = [
-            Request::Get { key: 0 },
-            Request::Put { key: 0, blob: 0 },
-            Request::Cas { key: 0, expect: 0, update: 0 },
-            Request::Transfer { from: 0, to: 1, amount: 1 },
-            Request::Scan { start: 0, len: 1 },
+            Request::get(0),
+            Request::put(0, 0),
+            Request::cas(0, 0, 0),
+            Request::transfer(0, 1, 1),
+            Request::scan(0, 1),
+            Request::get_many(0, 2, 3),
         ];
         let mut sites: Vec<u16> = reqs.iter().map(|r| r.site().index() as u16).collect();
         sites.dedup();
-        assert_eq!(sites.len(), 5, "each kind is its own atomic-block site");
+        assert_eq!(sites.len(), 6, "each kind is its own atomic-block site");
         assert_eq!(reqs[3].kind(), "transfer");
+        assert_eq!(reqs[5].kind(), "get_many");
+    }
+
+    #[test]
+    fn builders_tag_read_only_intent() {
+        assert_eq!(Request::get(1).txn_kind(), TxnKind::ReadOnly);
+        assert_eq!(Request::scan(0, 4).txn_kind(), TxnKind::ReadOnly);
+        assert_eq!(Request::get_many(0, 3, 4).txn_kind(), TxnKind::ReadOnly);
+        assert_eq!(Request::put(1, 2).txn_kind(), TxnKind::Update);
+        assert_eq!(Request::cas(1, 0, 2).txn_kind(), TxnKind::Update);
+        assert_eq!(Request::transfer(0, 1, 5).txn_kind(), TxnKind::Update);
+        assert_eq!(Request::get(1), Request::Get { key: 1 });
+        assert_eq!(Request::get_many(2, 3, 4), Request::GetMany { start: 2, stride: 3, count: 4 });
+    }
+
+    #[test]
+    fn get_many_strides_wraps_and_is_bounded() {
+        let store = ShardedStore::new(2, 4, 8);
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::get_many(6, 3, 4)));
+        // Keys 6, 1, 4, 7 — all present.
+        assert_eq!(resp, Response::Many { found: 4, sum: 4 * INITIAL_BALANCE });
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::get_many(0, 0, 10_000)));
+        // Stride 0 degrades to 1; count clamped to the keyspace.
+        assert_eq!(resp, Response::Many { found: 8, sum: 8 * INITIAL_BALANCE });
     }
 }

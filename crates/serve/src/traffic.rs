@@ -62,22 +62,41 @@ impl Arrival {
     }
 }
 
-/// Relative frequencies of the five request kinds, in the order
-/// `[get, put, cas, transfer, scan]`.
+/// Relative frequencies of the six request kinds, in the order
+/// `[get, put, cas, transfer, scan, get_many]`.
+///
+/// The presets that predate `GetMany` carry a trailing zero weight: the
+/// kind-selection loop never draws a zero-weight kind and consumes no
+/// extra randomness for it, so their request streams are bit-identical to
+/// the five-kind era (the determinism goldens depend on this).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct Mix(pub [u32; 5]);
+pub struct Mix(pub [u32; 6]);
 
 impl Mix {
     /// A read-mostly service mix: 55% get, 20% put, 10% cas, 10% transfer,
     /// 5% scan.
     pub fn read_mostly() -> Self {
-        Mix([55, 20, 10, 10, 5])
+        Mix([55, 20, 10, 10, 5, 0])
     }
 
     /// A transfer-heavy mix that maximizes write-write conflicts: 20% get,
     /// 10% put, 10% cas, 55% transfer, 5% scan.
     pub fn transfer_heavy() -> Self {
-        Mix([20, 10, 10, 55, 5])
+        Mix([20, 10, 10, 55, 5, 0])
+    }
+
+    /// The MVCC study's scan-heavy read-mostly mix: 50% get, 10% put,
+    /// 5% cas, 5% transfer, 15% scan, 15% get_many — 80% of requests are
+    /// read-only multi-key or point reads, the regime where the snapshot
+    /// read path pays off.
+    pub fn mvcc_read() -> Self {
+        Mix([50, 10, 5, 5, 15, 15])
+    }
+
+    /// Fraction of the mix that draws read-only request kinds.
+    pub fn read_only_fraction(&self) -> f64 {
+        let ro = self.0[0] + self.0[4] + self.0[5];
+        f64::from(ro) / f64::from(self.total().max(1))
     }
 
     fn total(&self) -> u32 {
@@ -157,22 +176,23 @@ fn draw_request(spec: &TrafficSpec, zipf: &Zipf, rng: &mut SmallRng) -> Request 
     for (kind, &w) in spec.mix.0.iter().enumerate() {
         if pick < w {
             return match kind {
-                0 => Request::Get { key },
-                1 => Request::Put { key, blob: rng.gen_range(0..1u64 << 16) },
+                0 => Request::get(key),
+                1 => Request::put(key, rng.gen_range(0..1u64 << 16)),
                 2 => {
                     // Expect the initial blob: succeeds until someone wins
                     // the race, then degrades to a read-only check — both
                     // paths are realistic CAS traffic.
-                    Request::Cas { key, expect: 0, update: rng.gen_range(1..1u64 << 16) }
+                    Request::cas(key, 0, rng.gen_range(1..1u64 << 16))
                 }
                 3 => {
                     let mut to = zipf.sample(rng) as u64;
                     if to == key {
                         to = (to + 1) % spec.keys;
                     }
-                    Request::Transfer { from: key, to, amount: rng.gen_range(1..10i64) }
+                    Request::transfer(key, to, rng.gen_range(1..10i64))
                 }
-                _ => Request::Scan { start: key, len: spec.scan_len },
+                4 => Request::scan(key, spec.scan_len),
+                _ => Request::get_many(key, rng.gen_range(1..8u64), spec.scan_len),
             };
         }
         pick -= w;
@@ -293,6 +313,42 @@ mod tests {
         }
         let mean = sum / 20_000.0;
         assert!((47.0..=53.0).contains(&mean), "sample mean {mean} far from 50");
+    }
+
+    #[test]
+    fn legacy_mixes_never_draw_get_many() {
+        // The pre-GetMany presets carry a zero sixth weight and an
+        // unchanged total, so their seeded request streams are exactly the
+        // five-kind streams the determinism goldens were recorded against.
+        for mix in [Mix::read_mostly(), Mix::transfer_heavy()] {
+            assert_eq!(mix.0[5], 0);
+            assert_eq!(mix.total(), 100);
+            let s = TrafficSpec { mix, ..spec(Arrival::Poisson { mean_gap: 10.0 }) };
+            let sched = generate_schedule(&s, 13, 0);
+            assert!(
+                sched.iter().all(|r| !matches!(r.req, Request::GetMany { .. })),
+                "zero-weight kind must never be drawn"
+            );
+        }
+    }
+
+    #[test]
+    fn mvcc_mix_is_read_mostly_and_draws_get_many() {
+        let mix = Mix::mvcc_read();
+        assert!(mix.read_only_fraction() >= 0.75, "mvcc mix must be read-mostly");
+        let s = TrafficSpec { mix, ..spec(Arrival::Poisson { mean_gap: 10.0 }) };
+        let sched = generate_schedule(&s, 13, 0);
+        let many = sched.iter().filter(|r| matches!(r.req, Request::GetMany { .. })).count();
+        let frac = many as f64 / sched.len() as f64;
+        assert!((0.08..=0.25).contains(&frac), "get_many fraction {frac} far from 0.15");
+        let ro = sched.iter().filter(|r| r.req.txn_kind() == gstm_core::TxnKind::ReadOnly).count();
+        assert!(ro as f64 / sched.len() as f64 > 0.7, "stream must be read-mostly");
+        for r in &sched {
+            if let Request::GetMany { stride, count, .. } = r.req {
+                assert!((1..8).contains(&stride));
+                assert_eq!(count, s.scan_len);
+            }
+        }
     }
 
     #[test]

@@ -39,6 +39,7 @@
 
 pub mod histogram;
 pub mod json;
+pub mod mvcc;
 pub mod pipeline;
 pub mod recorder;
 pub mod registry;
@@ -48,6 +49,7 @@ pub mod spine;
 
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use json::JsonValue;
+pub use mvcc::MvccGauges;
 pub use pipeline::PipelineGauges;
 pub use recorder::{AnomalyConfig, AnomalyDump, FlightRecorder};
 pub use registry::{reason_index, MetricsRegistry, ThreadMetrics, ABORT_REASONS};

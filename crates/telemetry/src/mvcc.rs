@@ -1,0 +1,129 @@
+//! Multi-version read-path gauges: snapshot traffic, version-ring churn
+//! and GC pressure under `ReadMode::Snapshot` (DESIGN.md §3.1d).
+//!
+//! `experiments bench-mvcc` fills one [`MvccGauges`] per measured engine
+//! from [`gstm_core::Stm::mvcc_stats`], then publishes the values in
+//! `BENCH_mvcc.json`. Like [`crate::SpineGauges`], the bundle is plain
+//! `AtomicU64`s folded into a [`Snapshot`] on demand — and like the spine
+//! gauges, these are **not** wired into the default run telemetry: the
+//! determinism goldens digest that snapshot text byte-for-byte, and under
+//! the default `ReadMode::Latest` every one of these would be zero anyway.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::snapshot::Snapshot;
+
+/// Gauge name: snapshot-mode read-only transactions begun.
+pub const GAUGE_MVCC_SNAPSHOT_TXNS: &str = "gstm_mvcc_snapshot_txns_total";
+/// Gauge name: reads served from a version ring.
+pub const GAUGE_MVCC_SNAPSHOT_READS: &str = "gstm_mvcc_snapshot_reads_total";
+/// Gauge name: reads that fell back to a cell's initial value (ring empty).
+pub const GAUGE_MVCC_FALLBACK_INITIAL: &str = "gstm_mvcc_fallback_initial_total";
+/// Gauge name: read-set validations the snapshot path made unnecessary.
+pub const GAUGE_MVCC_SPARED_VALIDATIONS: &str = "gstm_mvcc_spared_validations_total";
+/// Gauge name: versions published into rings by snapshot-mode commits.
+pub const GAUGE_MVCC_VERSIONS_PUBLISHED: &str = "gstm_mvcc_versions_published_total";
+/// Gauge name: versions reclaimed by the watermark GC.
+pub const GAUGE_MVCC_VERSIONS_EVICTED: &str = "gstm_mvcc_versions_evicted_total";
+/// Gauge name: publications that left a ring above its soft capacity
+/// because a lagging reader pinned old versions.
+pub const GAUGE_MVCC_GC_LAG_EVENTS: &str = "gstm_mvcc_gc_lag_events_total";
+/// Gauge name: largest ring length observed at any publication.
+pub const GAUGE_MVCC_RING_LEN_MAX: &str = "gstm_mvcc_ring_len_max";
+
+/// Lock-free counters describing one engine's multi-version read path.
+#[derive(Debug, Default)]
+pub struct MvccGauges {
+    /// Snapshot-mode read-only transactions begun.
+    pub snapshot_txns: AtomicU64,
+    /// Reads served from a version ring.
+    pub snapshot_reads: AtomicU64,
+    /// Reads that fell back to the cell's initial value.
+    pub fallback_initial: AtomicU64,
+    /// Read-set validations the snapshot path made unnecessary.
+    pub spared_validations: AtomicU64,
+    /// Versions published into rings.
+    pub versions_published: AtomicU64,
+    /// Versions reclaimed by the watermark GC.
+    pub versions_evicted: AtomicU64,
+    /// Publications past a ring's soft capacity (lagging reader).
+    pub gc_lag_events: AtomicU64,
+    /// Largest ring length observed.
+    pub ring_len_max: AtomicU64,
+}
+
+impl MvccGauges {
+    /// Creates a zeroed gauge bundle.
+    pub fn new() -> Self {
+        MvccGauges::default()
+    }
+
+    /// Stores `v` into a gauge (convenience for the bench harness, which
+    /// copies finished-run totals rather than incrementing live).
+    pub fn set(gauge: &AtomicU64, v: u64) {
+        gauge.store(v, Ordering::Relaxed);
+    }
+
+    /// Folds the current values into a [`Snapshot`] as gauges.
+    pub fn snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        snap.set_gauge(GAUGE_MVCC_SNAPSHOT_TXNS, self.snapshot_txns.load(Ordering::Relaxed));
+        snap.set_gauge(GAUGE_MVCC_SNAPSHOT_READS, self.snapshot_reads.load(Ordering::Relaxed));
+        snap.set_gauge(GAUGE_MVCC_FALLBACK_INITIAL, self.fallback_initial.load(Ordering::Relaxed));
+        snap.set_gauge(
+            GAUGE_MVCC_SPARED_VALIDATIONS,
+            self.spared_validations.load(Ordering::Relaxed),
+        );
+        snap.set_gauge(
+            GAUGE_MVCC_VERSIONS_PUBLISHED,
+            self.versions_published.load(Ordering::Relaxed),
+        );
+        snap.set_gauge(GAUGE_MVCC_VERSIONS_EVICTED, self.versions_evicted.load(Ordering::Relaxed));
+        snap.set_gauge(GAUGE_MVCC_GC_LAG_EVENTS, self.gc_lag_events.load(Ordering::Relaxed));
+        snap.set_gauge(GAUGE_MVCC_RING_LEN_MAX, self.ring_len_max.load(Ordering::Relaxed));
+        snap
+    }
+
+    /// One-line human summary, e.g.
+    /// `mvcc: txns 2000 reads 9000 (fallback 12), spared 9000, published 400 / evicted 380, gc-lag 0, ring max 3`.
+    pub fn summary(&self) -> String {
+        format!(
+            "mvcc: txns {} reads {} (fallback {}), spared {}, published {} / evicted {}, gc-lag {}, ring max {}",
+            self.snapshot_txns.load(Ordering::Relaxed),
+            self.snapshot_reads.load(Ordering::Relaxed),
+            self.fallback_initial.load(Ordering::Relaxed),
+            self.spared_validations.load(Ordering::Relaxed),
+            self.versions_published.load(Ordering::Relaxed),
+            self.versions_evicted.load(Ordering::Relaxed),
+            self.gc_lag_events.load(Ordering::Relaxed),
+            self.ring_len_max.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_exposes_all_gauges() {
+        let g = MvccGauges::new();
+        MvccGauges::set(&g.snapshot_txns, 2000);
+        MvccGauges::set(&g.snapshot_reads, 9000);
+        MvccGauges::set(&g.ring_len_max, 3);
+        let snap = g.snapshot();
+        assert_eq!(snap.gauge_value(GAUGE_MVCC_SNAPSHOT_TXNS), Some(2000));
+        assert_eq!(snap.gauge_value(GAUGE_MVCC_SNAPSHOT_READS), Some(9000));
+        assert_eq!(snap.gauge_value(GAUGE_MVCC_SPARED_VALIDATIONS), Some(0));
+        assert_eq!(snap.gauge_value(GAUGE_MVCC_GC_LAG_EVENTS), Some(0));
+        assert_eq!(snap.gauge_value(GAUGE_MVCC_RING_LEN_MAX), Some(3));
+    }
+
+    #[test]
+    fn summary_is_greppable() {
+        let g = MvccGauges::new();
+        MvccGauges::set(&g.snapshot_txns, 7);
+        let s = g.summary();
+        assert!(s.starts_with("mvcc: txns 7 reads 0"), "unexpected summary: {s}");
+    }
+}

@@ -110,6 +110,11 @@ echo "==> scale bench smoke: commit-spine artifact must be well-formed"
     --out target/BENCH_scale_smoke.json
 ./target/release/experiments bench-check target/BENCH_scale_smoke.json
 
+echo "==> mvcc bench smoke: read-path artifact must be well-formed"
+./target/release/experiments bench-mvcc --preset tiny --smoke --profile release \
+    --out target/BENCH_mvcc_smoke.json
+./target/release/experiments bench-check target/BENCH_mvcc_smoke.json
+
 echo "==> determinism goldens: default knobs must still pin the legacy spine"
 cargo test -q --offline --test determinism
 

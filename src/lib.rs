@@ -28,7 +28,10 @@ pub use gstm_synquake as synquake;
 pub use gstm_telemetry as telemetry;
 pub use gstm_wal as wal;
 
-pub use gstm_core::{Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn};
+pub use gstm_core::{
+    Abort, AbortReason, MvccStats, ReadMode, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn,
+    TxnKind,
+};
 
 /// One-line import for the common workflow: build a workload, train a
 /// model, run it guided, summarise the outcome.
@@ -42,7 +45,8 @@ pub use gstm_core::{Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId
 /// ```
 pub mod prelude {
     pub use gstm_core::{
-        retry, Abort, AbortReason, Stm, StmConfig, StmError, TVar, ThreadId, TxId, Txn, VarIdDomain,
+        retry, Abort, AbortReason, MvccStats, ReadMode, Stm, StmConfig, StmError, TVar, ThreadId,
+        TxId, Txn, TxnKind, VarIdDomain,
     };
     pub use gstm_guide::{
         run_workload, train, CmChoice, PolicyChoice, RunOptions, RunOutcome, TrainedModel,

@@ -53,7 +53,7 @@ fn chaos_perturbed_run_still_satisfies_the_oracle() {
     let chaos = Arc::new(ChaosGate::new(ChaosConfig::new(0xC0FFEE), machine.gate(), threads));
     let sink = Arc::new(MemorySink::new());
     let stm = Arc::new(Stm::with_parts(
-        StmConfig::new(threads).with_check_events(true),
+        StmConfig::builder(threads).check_events(true).build(),
         chaos.clone() as Arc<dyn gstm::core::Gate>,
         sink.clone(),
         Arc::new(AdmitAll),
@@ -90,7 +90,7 @@ fn broken_early_write_back_is_caught_by_the_oracle() {
 
     let sink = Arc::new(MemorySink::new());
     let stm = Stm::with_parts(
-        StmConfig::new(1).with_check_events(true),
+        StmConfig::builder(1).check_events(true).build(),
         Arc::new(NullGate),
         sink.clone(),
         Arc::new(AdmitAll),

@@ -68,7 +68,10 @@ fn skip_ahead_spine_conserves_and_accounts_for_every_commit() {
     const INITIAL: i64 = 1_000;
 
     let stm = Arc::new(Stm::new_on(
-        StmConfig::new(THREADS).with_clock_strategy(ClockStrategy::SkipAhead).with_table_shards(4),
+        StmConfig::builder(THREADS)
+            .clock_strategy(ClockStrategy::SkipAhead)
+            .table_shards(4)
+            .build(),
         Arc::new(RealGate::new(3)),
     ));
     let accounts: Arc<Vec<TVar<i64>>> =

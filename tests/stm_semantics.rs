@@ -55,7 +55,7 @@ fn conservation_under_commit_time_locking() {
 
 #[test]
 fn conservation_under_encounter_time_locking() {
-    let cfg = StmConfig::new(4).with_detection(Detection::EncounterTime);
+    let cfg = StmConfig::builder(4).detection(Detection::EncounterTime).build();
     for seed in 0..4 {
         assert_eq!(conservation_run(cfg, seed, 4), 600);
     }
@@ -63,7 +63,7 @@ fn conservation_under_encounter_time_locking() {
 
 #[test]
 fn conservation_under_abort_readers() {
-    let cfg = StmConfig::new(4).with_resolution(Resolution::AbortReaders);
+    let cfg = StmConfig::builder(4).resolution(Resolution::AbortReaders).build();
     for seed in 0..4 {
         assert_eq!(conservation_run(cfg, seed, 4), 600);
     }
@@ -71,7 +71,7 @@ fn conservation_under_abort_readers() {
 
 #[test]
 fn conservation_under_wait_for_readers() {
-    let cfg = StmConfig::new(4).with_resolution(Resolution::WaitForReaders);
+    let cfg = StmConfig::builder(4).resolution(Resolution::WaitForReaders).build();
     for seed in 0..2 {
         assert_eq!(conservation_run(cfg, seed, 4), 600);
     }
