@@ -405,12 +405,16 @@ impl Stm {
             self.gate.pass(thread, costs.begin);
             // Snapshot mode: a read-only transaction registers with the
             // reader registry and takes its clamped timestamp as rv, so
-            // the GC watermark can never outrun it. Everything else runs
-            // the legacy TL2 begin (one clock sample).
-            let snapshot = match (kind, self.mvcc.as_ref()) {
-                (TxnKind::ReadOnly, Some(reg)) => Some(reg.begin(thread, &self.clock)),
+            // the GC watermark can never outrun it. The guard unregisters
+            // on drop — unwind included, so a panicking body (e.g. the
+            // documented write-in-read-only panic) cannot pin the
+            // watermark forever. Everything else runs the legacy TL2
+            // begin (one clock sample).
+            let reader_guard = match (kind, self.mvcc.as_ref()) {
+                (TxnKind::ReadOnly, Some(reg)) => Some(reg.begin_guarded(thread, &self.clock)),
                 _ => None,
             };
+            let snapshot = reader_guard.as_ref().map(|g| g.ts());
             let rv = snapshot.unwrap_or_else(|| self.clock.sample());
             self.sink.record(&TxEvent::Begin { who, attempt, at: self.gate.now() });
 
@@ -432,11 +436,7 @@ impl Stm {
                     Err(abort)
                 }
             };
-            if snapshot.is_some() {
-                if let Some(reg) = self.mvcc.as_ref() {
-                    reg.end(thread);
-                }
-            }
+            drop(reader_guard);
             match outcome {
                 Ok((result, info)) => {
                     self.cm.on_commit(thread);
@@ -669,15 +669,18 @@ impl<'stm> Txn<'stm> {
         let stm = self.stm;
         // Snapshot path: resolve against the version ring at `ts`. No
         // lock-word sandwich, no read-set entry, no contention-manager or
-        // doom crossing — nothing here can abort. An empty ring means the
-        // cell was never written under snapshot mode, so its current value
-        // *is* the initial value and is safe at any timestamp.
+        // doom crossing — nothing here can abort. Every ring is seeded
+        // with `(0, initial value)` and GC keeps the newest version <= the
+        // watermark, so a registered reader (ts >= watermark by the
+        // registry protocol) always resolves; falling back to the cell's
+        // current data here would race a commit with wv > ts into the
+        // snapshot.
         if let Some(ts) = self.snapshot {
             stm.gate.pass(self.who.thread, stm.config.costs.read);
-            let (wv, value) = match var.cell().read_at(ts) {
-                Some((wv, value)) => (wv, value),
-                None => (0, var.cell().load()),
-            };
+            let (wv, value) = var
+                .cell()
+                .read_at(ts)
+                .expect("snapshot read found no version <= ts: watermark outran a reader");
             if let Some(reg) = stm.mvcc.as_ref() {
                 reg.note_read(wv != 0);
             }
@@ -952,11 +955,11 @@ impl<'stm> Txn<'stm> {
         //    so a reader beginning between the tick and our version-ring
         //    publication clamps its timestamp below our wv instead of
         //    expecting versions we have not written yet (mvcc.rs docs).
-        //    Every post-tick exit below — validate failure, reader-wait
-        //    timeout, success — must clear the bound.
-        if let Some(reg) = stm.mvcc.as_ref() {
-            reg.publish_commit_lb(thread, &stm.clock);
-        }
+        //    The guard clears the bound on every post-tick exit below —
+        //    validate failure, reader-wait timeout, success — and on
+        //    unwind, so a panicking commit cannot clamp future readers.
+        let lb_guard =
+            stm.mvcc.as_ref().map(|reg| reg.publish_commit_lb_guarded(thread, &stm.clock));
         let wv = stm.clock.tick_for(self.rv);
 
         // 3. Validate the read set (skippable when nobody committed since
@@ -987,9 +990,7 @@ impl<'stm> Txn<'stm> {
                     for &(h, old) in &self.scratch.held {
                         self.unlock_restore(h, old);
                     }
-                    if let Some(reg) = stm.mvcc.as_ref() {
-                        reg.clear_commit_lb(thread);
-                    }
+                    drop(lb_guard);
                     self.release(None);
                     return Err(abort);
                 }
@@ -1022,9 +1023,7 @@ impl<'stm> Txn<'stm> {
                         for &(h, old) in &self.scratch.held {
                             self.unlock_restore(h, old);
                         }
-                        if let Some(reg) = stm.mvcc.as_ref() {
-                            reg.clear_commit_lb(thread);
-                        }
+                        drop(lb_guard);
                         self.release(None);
                         return Err(Abort::new(AbortReason::ReaderWaitTimeout));
                     }
@@ -1048,9 +1047,7 @@ impl<'stm> Txn<'stm> {
             self.unlock_publish(s, wv);
         }
         // The versions are in the rings: readers no longer need the bound.
-        if let Some(reg) = stm.mvcc.as_ref() {
-            reg.clear_commit_lb(thread);
-        }
+        drop(lb_guard);
         self.release(None);
         self.record_commit_check(seq, wv, n_writes);
         Ok(CommitInfo { seq, wv, reads: n_reads, writes: n_writes })
@@ -1611,6 +1608,48 @@ mod tests {
         let s = stm.mvcc_stats();
         assert_eq!(s.fallback_initial, 1, "never-written cell served from its initial value");
         assert_eq!(s.snapshot_reads, 0);
+    }
+
+    /// Regression (REVIEW: empty-ring fallback): a cell whose *first-ever*
+    /// write commits after the reader's begin must still resolve to the
+    /// initial value — the old `load()` fallback returned the just-written
+    /// future value once the ring's only version had `wv > ts`.
+    #[test]
+    fn snapshot_never_sees_first_write_committed_after_begin() {
+        let stm = snapshot_stm(2);
+        let v = TVar::new(7i64); // never written before the reader begins
+        let got = stm.run_read_only(t(0), x(0), |tx| {
+            stm.run(t(1), x(1), |tx2| tx2.write(&v, 99));
+            tx.read(&v)
+        });
+        assert_eq!(got, 7, "a first write committed after begin must stay invisible");
+        assert_eq!(*v.load_unlogged(), 99, "the interfering write itself committed");
+        assert_eq!(stm.mvcc_stats().fallback_initial, 1);
+    }
+
+    /// A panicking read-only body (the documented write-in-read-only
+    /// panic) must unregister its snapshot timestamp, or the GC watermark
+    /// stays pinned forever and every ring grows without bound.
+    #[test]
+    fn panicked_snapshot_reader_does_not_pin_the_watermark() {
+        let stm = snapshot_stm(2);
+        let v = TVar::new(0i64);
+        let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            stm.run_read_only(t(0), x(0), |tx| tx.write(&v, 1));
+        }));
+        assert!(panicked.is_err());
+        // With the reader slot released, steady-state commits GC down to
+        // the trailing-window shape instead of accreting every version.
+        for i in 1..=10i64 {
+            stm.run(t(1), x(1), |tx| tx.write(&v, i));
+        }
+        let s = stm.mvcc_stats();
+        assert!(
+            s.ring_len_max <= 3,
+            "leaked reader registration pinned {} versions",
+            s.ring_len_max
+        );
+        assert_eq!(stm.run_read_only(t(0), x(0), |tx| tx.read(&v)), 10);
     }
 
     #[test]

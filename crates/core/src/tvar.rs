@@ -118,16 +118,20 @@ pub(crate) struct PushOutcome {
 /// Under `ReadMode::Snapshot` the cell additionally keeps a bounded
 /// **version ring**: the trailing `(wv, value)` history of committed writes,
 /// ordered by write version, GC'd against the engine's min-active-reader
-/// watermark (DESIGN.md §3.1d). Snapshot readers consult only the ring
-/// (falling back to the initial value when it is empty), never `data`, so
-/// the legacy read path and the ring never contend on one lock.
+/// watermark (DESIGN.md §3.1d). Snapshot readers consult only the ring,
+/// never `data`, so the legacy read path and the ring never contend on one
+/// lock. The ring is seeded with `(0, initial value)` at creation, so a
+/// reader at any timestamp always resolves *some* version — without the
+/// seed, a reader beginning before a cell's first-ever committed write
+/// would find an empty ring and have nowhere to get the at-snapshot value
+/// once `data` is overwritten.
 pub(crate) struct VarCell {
     id: VarId,
     data: Mutex<ErasedValue>,
     /// Committed `(wv, value)` history, ascending by `wv`, newest last.
-    /// Empty (never allocated) until the first snapshot-mode commit writes
-    /// this cell. Writers to one cell serialize on its stripe lock and
-    /// claim strictly increasing `wv`s, so pushes arrive in order.
+    /// Seeded with `(0, initial value)`; real commits push at `wv >= 1`.
+    /// Writers to one cell serialize on its stripe lock and claim strictly
+    /// increasing `wv`s, so pushes arrive in order.
     history: Mutex<Vec<(u64, ErasedValue)>>,
     /// Write stamp of the value currently in `data`: a globally unique id
     /// assigned per transactional write-back, or 0 for initial/unlogged
@@ -142,8 +146,8 @@ impl VarCell {
     pub(crate) fn new(id: VarId, value: ErasedValue) -> Self {
         VarCell {
             id,
+            history: Mutex::new(vec![(0, Arc::clone(&value))]),
             data: Mutex::new(value),
-            history: Mutex::new(Vec::new()),
             #[cfg(feature = "check")]
             stamp: AtomicU64::new(0),
         }
@@ -159,11 +163,29 @@ impl VarCell {
         Arc::clone(&self.data.lock())
     }
 
+    /// Installs `value` as the current data snapshot. Transactional
+    /// write-back only: in snapshot mode the caller has already pushed the
+    /// version into the ring, so the ring is left untouched here.
     #[inline]
     pub(crate) fn store(&self, value: ErasedValue) {
         let mut data = self.data.lock();
         #[cfg(feature = "check")]
         self.stamp.store(0, Ordering::Relaxed);
+        *data = value;
+    }
+
+    /// Non-transactional overwrite (setup/recovery, no transactions in
+    /// flight): installs `value` and **re-seeds** the version ring to the
+    /// single entry `(0, value)`, discarding stale history — so snapshot
+    /// readers starting after setup resolve the value actually installed,
+    /// not the construction-time initial.
+    pub(crate) fn store_unlogged(&self, value: ErasedValue) {
+        let mut data = self.data.lock();
+        #[cfg(feature = "check")]
+        self.stamp.store(0, Ordering::Relaxed);
+        let mut h = self.history.lock();
+        h.clear();
+        h.push((0, Arc::clone(&value)));
         *data = value;
     }
 
@@ -222,10 +244,14 @@ impl VarCell {
         PushOutcome { evicted, len, over_capacity: len > capacity }
     }
 
-    /// Snapshot read: the newest committed version with `wv <= ts`, or
-    /// `None` when the ring holds no such version (the cell has not been
-    /// written since snapshot mode began — the caller falls back to the
-    /// initial value in `data`).
+    /// Snapshot read: the newest committed version with `wv <= ts`.
+    ///
+    /// Because the ring is seeded with `(0, initial value)` and GC never
+    /// evicts the newest version `<= watermark`, this is `Some` for every
+    /// `ts >= watermark` — which the registry protocol guarantees for all
+    /// active readers. `None` only for timestamps below the watermark,
+    /// which no well-formed reader can hold (the engine treats it as an
+    /// invariant violation).
     pub(crate) fn read_at(&self, ts: u64) -> Option<(u64, ErasedValue)> {
         let h = self.history.lock();
         let cut = h.partition_point(|&(w, _)| w <= ts);
@@ -306,7 +332,7 @@ impl<T: Send + Sync + 'static> TVar<T> {
     /// Overwrites the value **outside** of any transaction, without bumping
     /// the stripe version. Only safe while no transactions run (setup).
     pub fn store_unlogged(&self, value: T) {
-        self.cell.store(Arc::new(value));
+        self.cell.store_unlogged(Arc::new(value));
     }
 
     #[inline]
@@ -452,7 +478,7 @@ mod tests {
         for wv in [2u64, 5, 9] {
             cell.push_version(wv, val(wv as i64 * 10), 0, 8);
         }
-        assert_eq!(read_i64(&cell, 1), None, "nothing committed at ts=1: initial-value fallback");
+        assert_eq!(read_i64(&cell, 1), Some((0, 0)), "nothing committed at ts=1: seeded initial");
         assert_eq!(read_i64(&cell, 2), Some((2, 20)));
         assert_eq!(read_i64(&cell, 4), Some((2, 20)));
         assert_eq!(read_i64(&cell, 5), Some((5, 50)));
@@ -464,10 +490,10 @@ mod tests {
         let cell = VarCell::new(VarId::from_raw(1), val(0));
         cell.push_version(2, val(20), 0, 8);
         cell.push_version(5, val(50), 0, 8);
-        // Watermark 6: version 5 covers every reader with ts >= 6, so
-        // version 2 is evictable; 5 itself must survive.
+        // Watermark 6: version 5 covers every reader with ts >= 6, so the
+        // seed and version 2 are evictable; 5 itself must survive.
         let out = cell.push_version(9, val(90), 6, 8);
-        assert_eq!(out, PushOutcome { evicted: 1, len: 2, over_capacity: false });
+        assert_eq!(out, PushOutcome { evicted: 2, len: 2, over_capacity: false });
         assert_eq!(read_i64(&cell, 6), Some((5, 50)), "watermark-pinned version retained");
         assert_eq!(read_i64(&cell, 9), Some((9, 90)));
     }
@@ -481,8 +507,10 @@ mod tests {
             out = cell.push_version(wv, val(wv as i64), 0, cap);
         }
         // Watermark 0 (a reader from before any commit is still active):
-        // every version is pinned, the soft capacity is exceeded.
-        assert_eq!(out, PushOutcome { evicted: 0, len: 5, over_capacity: true });
+        // every version — the seed included — is pinned, the soft capacity
+        // is exceeded.
+        assert_eq!(out, PushOutcome { evicted: 0, len: 6, over_capacity: true });
+        assert_eq!(read_i64(&cell, 0), Some((0, 0)), "pinned seed still served");
         for wv in 1..=5u64 {
             assert_eq!(read_i64(&cell, wv), Some((wv, wv as i64)), "lagging reader still served");
         }
@@ -492,11 +520,11 @@ mod tests {
     fn ring_gc_at_current_watermark_retains_single_version() {
         let cell = VarCell::new(VarId::from_raw(1), val(0));
         for wv in 1..=10u64 {
-            // Watermark trails by one commit: the previous version stays
-            // pinned (a reader at ts == watermark needs it), so the
-            // steady state is exactly two entries.
+            // Watermark trails by one commit: the previous version (the
+            // seed, for wv=1) stays pinned — a reader at ts == watermark
+            // needs it — so the steady state is exactly two entries.
             let out = cell.push_version(wv, val(wv as i64), wv.saturating_sub(1), 4);
-            assert_eq!(out.len, if wv == 1 { 1 } else { 2 }, "wv={wv}");
+            assert_eq!(out.len, 2, "wv={wv}");
             assert!(!out.over_capacity);
         }
         // Watermark caught up to the newest commit: history collapses to
@@ -508,9 +536,24 @@ mod tests {
     }
 
     #[test]
-    fn ring_empty_until_first_publication() {
+    fn ring_seeded_with_initial_value() {
         let cell = VarCell::new(VarId::from_raw(1), val(7));
-        assert_eq!(read_i64(&cell, u64::MAX), None);
-        assert_eq!(*downcast::<i64>(cell.load()), 7, "fallback path sees the initial value");
+        // A never-written cell resolves its initial value at every
+        // timestamp — there is no unseeded state a reader could fall
+        // through to the (possibly newer) data slot from.
+        assert_eq!(read_i64(&cell, 0), Some((0, 7)));
+        assert_eq!(read_i64(&cell, u64::MAX), Some((0, 7)));
+    }
+
+    #[test]
+    fn store_unlogged_reseeds_the_ring() {
+        let cell = VarCell::new(VarId::from_raw(1), val(1));
+        cell.push_version(3, val(30), 0, 8);
+        // Setup-time overwrite: history restarts at the new value, so a
+        // snapshot reader cannot resolve pre-setup versions.
+        cell.store_unlogged(val(50));
+        assert_eq!(read_i64(&cell, u64::MAX), Some((0, 50)));
+        assert_eq!(read_i64(&cell, 0), Some((0, 50)));
+        assert_eq!(*downcast::<i64>(cell.load()), 50);
     }
 }

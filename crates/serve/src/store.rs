@@ -324,28 +324,46 @@ impl ShardedStore {
             }
             Request::Scan { start, len } => {
                 let len = len.min(MAX_SCAN_LEN).min(self.keys);
+                let mut key = start % self.keys;
                 let mut sum = 0i64;
-                for i in 0..len {
-                    let key = (start + i) % self.keys;
+                for _ in 0..len {
                     if let Some(e) = self.read_entry(tx, key)? {
                         sum += e.balance;
                     }
+                    key = Self::advance(key, 1, self.keys);
                 }
                 Ok(Response::ScanSum { count: len, sum })
             }
             Request::GetMany { start, stride, count } => {
                 let count = count.min(MAX_SCAN_LEN).min(self.keys);
-                let stride = stride.max(1);
+                let stride = stride.max(1) % self.keys;
+                let mut key = start % self.keys;
                 let (mut found, mut sum) = (0u32, 0i64);
-                for i in 0..count {
-                    let key = (start + i * stride) % self.keys;
+                for _ in 0..count {
                     if let Some(e) = self.read_entry(tx, key)? {
                         found += 1;
                         sum += e.balance;
                     }
+                    key = Self::advance(key, stride, self.keys);
                 }
                 Ok(Response::Many { found, sum })
             }
+        }
+    }
+
+    /// `(key + step) % keys` without the intermediate sum `start + i *
+    /// stride` risks: `Request` fields are public and caller-supplied, so
+    /// the naive form overflows `u64` for large start/stride — panicking
+    /// in debug builds and silently wrapping (onto different keys) in
+    /// release. With `key < keys` and `step <= keys` one conditional wrap
+    /// is exact.
+    #[inline]
+    fn advance(key: u64, step: u64, keys: u64) -> u64 {
+        debug_assert!(key < keys && step <= keys);
+        if step >= keys - key {
+            step - (keys - key)
+        } else {
+            key + step
         }
     }
 
@@ -461,6 +479,24 @@ mod tests {
         let resp = with_tx(&store, |tx| store.apply(tx, &Request::Scan { start: 0, len: 10_000 }));
         // Clamped to the keyspace (8 < MAX_SCAN_LEN).
         assert_eq!(resp, Response::ScanSum { count: 8, sum: 8 * INITIAL_BALANCE });
+    }
+
+    /// Regression (REVIEW: `start + i * stride` overflow): Request fields
+    /// are public, so extreme caller-supplied values must reduce modulo
+    /// the keyspace instead of overflowing — which panicked in debug
+    /// builds and silently walked different keys in release.
+    #[test]
+    fn scan_and_get_many_survive_extreme_start_and_stride() {
+        let store = ShardedStore::new(2, 4, 8);
+        let resp =
+            with_tx(&store, |tx| store.apply(tx, &Request::Scan { start: u64::MAX, len: 3 }));
+        assert_eq!(resp, Response::ScanSum { count: 3, sum: 3 * INITIAL_BALANCE });
+        let resp = with_tx(&store, |tx| {
+            store.apply(tx, &Request::GetMany { start: u64::MAX, stride: u64::MAX - 3, count: 8 })
+        });
+        // start ≡ 7, stride ≡ 4 (mod 8): the walk alternates keys 7 and 3,
+        // all populated.
+        assert_eq!(resp, Response::Many { found: 8, sum: 8 * INITIAL_BALANCE });
     }
 
     #[test]
