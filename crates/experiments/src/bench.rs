@@ -56,6 +56,9 @@ pub const SUITE_WAL: &str = "wal";
 pub const SUITE_SCALE: &str = "scale";
 /// Suite tag of the multi-version read-path artifact (`BENCH_mvcc.json`).
 pub const SUITE_MVCC: &str = "mvcc";
+/// Suite tag of the online-adaptive-guidance artifact
+/// (`BENCH_adaptive.json`).
+pub const SUITE_ADAPTIVE: &str = "adaptive";
 
 /// Metric keys every valid hot-path artifact must contain (`bench-check`
 /// gates on presence, never on values).
@@ -150,6 +153,24 @@ pub const MVCC_REQUIRED_METRICS: &[&str] = &[
     "mvcc.snapshot.versions_published",
     "mvcc.snapshot.gc_lag_events",
     "mvcc.snapshot.ring_len_max",
+];
+
+/// Metric keys every valid adaptive artifact must contain: the drifting
+/// serve cell under the stale static model vs the online-adaptive loop
+/// (throughput in virtual time, tail, harness wall-clock), the loop's own
+/// counters, and the §IV gate's negative control.
+pub const ADAPTIVE_REQUIRED_METRICS: &[&str] = &[
+    "adaptive.static.req_per_ktick",
+    "adaptive.static.sojourn_p99_ticks",
+    "adaptive.static.wall_ms",
+    "adaptive.adaptive.req_per_ktick",
+    "adaptive.adaptive.sojourn_p99_ticks",
+    "adaptive.adaptive.wall_ms",
+    "adaptive.loop.retrain_attempts",
+    "adaptive.loop.installs",
+    "adaptive.loop.rejects",
+    "adaptive.loop.stand_downs",
+    "adaptive.gate.uniform_rejected",
 ];
 
 /// Harness parameters (iteration counts scale with the preset, repetition
@@ -667,6 +688,127 @@ pub fn run_mvcc_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String
     metrics
 }
 
+/// The adaptive suite's serve cell: the hot store shape with the study's
+/// drift applied, so the statically trained model goes stale mid-run.
+fn adaptive_bench_spec(cfg: &BenchConfig) -> gstm_serve::ServeSpec {
+    let requests = (cfg.iters / 10).clamp(60, 600);
+    let mut spec = gstm_serve::ServeSpec::hot(requests).with_drift(crate::adaptcmd::STUDY_DRIFT);
+    spec.zipf_theta = crate::adaptcmd::STUDY_THETA_START;
+    spec
+}
+
+/// One simulated drifting serve run under `policy`. Virtual-time stats are
+/// deterministic per seed, so only the wall clock takes best-of-reps; the
+/// `(req/ktick, sojourn p99, telemetry)` tail comes from the last rep.
+fn bench_adaptive_serve(
+    cfg: &BenchConfig,
+    spec: &gstm_serve::ServeSpec,
+    policy: &dyn Fn() -> gstm_guide::PolicyChoice,
+) -> (f64, f64, f64, Option<gstm_telemetry::Snapshot>) {
+    let workload = gstm_serve::ServeWorkload::new(spec.clone());
+    let mut best_ms = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..cfg.reps {
+        let opts = RunOptions::new(3, 11).with_policy(policy()).with_telemetry();
+        let start = Instant::now();
+        let outcome = run_workload(&workload, &opts);
+        best_ms = best_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        last = Some(outcome);
+    }
+    let outcome = last.expect("reps >= 1");
+    let stat = |key: &str| {
+        outcome.workload_stats.iter().find(|(k, _)| k == key).map(|(_, v)| *v).unwrap_or_default()
+    };
+    let rate = if outcome.makespan == 0 {
+        0.0
+    } else {
+        1000.0 * stat("req_done") / outcome.makespan as f64
+    };
+    (best_ms, rate, stat("sojourn_p99"), outcome.telemetry)
+}
+
+/// Runs the online-adaptive-guidance suite: the drifting serve cell under
+/// the stale static model and under the full adaptive loop (windowed
+/// ingestion, incremental retraining, §IV gate, hot-swap), plus the loop's
+/// telemetry counters and the gate's near-uniform negative control.
+/// Returns the [`ADAPTIVE_REQUIRED_METRICS`] map.
+pub fn run_adaptive_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String, f64)> {
+    use std::sync::Arc;
+
+    use crate::adaptcmd::{study_retrain, uniform_candidate, STUDY_MAX_UNKNOWN_PCT, STUDY_WINDOW};
+
+    let spec = adaptive_bench_spec(cfg);
+    let mut stationary = gstm_serve::ServeSpec::hot(spec.requests_per_thread);
+    stationary.zipf_theta = crate::adaptcmd::STUDY_THETA_START;
+    let ecfg =
+        if cfg.smoke { crate::config::ExpConfig::tiny() } else { crate::config::ExpConfig::fast() };
+    let trained = crate::study::train_serve(&ecfg, &stationary, 3);
+    progress.report(&format!(
+        "adaptive: static model trained on the stationary shape ({} states)",
+        trained.tsa.state_count()
+    ));
+    let retrain = study_retrain();
+    let model = trained.model;
+    type PolicyThunk = Box<dyn Fn() -> gstm_guide::PolicyChoice>;
+    let arms: [(&str, PolicyThunk); 2] = [
+        ("static", {
+            let model = Arc::clone(&model);
+            Box::new(move || gstm_guide::PolicyChoice::guided(Arc::clone(&model)))
+        }),
+        ("adaptive", {
+            let model = Arc::clone(&model);
+            Box::new(move || gstm_guide::PolicyChoice::AdaptiveOnline {
+                model: Arc::clone(&model),
+                k: gstm_guide::DEFAULT_K,
+                max_unknown_pct: STUDY_MAX_UNKNOWN_PCT,
+                window: STUDY_WINDOW,
+                retrain,
+            })
+        }),
+    ];
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut loop_snap: Option<gstm_telemetry::Snapshot> = None;
+    for (label, policy) in &arms {
+        let (wall_ms, rate, p99, snap) = bench_adaptive_serve(cfg, &spec, policy.as_ref());
+        progress.report(&format!(
+            "adaptive.{label}: {rate:.2} req/ktick, p99 {p99:.0} ticks, {wall_ms:.1} ms"
+        ));
+        metrics.push((format!("adaptive.{label}.req_per_ktick"), rate));
+        metrics.push((format!("adaptive.{label}.sojourn_p99_ticks"), p99));
+        metrics.push((format!("adaptive.{label}.wall_ms"), wall_ms));
+        if *label == "adaptive" {
+            loop_snap = snap;
+        }
+    }
+    let gauge = |name: &str| {
+        loop_snap.as_ref().and_then(|s| s.gauge_value(name)).unwrap_or_default() as f64
+    };
+    let attempts = gauge("gstm_guide_retrain_attempts_total");
+    let installs = gauge("gstm_guide_model_installs_total");
+    let rejects = gauge("gstm_guide_model_rejects_total");
+    let stand_downs = gauge("gstm_guide_stand_downs_total");
+    progress.report(&format!(
+        "adaptive.loop: {attempts:.0} attempts, {installs:.0} installs, \
+         {rejects:.0} rejects, {stand_downs:.0} stand-downs"
+    ));
+    metrics.push(("adaptive.loop.retrain_attempts".into(), attempts));
+    metrics.push(("adaptive.loop.installs".into(), installs));
+    metrics.push(("adaptive.loop.rejects".into(), rejects));
+    metrics.push(("adaptive.loop.stand_downs".into(), stand_downs));
+    // The gate's negative control: 1.0 when the §IV analyzer refuses the
+    // deliberately near-uniform candidate, 0.0 if it would have shipped it.
+    let verdict = gstm_model::analyze_with(
+        &uniform_candidate(),
+        retrain.tfactor,
+        retrain.metric_cutoff,
+        retrain.min_states,
+    );
+    let rejected = f64::from(u8::from(!verdict.verdict.is_fit()));
+    progress.report(&format!("adaptive.gate: near-uniform candidate -> {verdict}"));
+    metrics.push(("adaptive.gate.uniform_rejected".into(), rejected));
+    metrics
+}
+
 /// Runs the WAL suite (append throughput, recovery time vs log length,
 /// durable-vs-ephemeral serve overhead) and returns the flat `metrics`
 /// map in artifact key order.
@@ -866,6 +1008,7 @@ pub fn check_artifact(text: &str) -> Result<(), String> {
         Some(Ok(SUITE_WAL)) => WAL_REQUIRED_METRICS,
         Some(Ok(SUITE_SCALE)) => SCALE_REQUIRED_METRICS,
         Some(Ok(SUITE_MVCC)) => MVCC_REQUIRED_METRICS,
+        Some(Ok(SUITE_ADAPTIVE)) => ADAPTIVE_REQUIRED_METRICS,
         Some(other) => return Err(format!("unknown suite: {other:?}")),
     };
     let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
@@ -963,6 +1106,36 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_suite_keys_and_serve_cell() {
+        let mut cfg = smoke_cfg();
+        cfg.suite = SUITE_ADAPTIVE.to_string();
+        let shape: Vec<(String, f64)> =
+            ADAPTIVE_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &shape, None)).unwrap();
+        // The drifting cell runs in virtual time: two runs under the same
+        // policy agree on every stat the suite reports.
+        let spec = adaptive_bench_spec(&cfg);
+        assert!(spec.drift.is_some(), "the adaptive cell must drift");
+        let policy = || gstm_guide::PolicyChoice::Default;
+        let (_, rate_a, p99_a, _) = bench_adaptive_serve(&cfg, &spec, &policy);
+        let (_, rate_b, p99_b, _) = bench_adaptive_serve(&cfg, &spec, &policy);
+        assert!(rate_a > 0.0);
+        assert_eq!((rate_a, p99_a), (rate_b, p99_b));
+    }
+
+    #[test]
+    fn adaptive_suite_emits_exactly_its_required_keys() {
+        let cfg = smoke_cfg();
+        let metrics = run_adaptive_suite(&cfg, &crate::progress::NoProgress);
+        let keys: Vec<&str> = metrics.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(keys, ADAPTIVE_REQUIRED_METRICS.to_vec());
+        let get = |k: &str| metrics.iter().find(|(n, _)| n == k).unwrap().1;
+        assert_eq!(get("adaptive.gate.uniform_rejected"), 1.0, "gate must refuse uniform");
+        assert!(get("adaptive.adaptive.req_per_ktick") > 0.0);
+        assert!(get("adaptive.loop.retrain_attempts") >= get("adaptive.loop.installs"));
+    }
+
+    #[test]
     fn unknown_preset_is_rejected() {
         assert!(BenchConfig::for_preset("huge", false).is_err());
     }
@@ -993,6 +1166,13 @@ mod tests {
         check_artifact(&render_artifact(&cfg, &mvcc, None)).unwrap();
         let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
         assert!(err.contains("mvcc."), "{err}");
+        // ...as does the adaptive suite...
+        cfg.suite = SUITE_ADAPTIVE.to_string();
+        let adaptive: Vec<(String, f64)> =
+            ADAPTIVE_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &adaptive, None)).unwrap();
+        let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();
+        assert!(err.contains("adaptive."), "{err}");
         // ...an unknown suite is rejected outright...
         cfg.suite = "nonsense".to_string();
         let err = check_artifact(&render_artifact(&cfg, &hot, None)).unwrap_err();

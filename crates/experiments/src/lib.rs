@@ -17,7 +17,10 @@
 //! * [`metrics`] — derivations (per-thread stddev, tail metric merges, …);
 //! * [`report`] — one renderer per paper table/figure;
 //! * [`ablation`] — sweeps over the design knobs (Tfactor, k, CMs,
-//!   training size).
+//!   training size);
+//! * [`adaptcmd`] — the `serve-adaptive` subcommand: online adaptive
+//!   guidance (windowed retraining + §IV gate + hot-swap) under drifting
+//!   traffic.
 //!
 //! The `experiments` binary wires these together; see `README.md` for the
 //! command map (e.g. `cargo run -p gstm-experiments --release -- table1`).
@@ -25,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod ablation;
+pub mod adaptcmd;
 pub mod bench;
 pub mod cache;
 pub mod checkcmd;

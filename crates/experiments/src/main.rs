@@ -11,6 +11,9 @@
 //!   stamp      (table1+3+4, fig3..10 from one shared study)
 //!   quake      (table5, fig11, fig12)
 //!   serve      (open-loop store service tail-latency study -> serve.txt)
+//!   serve-adaptive             (online adaptive guidance vs a stale static
+//!                               model under drifting traffic ->
+//!                               serve_adaptive.txt)
 //!   all        (everything above)
 //!   cell --bench NAME          (one STAMP cell; deterministic summary — CI smoke)
 //!   ablate-tfactor | ablate-k | ablate-cm | ablate-train | ablate-policy | ablate-detection
@@ -45,6 +48,12 @@
 //!                               serve cell under Latest vs Snapshot read
 //!                               modes, read-only aborts, version-ring
 //!                               counters -> BENCH_mvcc.json)
+//!   bench-adaptive [--out PATH] [--preset tiny|default] [--smoke] [--profile NAME]
+//!                              (online adaptive guidance: the drifting
+//!                               serve cell under the stale static model vs
+//!                               the retrain/gate/hot-swap loop, loop
+//!                               counters, gate negative control ->
+//!                               BENCH_adaptive.json)
 //! ```
 //!
 //! Every study command resolves through the experiment pipeline: trained
@@ -73,9 +82,10 @@ use gstm_synquake::Quest;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|serve|all|\
+        "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|serve|\
+         serve-adaptive|all|\
          cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-wal|bench-scale|\
-         bench-mvcc|bench-check|check|\
+         bench-mvcc|bench-adaptive|bench-check|check|\
          recover|ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
          [--cache-dir PATH] [--no-cache]"
@@ -213,6 +223,37 @@ fn run_bench_mvcc(args: &[String]) -> ! {
     let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
     std::fs::write(out, &text).unwrap_or_else(|e| {
         eprintln!("bench-mvcc: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    progress.report(&format!("wrote {out}"));
+    std::process::exit(0);
+}
+
+/// `bench-adaptive`: run the online-adaptive-guidance suite (the drifting
+/// serve cell under the stale static model vs the full retrain/gate/
+/// hot-swap loop, plus the loop's counters and the §IV gate's negative
+/// control) and write the JSON artifact.
+fn run_bench_adaptive(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let out = flag("--out").map_or("BENCH_adaptive.json", String::as_str);
+    let preset = flag("--preset").map_or("default", String::as_str);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg =
+        gstm_experiments::bench::BenchConfig::for_preset(preset, smoke).unwrap_or_else(|e| {
+            eprintln!("bench-adaptive: {e}");
+            std::process::exit(2);
+        });
+    cfg.suite = gstm_experiments::bench::SUITE_ADAPTIVE.to_string();
+    if let Some(profile) = flag("--profile") {
+        cfg.profile = profile.clone();
+    }
+    let progress = StderrProgress::new();
+    let metrics = gstm_experiments::bench::run_adaptive_suite(&cfg, &progress);
+    let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("bench-adaptive: cannot write {out}: {e}");
         std::process::exit(2);
     });
     progress.report(&format!("wrote {out}"));
@@ -398,6 +439,7 @@ fn main() {
         "bench-wal" => run_bench_wal(&args[1..]),
         "bench-scale" => run_bench_scale(&args[1..]),
         "bench-mvcc" => run_bench_mvcc(&args[1..]),
+        "bench-adaptive" => run_bench_adaptive(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         "check" => run_check(&args[1..]),
         "recover" => run_recover(&args[1..]),
@@ -497,6 +539,9 @@ fn main() {
 
     let threads_a = cfg.threads_list[0];
     let threads_b = *cfg.threads_list.last().expect("nonempty threads list");
+    // serve-adaptive drives the pipeline directly rather than through the
+    // study plan; its merged run telemetry is captured here for --metrics.
+    let mut adaptive_snap: Option<gstm_telemetry::Snapshot> = None;
 
     let out_dir = cfg.out_dir.clone();
     let mut emit = |id: &str, body: String| {
@@ -532,6 +577,11 @@ fn main() {
             report::fig_quake(&cfg, quake.unwrap(), Quest::CenterSpread6, "Figure 12"),
         ),
         "serve" => emit("serve", gstm_experiments::servecmd::render_serve(&cfg, serve.unwrap())),
+        "serve-adaptive" => {
+            let (body, snap) = gstm_experiments::adaptcmd::serve_adaptive_report(&pipe);
+            adaptive_snap = snap;
+            emit("serve_adaptive", body);
+        }
         "cell" => {
             let study = stamp.expect("cell was planned");
             let cell = study.cell(bench_name, threads_a).expect("planned cell resolved");
@@ -640,13 +690,15 @@ fn main() {
         let quake_snap = quake.and_then(|q| merge_run_telemetry(quake_runs(q)));
         let serve_snap = serve.and_then(|s| merge_run_telemetry(serve_runs(s)));
         let mut merged: Option<Snapshot> = None;
-        for snap in [stamp_snap, quake_snap, serve_snap].into_iter().flatten() {
+        for snap in
+            [stamp_snap, quake_snap, serve_snap, adaptive_snap.clone()].into_iter().flatten()
+        {
             match &mut merged {
                 Some(m) => m.merge(&snap),
                 None => merged = Some(snap),
             }
         }
-        if result.is_some() {
+        if result.is_some() || adaptive_snap.is_some() {
             // The pipeline's cache gauges ride along with the run telemetry.
             merged.get_or_insert_with(Snapshot::new).merge(&pipe.gauges().snapshot());
         }
@@ -677,7 +729,9 @@ fn main() {
     for (_, body) in &outputs {
         println!("{body}");
     }
-    if result.is_some() {
+    // serve-adaptive drives the pipeline directly rather than through the
+    // study plan, so its cache traffic must be reported too.
+    if result.is_some() || command == "serve-adaptive" {
         progress.report(&pipe.gauges().summary());
     }
     eprintln!(

@@ -215,6 +215,7 @@ fn run_seed(cell: CellSpec, opts: &RecoverOptions, run_seed: u64) -> String {
         requests_per_thread: spec.requests_per_thread,
         mix: spec.mix,
         scan_len: spec.scan_len,
+        drift: spec.drift,
     };
     let schedules: Vec<_> =
         (0..threads).map(|t| generate_schedule(&traffic, run_seed, t)).collect();

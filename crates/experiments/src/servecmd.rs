@@ -43,7 +43,7 @@ pub fn serve_spec(cfg: &ExpConfig, shape: &str, arrival: &str) -> ServeSpec {
 }
 
 /// Cross-seed coefficient of variation of one workload stat, in percent.
-fn stat_cov_pct(runs: &[gstm_guide::RunOutcome], key: &str) -> f64 {
+pub(crate) fn stat_cov_pct(runs: &[gstm_guide::RunOutcome], key: &str) -> f64 {
     let xs: Vec<f64> = runs
         .iter()
         .map(|r| {
@@ -59,7 +59,7 @@ fn stat_cov_pct(runs: &[gstm_guide::RunOutcome], key: &str) -> f64 {
 }
 
 /// Mean served throughput in requests per kilotick of makespan.
-fn throughput(runs: &[gstm_guide::RunOutcome]) -> f64 {
+pub(crate) fn throughput(runs: &[gstm_guide::RunOutcome]) -> f64 {
     let per_run: Vec<f64> = runs
         .iter()
         .map(|r| {
@@ -80,7 +80,7 @@ fn throughput(runs: &[gstm_guide::RunOutcome]) -> f64 {
 }
 
 /// Mean shed percentage of offered load.
-fn shed_pct(runs: &[gstm_guide::RunOutcome]) -> f64 {
+pub(crate) fn shed_pct(runs: &[gstm_guide::RunOutcome]) -> f64 {
     let done = mean_stat(runs, "req_done");
     let shed = mean_stat(runs, "req_shed");
     if done + shed == 0.0 {

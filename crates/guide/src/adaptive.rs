@@ -16,8 +16,18 @@ use gstm_core::{AdmissionPolicy, Participant};
 
 use crate::policy::GuidedPolicy;
 
+/// Callback fired once per closed evaluation window, by the single thread
+/// that claimed it (see [`AdaptivePolicy::with_observer`]). The online
+/// retrain loop hangs off this hook: the window barrier is where a fresh
+/// model may install, and the claim guarantees at most one retrain attempt
+/// per window however many threads race `admit`.
+pub trait WindowObserver: Send + Sync {
+    /// Called with the window's transition span and its unknown-tuple
+    /// share, after the stand-down decision for the window was published.
+    fn on_window(&self, transitions: u64, unknown_pct: u64);
+}
+
 /// Guided execution with an automatic stand-down on weak-model evidence.
-#[derive(Debug)]
 pub struct AdaptivePolicy {
     inner: Arc<GuidedPolicy>,
     /// Disable guidance while unknown tuples exceed this percentage.
@@ -28,6 +38,19 @@ pub struct AdaptivePolicy {
     last_transitions: AtomicU64,
     last_unknown: AtomicU64,
     stand_downs: AtomicU64,
+    observer: Option<Arc<dyn WindowObserver>>,
+}
+
+impl std::fmt::Debug for AdaptivePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptivePolicy")
+            .field("max_unknown_pct", &self.max_unknown_pct)
+            .field("window", &self.window)
+            .field("active", &self.active)
+            .field("stand_downs", &self.stand_downs)
+            .field("observer", &self.observer.as_ref().map(|_| "Some(..)"))
+            .finish_non_exhaustive()
+    }
 }
 
 impl AdaptivePolicy {
@@ -48,7 +71,20 @@ impl AdaptivePolicy {
             last_transitions: AtomicU64::new(0),
             last_unknown: AtomicU64::new(0),
             stand_downs: AtomicU64::new(0),
+            observer: None,
         }
+    }
+
+    /// Attaches a per-window observer, called exactly once per claimed
+    /// window by the claiming thread.
+    pub fn with_observer(mut self, observer: Arc<dyn WindowObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// The wrapped guided policy.
+    pub fn inner(&self) -> &Arc<GuidedPolicy> {
+        &self.inner
     }
 
     /// Whether guidance is currently engaged.
@@ -64,21 +100,34 @@ impl AdaptivePolicy {
     fn reevaluate(&self) {
         let tracker = self.inner.tracker();
         let transitions = tracker.transition_count();
-        let last_t = self.last_transitions.load(Ordering::Relaxed);
+        let last_t = self.last_transitions.load(Ordering::Acquire);
         if transitions < last_t + self.window {
             return;
         }
+        // Claim the window: of all threads that saw the same `last_t` and
+        // passed the check above, exactly one moves the marker and gets to
+        // evaluate (and count) this window. Before the CAS, every such
+        // thread would fall through and double-count `stand_downs` on
+        // overlapping spans.
+        if self
+            .last_transitions
+            .compare_exchange(last_t, transitions, Ordering::AcqRel, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
         let unknown = tracker.unknown_state_hits();
-        let last_u = self.last_unknown.load(Ordering::Relaxed);
+        let last_u = self.last_unknown.swap(unknown, Ordering::AcqRel);
         let dt = transitions - last_t;
         let du = unknown.saturating_sub(last_u);
-        self.last_transitions.store(transitions, Ordering::Relaxed);
-        self.last_unknown.store(unknown, Ordering::Relaxed);
         let unknown_pct = 100 * du / dt.max(1);
         let should_be_active = unknown_pct <= self.max_unknown_pct as u64;
         let was = self.active.swap(should_be_active, Ordering::Relaxed);
         if was && !should_be_active {
             self.stand_downs.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(obs) = &self.observer {
+            obs.on_window(dt, unknown_pct);
         }
     }
 }
@@ -173,5 +222,61 @@ mod tests {
         let mut polls = 0;
         let spent = adaptive.admit(p(9, 9), &mut || polls += 1);
         assert!(spent > 0, "unknown participant is held while guidance is active");
+    }
+
+    #[test]
+    fn concurrent_reevaluate_claims_each_window_once() {
+        // Regression: two threads passing the `transitions < last_t +
+        // window` check before either stored `last_transitions` evaluated
+        // overlapping windows and double-incremented `stand_downs`. The
+        // CAS claim makes the window a single-winner race whatever the
+        // interleaving.
+        for round in 0..50 {
+            let (tracker, adaptive) = setup();
+            // One full window of unknown tuples, then many threads race
+            // the same due window through `admit`.
+            for seq in 1..=6 {
+                tracker.record(&commit_event(9, 9, seq));
+            }
+            let adaptive = Arc::new(adaptive);
+            std::thread::scope(|s| {
+                for _ in 0..8 {
+                    let a = Arc::clone(&adaptive);
+                    s.spawn(move || a.admit(p(1, 9), &mut || {}));
+                }
+            });
+            assert!(!adaptive.is_active(), "round {round}: all-unknown window must stand down");
+            assert_eq!(
+                adaptive.stand_downs(),
+                1,
+                "round {round}: one window must produce exactly one stand-down"
+            );
+        }
+    }
+
+    #[test]
+    fn observer_fires_once_per_claimed_window() {
+        struct Counting(AtomicU64, AtomicU64);
+        impl WindowObserver for Counting {
+            fn on_window(&self, _transitions: u64, unknown_pct: u64) {
+                self.0.fetch_add(1, Ordering::Relaxed);
+                self.1.fetch_add(unknown_pct, Ordering::Relaxed);
+            }
+        }
+        let (tracker, adaptive) = setup();
+        let obs = Arc::new(Counting(AtomicU64::new(0), AtomicU64::new(0)));
+        let adaptive =
+            Arc::new(adaptive.with_observer(Arc::clone(&obs) as Arc<dyn WindowObserver>));
+        for seq in 1..=6 {
+            tracker.record(&commit_event(9, 9, seq));
+        }
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let a = Arc::clone(&adaptive);
+                s.spawn(move || a.admit(p(1, 9), &mut || {}));
+            }
+        });
+        assert_eq!(obs.0.load(Ordering::Relaxed), 1, "one window → one observer call");
+        assert_eq!(obs.1.load(Ordering::Relaxed), 100, "all-unknown window reports 100%");
     }
 }

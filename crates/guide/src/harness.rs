@@ -9,12 +9,13 @@ use gstm_core::{
     AdmissionPolicy, AdmitAll, CountingSink, Detection, EventSink, MemorySink, MulticastSink,
     Resolution, Stm, StmConfig, ThreadId, TxEvent,
 };
-use gstm_model::{GuidedModel, StateTracker};
+use gstm_model::{GuidedModel, ModelHandle, StateTracker, WindowIngest};
 use gstm_sim::{SimConfig, SimMachine, WaitBarrier};
 use gstm_telemetry::{Snapshot, TelemetrySink};
 
 use crate::adaptive::AdaptivePolicy;
 use crate::baselines::{BoundedAbortsPolicy, DeterministicPolicy};
+use crate::online::{OnlineRetrainer, RetrainSpec};
 use crate::policy::{GuidedPolicy, HoldStats, DEFAULT_K};
 
 /// Everything a worker closure needs.
@@ -127,6 +128,21 @@ pub enum PolicyChoice {
         /// Re-evaluate every this many tuples.
         window: u64,
     },
+    /// Adaptive guidance with the online retrain loop engaged: the model
+    /// serves through a hot-swap handle, ingested windows merge into it on
+    /// the window-claim cadence, and the §IV gate decides what ships.
+    AdaptiveOnline {
+        /// Initially served compiled model.
+        model: Arc<GuidedModel>,
+        /// Hold-retry bound `k`.
+        k: u32,
+        /// Stand guidance down above this unknown-tuple percentage.
+        max_unknown_pct: u32,
+        /// Re-evaluate (and possibly retrain) every this many tuples.
+        window: u64,
+        /// Incremental-trainer and §IV-gate knobs.
+        retrain: RetrainSpec,
+    },
     /// §I's dismissed local approach: priority after `limit` aborts.
     BoundedAborts {
         /// Consecutive aborts before a thread is prioritized.
@@ -144,6 +160,11 @@ impl std::fmt::Debug for PolicyChoice {
             PolicyChoice::Adaptive { k, max_unknown_pct, .. } => {
                 write!(f, "Adaptive {{ k: {k}, max_unknown_pct: {max_unknown_pct} }}")
             }
+            PolicyChoice::AdaptiveOnline { k, max_unknown_pct, window, retrain, .. } => write!(
+                f,
+                "AdaptiveOnline {{ k: {k}, max_unknown_pct: {max_unknown_pct}, \
+                 window: {window}, retrain: {retrain:?} }}"
+            ),
             PolicyChoice::BoundedAborts { limit } => {
                 write!(f, "BoundedAborts {{ limit: {limit} }}")
             }
@@ -305,6 +326,7 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
     let memory = opts.capture_events.then(MemorySink::new).map(Arc::new);
     let mut guided_policy: Option<Arc<GuidedPolicy>> = None;
     let mut adaptive_policy: Option<Arc<AdaptivePolicy>> = None;
+    let mut retrainer: Option<Arc<OnlineRetrainer>> = None;
     let mut policy_sink: Option<Arc<dyn EventSink>> = None;
     let (tracker, policy): (Arc<StateTracker>, Arc<dyn AdmissionPolicy>) = match &opts.policy {
         PolicyChoice::Default => (Arc::new(StateTracker::new()), Arc::new(AdmitAll)),
@@ -319,6 +341,27 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
             let inner = Arc::new(GuidedPolicy::new(Arc::clone(&tracker), *k));
             guided_policy = Some(Arc::clone(&inner));
             let policy = Arc::new(AdaptivePolicy::new(inner, *max_unknown_pct, *window));
+            adaptive_policy = Some(Arc::clone(&policy));
+            (tracker, policy)
+        }
+        PolicyChoice::AdaptiveOnline { model, k, max_unknown_pct, window, retrain } => {
+            let handle = Arc::new(ModelHandle::new(Arc::clone(model)));
+            let tracker = Arc::new(StateTracker::with_handle(Arc::clone(&handle)));
+            let inner = Arc::new(GuidedPolicy::new(Arc::clone(&tracker), *k));
+            guided_policy = Some(Arc::clone(&inner));
+            // One ingested run per adaptive window, bounded so a stalled
+            // claim never grows the buffer without limit.
+            let ingest = Arc::new(WindowIngest::new(*window as usize, 64));
+            policy_sink = Some(Arc::clone(&ingest) as Arc<dyn EventSink>);
+            let rt = Arc::new(OnlineRetrainer::new(
+                Arc::clone(&ingest),
+                handle,
+                model.tsa().clone(),
+                *retrain,
+            ));
+            retrainer = Some(Arc::clone(&rt));
+            let policy =
+                Arc::new(AdaptivePolicy::new(inner, *max_unknown_pct, *window).with_observer(rt));
             adaptive_policy = Some(Arc::clone(&policy));
             (tracker, policy)
         }
@@ -407,6 +450,14 @@ pub fn run_workload(workload: &dyn Workload, opts: &RunOptions) -> RunOutcome {
         if let Some(ap) = &adaptive_policy {
             reg.set_gauge("gstm_guide_stand_downs_total", ap.stand_downs());
             reg.set_gauge("gstm_guide_active", u64::from(ap.is_active()));
+        }
+        if let Some(rt) = &retrainer {
+            let rs = rt.stats();
+            reg.set_gauge("gstm_guide_retrain_attempts_total", rs.attempts);
+            reg.set_gauge("gstm_guide_model_installs_total", rs.installs);
+            reg.set_gauge("gstm_guide_model_rejects_total", rs.rejects);
+            reg.set_gauge("gstm_guide_model_epoch", tracker.model_epoch());
+            reg.set_gauge("gstm_guide_ingest_dropped_total", rt.ingest().dropped());
         }
         t.snapshot()
     });

@@ -56,13 +56,15 @@
 mod adaptive;
 mod baselines;
 mod harness;
+mod online;
 mod policy;
 mod train;
 
-pub use adaptive::AdaptivePolicy;
+pub use adaptive::{AdaptivePolicy, WindowObserver};
 pub use baselines::{BoundedAbortsPolicy, DeterministicPolicy};
 pub use harness::{
     run_workload, CmChoice, PolicyChoice, RunOptions, RunOutcome, WorkerEnv, Workload, WorkloadRun,
 };
+pub use online::{with_retrainer, OnlineRetrainer, RetrainSpec, RetrainStats};
 pub use policy::{GuidedPolicy, HoldStats, DEFAULT_K};
 pub use train::{train, TrainedModel};

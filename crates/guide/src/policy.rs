@@ -94,7 +94,10 @@ impl GuidedPolicy {
 
 impl AdmissionPolicy for GuidedPolicy {
     fn admit(&self, who: Participant, poll: &mut dyn FnMut()) -> u32 {
-        let model = self.tracker.model().expect("checked at construction").clone();
+        // One handle read per admission: a concurrently installed model
+        // takes effect on the next admit, and the epoch stamp makes any
+        // stale current-state id read as unknown meanwhile.
+        let model = self.tracker.model().expect("checked at construction");
         let mut polls = 0;
         let mut stale = 0; // consecutive polls without a state change
         let mut last_seen = None;

@@ -24,6 +24,7 @@
 
 pub mod analyzer;
 pub mod dot;
+pub mod online;
 pub mod serialize;
 mod tracker;
 mod tsa;
@@ -31,6 +32,7 @@ mod tseq;
 mod tts;
 
 pub use analyzer::{analyze, analyze_with, ModelAnalysis, Verdict};
+pub use online::{merge_decayed, ModelHandle, WindowIngest};
 pub use tracker::StateTracker;
 pub use tsa::{GuidedModel, Tsa, TsaBuilder, DEFAULT_MIN_SUPPORT, DEFAULT_TFACTOR};
 pub use tseq::{parse_states, Grouping};

@@ -187,17 +187,21 @@ pub fn from_bytes(bytes: &[u8]) -> Result<Tsa, DecodeError> {
     }
     let n_states = cur.u32()? as usize;
     let n_edges = cur.u32()? as usize;
-    let mut states = Vec::with_capacity(n_states);
+    // Counts are untrusted: clamp every pre-allocation by what the
+    // remaining buffer could possibly hold (state records are ≥ 8 bytes,
+    // abortees 4, edges 16), so a corrupt header asks for kilobytes, not
+    // gigabytes. Genuine truncation still errors on the reads below.
+    let mut states = Vec::with_capacity(n_states.min(cur.remaining() / 8));
     for _ in 0..n_states {
         let committer = unpack(cur.u32()?);
         let n_ab = cur.u32()? as usize;
-        let mut aborted = Vec::with_capacity(n_ab);
+        let mut aborted = Vec::with_capacity(n_ab.min(cur.remaining() / 4));
         for _ in 0..n_ab {
             aborted.push(unpack(cur.u32()?));
         }
         states.push(Tts::new(aborted, committer));
     }
-    let mut edges = Vec::with_capacity(n_edges);
+    let mut edges = Vec::with_capacity(n_edges.min(cur.remaining() / 16));
     for _ in 0..n_edges {
         let from = cur.u32()?;
         let to = cur.u32()?;
@@ -281,6 +285,10 @@ impl<'a> Cursor<'a> {
     fn u64(&mut self) -> Result<u64, DecodeError> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
     }
+
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
 }
 
 fn rebuild(states: Vec<Tts>, edges: Vec<(u32, u32, u64)>) -> Result<Tsa, DecodeError> {
@@ -297,11 +305,10 @@ fn rebuild(states: Vec<Tts>, edges: Vec<(u32, u32, u64)>) -> Result<Tsa, DecodeE
         if from >= n || to >= n {
             return Err(malformed("edge references unknown state"));
         }
-        // Replay the transition `count` times to restore its frequency.
-        let pair = [states[from as usize].clone(), states[to as usize].clone()];
-        for _ in 0..count {
-            builder.add_run(&pair);
-        }
+        // Restore the edge's frequency in one step: replaying `count`
+        // two-state runs would make decode time proportional to an
+        // untrusted persisted count (a corrupt u64 is an unbounded hang).
+        builder.add_transition(&states[from as usize], &states[to as usize], count);
     }
     Ok(builder.build())
 }
@@ -422,5 +429,90 @@ mod tests {
     fn rejects_dangling_edge() {
         let text = "GSTM-TSA v1\nstates 1 edges 1\ns 0\ne 0 5 1\n";
         assert!(from_text(text).is_err());
+    }
+
+    /// A minimal hand-built frame: header + explicit state/edge records.
+    fn frame(n_states: u32, n_edges: u32, body: &[u8]) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"GTSA");
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&n_states.to_le_bytes());
+        bytes.extend_from_slice(&n_edges.to_le_bytes());
+        bytes.extend_from_slice(body);
+        bytes
+    }
+
+    #[test]
+    fn truncated_frame_with_huge_counts_errors_without_allocating() {
+        // A 16-byte body claiming 4 billion states/edges: the capacity
+        // clamp keeps allocation proportional to the buffer, and the first
+        // missing record errors as truncation.
+        let err = from_bytes(&frame(u32::MAX, u32::MAX, &[0u8; 16])).unwrap_err();
+        assert!(matches!(err, DecodeError::Malformed(m) if m.contains("truncated")));
+        // Same for a state claiming 4 billion abortees.
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u32.to_le_bytes()); // committer
+        body.extend_from_slice(&u32::MAX.to_le_bytes()); // n_ab
+        let err = from_bytes(&frame(1, 0, &body)).unwrap_err();
+        assert!(matches!(err, DecodeError::Malformed(m) if m.contains("truncated")));
+    }
+
+    #[test]
+    fn rejects_out_of_range_edge_ids() {
+        let mut body = Vec::new();
+        body.extend_from_slice(&0u32.to_le_bytes()); // state 0: committer
+        body.extend_from_slice(&0u32.to_le_bytes()); // no abortees
+        body.extend_from_slice(&0u32.to_le_bytes()); // edge from=0
+        body.extend_from_slice(&7u32.to_le_bytes()); // to=7 (unknown)
+        body.extend_from_slice(&1u64.to_le_bytes());
+        let err = from_bytes(&frame(1, 1, &body)).unwrap_err();
+        assert!(matches!(err, DecodeError::Malformed(m) if m.contains("unknown state")));
+    }
+
+    #[test]
+    fn huge_edge_counts_decode_in_constant_time() {
+        // Regression: rebuild() used to replay each edge `count` times —
+        // u64::MAX here was an unbounded hang. Bounded decode must both
+        // terminate fast and preserve the count.
+        let mut body = Vec::new();
+        for packed in [0u32, 1u32] {
+            body.extend_from_slice(&packed.to_le_bytes());
+            body.extend_from_slice(&0u32.to_le_bytes());
+        }
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&u64::MAX.to_le_bytes());
+        let tsa = from_bytes(&frame(2, 1, &body)).unwrap();
+        let s0 = tsa.lookup(&Tts::solo(p(0, 0))).unwrap();
+        assert_eq!(tsa.out_edges(s0).len(), 1);
+        assert_eq!(tsa.out_edges(s0)[0].1, u64::MAX);
+    }
+
+    #[test]
+    fn rejects_duplicate_states() {
+        let mut body = Vec::new();
+        for _ in 0..2 {
+            body.extend_from_slice(&0u32.to_le_bytes()); // same committer
+            body.extend_from_slice(&0u32.to_le_bytes()); // no abortees
+        }
+        let err = from_bytes(&frame(2, 0, &body)).unwrap_err();
+        assert!(matches!(err, DecodeError::Malformed(m) if m.contains("duplicate")));
+    }
+
+    #[test]
+    fn zero_count_edges_round_trip_structurally() {
+        // An explicit zero-count edge record decodes to no edge (the
+        // builder treats count 0 as a pure state declaration).
+        let mut body = Vec::new();
+        for packed in [0u32, 1u32] {
+            body.extend_from_slice(&packed.to_le_bytes());
+            body.extend_from_slice(&0u32.to_le_bytes());
+        }
+        body.extend_from_slice(&0u32.to_le_bytes());
+        body.extend_from_slice(&1u32.to_le_bytes());
+        body.extend_from_slice(&0u64.to_le_bytes());
+        let tsa = from_bytes(&frame(2, 1, &body)).unwrap();
+        assert_eq!(tsa.state_count(), 2);
+        assert_eq!(tsa.edge_count(), 0);
     }
 }

@@ -111,6 +111,25 @@ impl TsaBuilder {
         self
     }
 
+    /// Records the transition `from → to` with an explicit frequency, as
+    /// if `count` two-state runs had been added. Both states are interned
+    /// even when `count` is zero (a zero-count call declares the states
+    /// without creating an edge); counts saturate instead of wrapping, so
+    /// hostile persisted counts cannot overflow a merge.
+    ///
+    /// This is the bulk path shared by model decode ([`crate::serialize`])
+    /// and the incremental window merge ([`crate::online`]): restoring an
+    /// edge of frequency `f` costs O(1), not O(f).
+    pub fn add_transition(&mut self, from: &Tts, to: &Tts, count: u64) -> &mut Self {
+        let f = self.space.intern(from.clone());
+        let t = self.space.intern(to.clone());
+        if count > 0 {
+            let slot = self.counts.entry((f.0, t.0)).or_insert(0);
+            *slot = slot.saturating_add(count);
+        }
+        self
+    }
+
     /// Number of states interned so far.
     pub fn state_count(&self) -> usize {
         self.space.len()
@@ -251,6 +270,35 @@ mod tests {
         let s1 = tsa.lookup(&solo(1)).unwrap();
         assert_eq!(tsa.out_edges(s0), &[(s1, 2)]);
         assert_eq!(tsa.out_edges(s1), &[(s0, 1)]);
+    }
+
+    #[test]
+    fn add_transition_matches_replayed_runs() {
+        let mut by_runs = TsaBuilder::new();
+        for _ in 0..7 {
+            by_runs.add_run(&[solo(0), solo(1)]);
+        }
+        by_runs.add_run(&[solo(2)]);
+        let mut by_counts = TsaBuilder::new();
+        by_counts.add_transition(&solo(0), &solo(1), 7);
+        by_counts.add_transition(&solo(2), &solo(2), 0); // states only
+        let (a, b) = (by_runs.build(), by_counts.build());
+        assert_eq!(a.state_count(), b.state_count());
+        assert_eq!(a.edge_count(), b.edge_count());
+        let s0 = b.lookup(&solo(0)).unwrap();
+        let s1 = b.lookup(&solo(1)).unwrap();
+        assert_eq!(b.out_edges(s0), &[(s1, 7)]);
+        assert!(b.lookup(&solo(2)).is_some(), "zero-count call still interns");
+    }
+
+    #[test]
+    fn add_transition_saturates_instead_of_wrapping() {
+        let mut b = TsaBuilder::new();
+        b.add_transition(&solo(0), &solo(1), u64::MAX);
+        b.add_transition(&solo(0), &solo(1), u64::MAX);
+        let tsa = b.build();
+        let s0 = tsa.lookup(&solo(0)).unwrap();
+        assert_eq!(tsa.out_edges(s0)[0].1, u64::MAX);
     }
 
     #[test]

@@ -55,4 +55,4 @@ pub use service::{
     ServeRun, ServeSpec, ServeWorkload, SpineMode, ThreadLog, WallClock,
 };
 pub use store::{Entry, Request, Response, ShardedStore, INITIAL_BALANCE, MAX_SCAN_LEN};
-pub use traffic::{generate_schedule, Arrival, Mix, ScheduledRequest, TrafficSpec};
+pub use traffic::{generate_schedule, Arrival, Drift, Mix, ScheduledRequest, TrafficSpec};

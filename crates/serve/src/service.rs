@@ -43,7 +43,7 @@ use gstm_telemetry::histogram::{HistogramSnapshot, LogHistogram};
 
 use crate::backend::{BackendKind, DurableBackend, EphemeralBackend, StoreBackend};
 use crate::store::{Request, ShardedStore};
-use crate::traffic::{generate_schedule, Arrival, Mix, ScheduledRequest, TrafficSpec};
+use crate::traffic::{generate_schedule, Arrival, Drift, Mix, ScheduledRequest, TrafficSpec};
 use gstm_wal::{FileDevice, LogDevice, Wal, WalConfig};
 
 /// Upper bound on a single idle wait charged through the gate. Waiting in
@@ -112,6 +112,10 @@ pub struct ServeSpec {
     /// `Snapshot` serves `Get`/`Scan`/`GetMany` from the MVCC version
     /// rings with zero validation and zero aborts (DESIGN.md §3.1d).
     pub read_mode: ReadMode,
+    /// Optional non-stationary traffic (time-varying Zipf exponent plus
+    /// hotspot migration, DESIGN.md §6g). `None` — the default every
+    /// pre-drift spec used — leaves schedules byte-identical.
+    pub drift: Option<Drift>,
 }
 
 impl ServeSpec {
@@ -133,6 +137,7 @@ impl ServeSpec {
             backend: BackendKind::Ephemeral,
             spine: SpineMode::Global,
             read_mode: ReadMode::Latest,
+            drift: None,
         }
     }
 
@@ -154,6 +159,7 @@ impl ServeSpec {
             backend: BackendKind::Ephemeral,
             spine: SpineMode::Global,
             read_mode: ReadMode::Latest,
+            drift: None,
         }
     }
 
@@ -184,6 +190,12 @@ impl ServeSpec {
     /// Replaces the request-kind mix.
     pub fn with_mix(mut self, mix: Mix) -> Self {
         self.mix = mix;
+        self
+    }
+
+    /// Installs a non-stationary traffic schedule.
+    pub fn with_drift(mut self, drift: Drift) -> Self {
+        self.drift = Some(drift);
         self
     }
 
@@ -228,6 +240,13 @@ impl ServeSpec {
         if self.read_mode != ReadMode::Latest {
             key.push_str(";rm=snapshot");
         }
+        // And for drift: stationary specs keep their pre-drift keys.
+        if let Some(d) = self.drift {
+            key.push_str(&format!(
+                ";drift=(te={},ph={},hs={})",
+                d.theta_end, d.phases, d.hotspot_step
+            ));
+        }
         key
     }
 
@@ -239,6 +258,7 @@ impl ServeSpec {
             requests_per_thread: self.requests_per_thread,
             mix: self.mix,
             scan_len: self.scan_len,
+            drift: self.drift,
         }
     }
 }
@@ -926,6 +946,44 @@ mod tests {
         assert_ne!(key, snap);
         let mvcc = ServeSpec::wide(100).with_mix(Mix::mvcc_read()).cache_key();
         assert!(mvcc.contains("mix=[50, 10, 5, 5, 15, 15];"), "unexpected key: {mvcc}");
+    }
+
+    #[test]
+    fn default_spec_cache_key_has_no_drift_suffix() {
+        // Stationary cached artifacts stay addressable: only a drifting
+        // spec extends the key, with the same append-only discipline as
+        // the spine and read-mode knobs.
+        let key = ServeSpec::hot(100).cache_key();
+        assert!(!key.contains("drift"), "default key must be unchanged: {key}");
+        let drifting = ServeSpec::hot(100)
+            .with_drift(Drift { theta_end: 0.2, phases: 4, hotspot_step: 8 })
+            .cache_key();
+        assert!(drifting.ends_with(";drift=(te=0.2,ph=4,hs=8)"), "unexpected key: {drifting}");
+        assert_ne!(key, drifting);
+        assert_ne!(
+            drifting,
+            ServeSpec::hot(100)
+                .with_drift(Drift { theta_end: 0.2, phases: 8, hotspot_step: 8 })
+                .cache_key(),
+            "every drift knob must feed the key"
+        );
+    }
+
+    #[test]
+    fn drifting_sim_runs_serve_conserve_and_stay_deterministic() {
+        let spec = tiny_spec().with_drift(Drift { theta_end: 0.3, phases: 4, hotspot_step: 8 });
+        let a = run_simulated(&spec, &RunOptions::new(3, 5));
+        let stats: std::collections::HashMap<_, _> = a.workload_stats.iter().cloned().collect();
+        assert_eq!(stats["req_done"] + stats["req_shed"], 3.0 * 120.0);
+        assert!(stats["req_done"] > 0.0);
+        let b = run_simulated(&spec, &RunOptions::new(3, 5));
+        assert_eq!(a.workload_stats, b.workload_stats, "drift is deterministic per seed");
+        assert_eq!(a.makespan, b.makespan);
+        let stationary = run_simulated(&tiny_spec(), &RunOptions::new(3, 5));
+        assert_ne!(
+            a.workload_stats, stationary.workload_stats,
+            "drift must actually change the served traffic"
+        );
     }
 
     #[test]

@@ -104,6 +104,30 @@ impl Mix {
     }
 }
 
+/// A non-stationary traffic schedule: the generator divides each thread's
+/// request stream into `phases` equal spans; phase `p` draws keys from a
+/// Zipf whose exponent is linearly interpolated from the spec's
+/// `zipf_theta` (phase 0) to `theta_end` (last phase), and the entire key
+/// distribution is rotated by `p * hotspot_step` — the hot key set
+/// *migrates* across the keyspace as the run progresses. This is the drift
+/// a statically trained model cannot follow.
+///
+/// Drift is still a pure function of `(spec, seed, thread)`: schedules
+/// remain deterministic and identical across policies — only stationarity
+/// is lost, not reproducibility. `drift: None` leaves the generator's
+/// sampling stream byte-identical to the stationary era (the determinism
+/// goldens depend on this).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Drift {
+    /// Zipf exponent at the final phase (start is the spec's `zipf_theta`).
+    pub theta_end: f64,
+    /// Number of equal-length phases (≥ 2).
+    pub phases: u32,
+    /// Keyspace rotation per phase: the hotspot migrates this many keys
+    /// between consecutive phases.
+    pub hotspot_step: u64,
+}
+
 /// One request with its scheduled arrival tick.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct ScheduledRequest {
@@ -128,6 +152,10 @@ pub struct TrafficSpec {
     pub mix: Mix,
     /// `Scan` range length.
     pub scan_len: u64,
+    /// Optional non-stationary schedule (time-varying Zipf exponent and
+    /// migrating hotspot). `None` = stationary, bit-identical to the
+    /// pre-drift generator.
+    pub drift: Option<Drift>,
 }
 
 /// Generates one thread's schedule: a sorted, seeded, pure function of
@@ -144,6 +172,21 @@ pub fn generate_schedule(spec: &TrafficSpec, seed: u64, thread: usize) -> Vec<Sc
     let mut rng = SmallRng::seed_from_u64(mixer.next_u64());
 
     let zipf = Zipf::new(spec.keys as usize, spec.zipf_theta);
+    // Drift pre-builds one sampler per phase; the stationary path keeps
+    // using `zipf` directly so its draw stream is untouched.
+    let phase_samplers: Vec<Zipf> = match spec.drift {
+        Some(d) => {
+            assert!(d.phases >= 2, "drift needs at least two phases");
+            (0..d.phases)
+                .map(|p| {
+                    let frac = f64::from(p) / f64::from(d.phases - 1);
+                    let theta = spec.zipf_theta + (d.theta_end - spec.zipf_theta) * frac;
+                    Zipf::new(spec.keys as usize, theta)
+                })
+                .collect()
+        }
+        None => Vec::new(),
+    };
     let (gap_in, gap_between, burst) = match spec.arrival {
         Arrival::Poisson { mean_gap } => (Exp::new(mean_gap), None, 1u32),
         Arrival::Bursty { mean_gap, burst } => {
@@ -164,14 +207,28 @@ pub fn generate_schedule(spec: &TrafficSpec, seed: u64, thread: usize) -> Vec<Sc
             _ => gap_in.sample(&mut rng),
         };
         clock += gap;
-        schedule
-            .push(ScheduledRequest { at: clock as u64, req: draw_request(spec, &zipf, &mut rng) });
+        let (sampler, rotate) = match spec.drift {
+            Some(d) => {
+                let phase =
+                    (i * d.phases as usize / spec.requests_per_thread).min(d.phases as usize - 1);
+                let rot = (phase as u64).wrapping_mul(d.hotspot_step) % spec.keys;
+                (&phase_samplers[phase], rot)
+            }
+            None => (&zipf, 0),
+        };
+        schedule.push(ScheduledRequest {
+            at: clock as u64,
+            req: draw_request(spec, sampler, rotate, &mut rng),
+        });
     }
     schedule
 }
 
-fn draw_request(spec: &TrafficSpec, zipf: &Zipf, rng: &mut SmallRng) -> Request {
-    let key = zipf.sample(rng) as u64;
+/// Draws one request. `rotate` shifts every sampled key rank by a fixed
+/// offset (mod the keyspace) — the drift hotspot migration; the stationary
+/// path passes 0, which is the identity on in-range ranks.
+fn draw_request(spec: &TrafficSpec, zipf: &Zipf, rotate: u64, rng: &mut SmallRng) -> Request {
+    let key = (zipf.sample(rng) as u64 + rotate) % spec.keys;
     let mut pick = rng.gen_range(0..spec.mix.total());
     for (kind, &w) in spec.mix.0.iter().enumerate() {
         if pick < w {
@@ -185,7 +242,7 @@ fn draw_request(spec: &TrafficSpec, zipf: &Zipf, rng: &mut SmallRng) -> Request 
                     Request::cas(key, 0, rng.gen_range(1..1u64 << 16))
                 }
                 3 => {
-                    let mut to = zipf.sample(rng) as u64;
+                    let mut to = (zipf.sample(rng) as u64 + rotate) % spec.keys;
                     if to == key {
                         to = (to + 1) % spec.keys;
                     }
@@ -212,6 +269,7 @@ mod tests {
             requests_per_thread: 400,
             mix: Mix::read_mostly(),
             scan_len: 8,
+            drift: None,
         }
     }
 
@@ -349,6 +407,105 @@ mod tests {
                 assert_eq!(count, s.scan_len);
             }
         }
+    }
+
+    fn primary_key(req: &Request) -> u64 {
+        match *req {
+            Request::Get { key }
+            | Request::Put { key, .. }
+            | Request::Cas { key, .. }
+            | Request::Transfer { from: key, .. } => key,
+            Request::Scan { start, .. } | Request::GetMany { start, .. } => start,
+        }
+    }
+
+    #[test]
+    fn identity_drift_is_byte_identical_to_stationary() {
+        // A drift whose phases all share the base exponent and whose
+        // hotspot never moves must reproduce the stationary stream exactly:
+        // the Some-path consumes the same draws as the None-path. This is
+        // the property that keeps `drift: None` golden-safe.
+        let base = spec(Arrival::Poisson { mean_gap: 20.0 });
+        let identity = TrafficSpec {
+            drift: Some(Drift { theta_end: base.zipf_theta, phases: 4, hotspot_step: 0 }),
+            ..base
+        };
+        for thread in 0..3 {
+            assert_eq!(
+                generate_schedule(&base, 21, thread),
+                generate_schedule(&identity, 21, thread),
+                "identity drift must not perturb the stream"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_schedules_are_deterministic_but_distinct_from_stationary() {
+        let base = spec(Arrival::Poisson { mean_gap: 20.0 });
+        let drifting = TrafficSpec {
+            drift: Some(Drift { theta_end: 0.2, phases: 4, hotspot_step: 16 }),
+            ..base
+        };
+        let a = generate_schedule(&drifting, 9, 0);
+        assert_eq!(a, generate_schedule(&drifting, 9, 0), "drift stays a pure function of seed");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "arrivals stay monotone");
+        assert_ne!(a, generate_schedule(&base, 9, 0), "real drift changes the stream");
+        for r in &a {
+            if let Request::Transfer { from, to, .. } = r.req {
+                assert_ne!(from, to);
+            }
+            assert!(primary_key(&r.req) < drifting.keys, "rotation keeps keys in range");
+        }
+    }
+
+    #[test]
+    fn hotspot_migrates_across_phases() {
+        // Pure-get traffic at heavy skew: the hottest key of each quarter
+        // should track the per-phase rotation 0 → 16 → 32 → 48.
+        let s = TrafficSpec {
+            zipf_theta: 0.99,
+            requests_per_thread: 8_000,
+            mix: Mix([1, 0, 0, 0, 0, 0]),
+            drift: Some(Drift { theta_end: 0.99, phases: 4, hotspot_step: 16 }),
+            ..spec(Arrival::Poisson { mean_gap: 5.0 })
+        };
+        let sched = generate_schedule(&s, 17, 0);
+        let quarter = sched.len() / 4;
+        for phase in 0..4usize {
+            let mut counts = vec![0usize; s.keys as usize];
+            for r in &sched[phase * quarter..(phase + 1) * quarter] {
+                counts[primary_key(&r.req) as usize] += 1;
+            }
+            let hottest = counts.iter().enumerate().max_by_key(|&(_, &c)| c).unwrap().0;
+            assert_eq!(hottest as u64, phase as u64 * 16, "phase {phase} hotspot misplaced");
+        }
+    }
+
+    #[test]
+    fn drift_interpolates_the_zipf_exponent() {
+        // θ ramps 0.99 → 0.0: the first quarter is sharply concentrated on
+        // its hottest key, the last quarter near-uniform.
+        let s = TrafficSpec {
+            zipf_theta: 0.99,
+            requests_per_thread: 8_000,
+            mix: Mix([1, 0, 0, 0, 0, 0]),
+            drift: Some(Drift { theta_end: 0.0, phases: 4, hotspot_step: 0 }),
+            ..spec(Arrival::Poisson { mean_gap: 5.0 })
+        };
+        let sched = generate_schedule(&s, 23, 0);
+        let quarter = sched.len() / 4;
+        let top_share = |slice: &[ScheduledRequest]| {
+            let mut counts = vec![0usize; s.keys as usize];
+            for r in slice {
+                counts[primary_key(&r.req) as usize] += 1;
+            }
+            *counts.iter().max().unwrap() as f64 / slice.len() as f64
+        };
+        let early = top_share(&sched[..quarter]);
+        let late = top_share(&sched[3 * quarter..]);
+        assert!(early > 0.15, "early skew too weak: top share {early}");
+        assert!(late < 0.06, "late phase should be near-uniform: top share {late}");
+        assert!(early > 3.0 * late, "skew must decay across phases ({early} vs {late})");
     }
 
     #[test]

@@ -115,6 +115,31 @@ echo "==> mvcc bench smoke: read-path artifact must be well-formed"
     --out target/BENCH_mvcc_smoke.json
 ./target/release/experiments bench-check target/BENCH_mvcc_smoke.json
 
+echo "==> serve-adaptive smoke: online loop must be deterministic and cache-stable"
+adapt_dir="target/gstm-ci-adaptive-smoke"
+rm -rf "$adapt_dir"
+mkdir -p "$adapt_dir"
+./target/release/experiments serve-adaptive --tiny --jobs 2 \
+    --cache-dir "$adapt_dir/cache" \
+    >"$adapt_dir/cold.out" 2>"$adapt_dir/cold.err"
+cp results/serve_adaptive.txt "$adapt_dir/cold.txt"
+./target/release/experiments serve-adaptive --tiny --jobs 2 \
+    --cache-dir "$adapt_dir/cache" \
+    >"$adapt_dir/warm.out" 2>"$adapt_dir/warm.err"
+cp results/serve_adaptive.txt "$adapt_dir/warm.txt"
+diff -u "$adapt_dir/cold.txt" "$adapt_dir/warm.txt" \
+    || { echo "serve-adaptive smoke: warm rerun table diverged"; exit 1; }
+grep -qE "runs [1-9][0-9]* hit / 0 miss" "$adapt_dir/warm.err" \
+    || { echo "serve-adaptive smoke: warm run missed the run cache"; exit 1; }
+grep -q "gate negative control" "$adapt_dir/cold.txt" \
+    || { echo "serve-adaptive smoke: missing the gate's negative-control row"; exit 1; }
+rm -rf "$adapt_dir"
+
+echo "==> adaptive bench smoke: artifact must be well-formed"
+./target/release/experiments bench-adaptive --preset tiny --smoke --profile release \
+    --out target/BENCH_adaptive_smoke.json
+./target/release/experiments bench-check target/BENCH_adaptive_smoke.json
+
 echo "==> determinism goldens: default knobs must still pin the legacy spine"
 cargo test -q --offline --test determinism
 
