@@ -1,0 +1,672 @@
+//! The cooperative block scheduler and executor.
+//!
+//! Workers pull tasks from two ordered queues — **execute** and
+//! **validate** — always preferring the lowest transaction index across
+//! both (the Block-STM discipline: progress on the earliest unsettled
+//! transaction unblocks the most downstream work). A transaction's
+//! lifecycle:
+//!
+//! ```text
+//! Ready ──execute──▶ Executing ──publish──▶ Executed ──validation ok──▶ (settled)
+//!   ▲                    │                      │
+//!   │                    │ read hit an          │ validation failed:
+//!   │                    ▼ estimate             ▼ writes → estimates
+//!   └─resume── Blocked(on writer)         Ready (incarnation + 1)
+//! ```
+//!
+//! Whenever a transaction aborts, or republishes along a new write path,
+//! every later already-executed transaction is pushed back into the
+//! validation queue (a *wave*). The block completes when both queues are
+//! empty, no worker holds a task, and no transaction is suspended — at
+//! which point every transaction's final incarnation has been validated
+//! against the final multi-version state, which is exactly the state
+//! sequential block-order execution would have produced. The schedule
+//! (thread count, interleaving) can change *how many* waves and
+//! re-executions it takes, never the outcome.
+
+use std::collections::{BTreeSet, HashMap};
+use std::hash::Hash;
+use std::sync::{Arc, Condvar, Mutex};
+
+use crate::mvmap::{MvMap, ReadVersion, Resolution};
+use crate::pool::BlockPool;
+use crate::{BlockConfig, BlockStats};
+
+/// Returned by [`TxnCtx::read`] when the read resolved to an estimate:
+/// the transaction must suspend until `on` republishes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Blocked {
+    /// Block index of the writer being waited on (always `< reader`).
+    pub on: usize,
+}
+
+/// The read context handed to a transaction body: resolves reads against
+/// the multi-version map (falling back to the caller's base state) and
+/// records the observed versions for later validation.
+pub struct TxnCtx<'a, K, V> {
+    map: &'a MvMap<K, V>,
+    base: &'a (dyn Fn(&K) -> Option<V> + Sync),
+    reader: usize,
+    reads: Vec<(K, ReadVersion)>,
+}
+
+impl<K: Hash + Eq + Ord + Clone, V: Clone> TxnCtx<'_, K, V> {
+    /// Reads `key` as of this transaction's position in the block order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Blocked`] when the newest earlier-ordered write of `key`
+    /// is an estimate; propagate it out of the transaction body with `?`.
+    pub fn read(&mut self, key: &K) -> Result<Option<V>, Blocked> {
+        match self.map.resolve(key, self.reader) {
+            Resolution::Speculative(v, observed) => {
+                self.reads.push((key.clone(), observed));
+                Ok(Some(v))
+            }
+            Resolution::FromBase => {
+                self.reads.push((key.clone(), ReadVersion::Base));
+                Ok((self.base)(key))
+            }
+            Resolution::Blocked(writer) => Err(Blocked { on: writer }),
+        }
+    }
+
+    /// This transaction's index in the block order.
+    pub fn index(&self) -> usize {
+        self.reader
+    }
+}
+
+/// The settled result of one block execution.
+#[derive(Clone, Debug)]
+pub struct BlockOutcome<K, V, O> {
+    /// Per-transaction outputs, in block order — byte-identical to what
+    /// sequential execution of the same order would have returned.
+    pub outputs: Vec<O>,
+    /// Per-transaction final write sets, in block order (the commit phase
+    /// applies these one transaction at a time, in order).
+    pub txn_writes: Vec<Vec<(K, V)>>,
+    /// The block's net effect: for every written key, the highest-ordered
+    /// writer's value, sorted by key.
+    pub final_writes: Vec<(K, V)>,
+    /// Scheduler counters for this block.
+    pub stats: BlockStats,
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Status {
+    Ready { incarnation: u32 },
+    Executing { incarnation: u32 },
+    Executed { incarnation: u32 },
+    Blocked { incarnation: u32 },
+}
+
+enum Task {
+    Execute { txn: usize, incarnation: u32 },
+    Validate { txn: usize, incarnation: u32 },
+}
+
+struct TxnRecord<K, V, O> {
+    /// Incarnation of the last *published* execution.
+    incarnation: u32,
+    reads: Vec<(K, ReadVersion)>,
+    writes: Vec<(K, V)>,
+    output: Option<O>,
+}
+
+struct SchedulerInner {
+    status: Vec<Status>,
+    exec_queue: BTreeSet<usize>,
+    valid_queue: BTreeSet<usize>,
+    /// writer index → transactions suspended until it republishes.
+    deps: HashMap<usize, Vec<usize>>,
+    /// Tasks currently held by workers outside the lock.
+    active: usize,
+    stats: BlockStats,
+}
+
+impl SchedulerInner {
+    fn done(&self) -> bool {
+        self.exec_queue.is_empty()
+            && self.valid_queue.is_empty()
+            && self.deps.is_empty()
+            && self.active == 0
+    }
+
+    /// Lowest-index task across both queues; validation entries whose
+    /// transaction is not currently `Executed` are stale (the transaction
+    /// aborted or resumed since they were enqueued) and are dropped — a
+    /// fresh validation is always re-enqueued when it finishes again.
+    fn pick(&mut self) -> Option<Task> {
+        let valid = loop {
+            match self.valid_queue.first().copied() {
+                Some(i) => match self.status[i] {
+                    Status::Executed { incarnation } => break Some((i, incarnation)),
+                    _ => {
+                        self.valid_queue.remove(&i);
+                    }
+                },
+                None => break None,
+            }
+        };
+        let exec = self.exec_queue.first().copied();
+        match (exec, valid) {
+            (Some(e), Some((v, _))) if e <= v => self.claim_execute(e),
+            (Some(_), Some((v, incarnation))) => {
+                self.valid_queue.remove(&v);
+                Some(Task::Validate { txn: v, incarnation })
+            }
+            (Some(e), None) => self.claim_execute(e),
+            (None, Some((v, incarnation))) => {
+                self.valid_queue.remove(&v);
+                Some(Task::Validate { txn: v, incarnation })
+            }
+            (None, None) => None,
+        }
+    }
+
+    fn claim_execute(&mut self, txn: usize) -> Option<Task> {
+        self.exec_queue.remove(&txn);
+        let Status::Ready { incarnation } = self.status[txn] else {
+            unreachable!("exec queue holds only Ready transactions")
+        };
+        self.status[txn] = Status::Executing { incarnation };
+        Some(Task::Execute { txn, incarnation })
+    }
+
+    /// Pushes every already-executed transaction after `txn` back into the
+    /// validation queue. Returns whether anything was actually enqueued
+    /// (the wave counter only counts cascades that created work).
+    fn revalidate_after(&mut self, txn: usize) -> bool {
+        let mut any = false;
+        for k in (txn + 1)..self.status.len() {
+            if matches!(self.status[k], Status::Executed { .. }) {
+                any |= self.valid_queue.insert(k);
+            }
+        }
+        any
+    }
+}
+
+struct Scheduler {
+    inner: Mutex<SchedulerInner>,
+    wake: Condvar,
+}
+
+/// The per-block shared state a set of workers cooperates over: the
+/// multi-version map, the transaction records, and the scheduler.
+struct BlockCore<K, V, O> {
+    map: MvMap<K, V>,
+    records: Vec<Mutex<TxnRecord<K, V, O>>>,
+    sched: Scheduler,
+}
+
+impl<K: Hash + Eq + Ord + Clone, V: Clone, O> BlockCore<K, V, O> {
+    fn new(cfg: &BlockConfig, txns: usize) -> Self {
+        BlockCore {
+            map: MvMap::new(cfg.parts),
+            records: (0..txns)
+                .map(|_| {
+                    Mutex::new(TxnRecord {
+                        incarnation: 0,
+                        reads: Vec::new(),
+                        writes: Vec::new(),
+                        output: None,
+                    })
+                })
+                .collect(),
+            sched: Scheduler {
+                inner: Mutex::new(SchedulerInner {
+                    status: vec![Status::Ready { incarnation: 0 }; txns],
+                    exec_queue: (0..txns).collect(),
+                    valid_queue: BTreeSet::new(),
+                    deps: HashMap::new(),
+                    active: 0,
+                    stats: BlockStats { waves: 1, ..BlockStats::default() },
+                }),
+                wake: Condvar::new(),
+            },
+        }
+    }
+
+    /// Tears the settled core down into the block's outcome.
+    fn collect(self) -> BlockOutcome<K, V, O> {
+        let inner = self.sched.inner.into_inner().expect("scheduler poisoned");
+        debug_assert!(inner.status.iter().all(|s| matches!(s, Status::Executed { .. })));
+        let stats = inner.stats;
+        let mut outputs = Vec::with_capacity(self.records.len());
+        let mut txn_writes = Vec::with_capacity(self.records.len());
+        for record in self.records {
+            let r = record.into_inner().expect("record poisoned");
+            outputs.push(r.output.expect("settled transaction has an output"));
+            txn_writes.push(r.writes);
+        }
+        let final_writes = self.map.into_final_writes();
+        BlockOutcome { outputs, txn_writes, final_writes, stats }
+    }
+}
+
+fn empty_outcome<K, V, O>() -> BlockOutcome<K, V, O> {
+    BlockOutcome {
+        outputs: Vec::new(),
+        txn_writes: Vec::new(),
+        final_writes: Vec::new(),
+        stats: BlockStats::default(),
+    }
+}
+
+/// Executes a block of `txns` transactions over `threads` workers.
+///
+/// `base` supplies the pre-block committed state; `run` is the
+/// transaction body — called with the transaction's block index and a
+/// [`TxnCtx`], it returns the transaction's write set and output, or
+/// propagates [`Blocked`] from [`TxnCtx::read`]. `run` may be called
+/// multiple times per transaction (re-executions) and must be a pure
+/// function of its reads.
+///
+/// # Panics
+///
+/// Panics if `txns` exceeds `cfg.block_size`, if `threads` is zero, or if
+/// a worker panics.
+pub fn execute_block<K, V, O, B, F>(
+    cfg: &BlockConfig,
+    txns: usize,
+    threads: usize,
+    base: B,
+    run: F,
+) -> BlockOutcome<K, V, O>
+where
+    K: Hash + Eq + Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    O: Send,
+    B: Fn(&K) -> Option<V> + Sync,
+    F: Fn(usize, &mut TxnCtx<'_, K, V>) -> Result<(Vec<(K, V)>, O), Blocked> + Sync,
+{
+    assert!(txns <= cfg.block_size, "{txns} transactions exceed block_size {}", cfg.block_size);
+    assert!(threads > 0, "need at least one block worker");
+    if txns == 0 {
+        return empty_outcome();
+    }
+    let core: BlockCore<K, V, O> = BlockCore::new(cfg, txns);
+
+    let workers = threads.min(txns);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| worker_loop(&core.sched, &core.map, &core.records, &base, &run))
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("block worker panicked");
+        }
+    });
+
+    core.collect()
+}
+
+/// Executes a block on a persistent [`BlockPool`] instead of spawning
+/// scoped workers — same semantics and outcome as [`execute_block`], but
+/// amortizing thread spawns across the many blocks of a batch run (spawn
+/// latency dwarfs a small block's entire execution).
+///
+/// Because pool workers outlive the call, `base` and `run` must own what
+/// they capture (`'static`): share the pre-block state behind an
+/// `Arc<RwLock<..>>` and the block's transactions behind an `Arc<[..]>`.
+///
+/// # Panics
+///
+/// Panics if `txns` exceeds `cfg.block_size`, or if a worker panics.
+pub fn execute_block_on<K, V, O, B, F>(
+    pool: &BlockPool,
+    cfg: &BlockConfig,
+    txns: usize,
+    base: B,
+    run: F,
+) -> BlockOutcome<K, V, O>
+where
+    K: Hash + Eq + Ord + Clone + Send + Sync + 'static,
+    V: Clone + Send + Sync + 'static,
+    O: Send + 'static,
+    B: Fn(&K) -> Option<V> + Send + Sync + 'static,
+    F: Fn(usize, &mut TxnCtx<'_, K, V>) -> Result<(Vec<(K, V)>, O), Blocked>
+        + Send
+        + Sync
+        + 'static,
+{
+    assert!(txns <= cfg.block_size, "{txns} transactions exceed block_size {}", cfg.block_size);
+    if txns == 0 {
+        return empty_outcome();
+    }
+    let core: Arc<BlockCore<K, V, O>> = Arc::new(BlockCore::new(cfg, txns));
+    let job_core = Arc::clone(&core);
+    pool.run(
+        txns,
+        Arc::new(move || {
+            worker_loop(&job_core.sched, &job_core.map, &job_core.records, &base, &run)
+        }),
+    );
+    Arc::try_unwrap(core).unwrap_or_else(|_| unreachable!("pool.run joined every worker")).collect()
+}
+
+fn worker_loop<K, V, O, B, F>(
+    sched: &Scheduler,
+    map: &MvMap<K, V>,
+    records: &[Mutex<TxnRecord<K, V, O>>],
+    base: &B,
+    run: &F,
+) where
+    K: Hash + Eq + Ord + Clone + Send + Sync,
+    V: Clone + Send + Sync,
+    O: Send,
+    B: Fn(&K) -> Option<V> + Sync,
+    F: Fn(usize, &mut TxnCtx<'_, K, V>) -> Result<(Vec<(K, V)>, O), Blocked> + Sync,
+{
+    loop {
+        let task = {
+            let mut inner = sched.inner.lock().expect("scheduler poisoned");
+            loop {
+                if inner.done() {
+                    // Everyone else may be parked on the condvar with no
+                    // task left to hand out; wake them so they observe done.
+                    sched.wake.notify_all();
+                    return;
+                }
+                if let Some(task) = inner.pick() {
+                    inner.active += 1;
+                    break task;
+                }
+                inner = sched.wake.wait(inner).expect("scheduler poisoned");
+            }
+        };
+        match task {
+            Task::Execute { txn, incarnation } => {
+                let mut ctx = TxnCtx { map, base, reader: txn, reads: Vec::new() };
+                let result = run(txn, &mut ctx);
+                let mut inner = sched.inner.lock().expect("scheduler poisoned");
+                inner.active -= 1;
+                match result {
+                    Ok((writes, output)) => {
+                        // Publish outside the scheduler lock would be
+                        // nicer, but publication must be atomic with the
+                        // Executed transition or a concurrent validator
+                        // could observe the new status over the old
+                        // versions. Blocks are small; the hold is short.
+                        let mut record = records[txn].lock().expect("record poisoned");
+                        let prev_keys: Vec<K> =
+                            record.writes.iter().map(|(k, _)| k.clone()).collect();
+                        let wrote_new = map.publish(txn, incarnation, &writes, &prev_keys);
+                        record.incarnation = incarnation;
+                        record.reads = ctx.reads;
+                        record.writes = writes;
+                        record.output = Some(output);
+                        drop(record);
+                        inner.status[txn] = Status::Executed { incarnation };
+                        inner.stats.executions += 1;
+                        if incarnation > 0 {
+                            inner.stats.re_executions += 1;
+                        }
+                        // Resume transactions suspended on us.
+                        if let Some(waiters) = inner.deps.remove(&txn) {
+                            for w in waiters {
+                                let Status::Blocked { incarnation } = inner.status[w] else {
+                                    unreachable!("deps hold only Blocked transactions")
+                                };
+                                inner.status[w] = Status::Ready { incarnation };
+                                inner.exec_queue.insert(w);
+                            }
+                        }
+                        inner.valid_queue.insert(txn);
+                        // A new write path (or any republication) can
+                        // invalidate later reads that already validated.
+                        if (wrote_new || incarnation > 0) && inner.revalidate_after(txn) {
+                            inner.stats.waves += 1;
+                        }
+                    }
+                    Err(Blocked { on }) => {
+                        inner.stats.dependency_stalls += 1;
+                        if matches!(inner.status[on], Status::Executed { .. }) {
+                            // The writer republished while we were
+                            // resolving: retry immediately.
+                            inner.status[txn] = Status::Ready { incarnation };
+                            inner.exec_queue.insert(txn);
+                        } else {
+                            inner.status[txn] = Status::Blocked { incarnation };
+                            inner.deps.entry(on).or_default().push(txn);
+                        }
+                    }
+                }
+                sched.wake.notify_all();
+            }
+            Task::Validate { txn, incarnation } => {
+                let ok = {
+                    let record = records[txn].lock().expect("record poisoned");
+                    // A stale task for a republished incarnation validates
+                    // nothing; the fresh publication enqueued its own.
+                    record.incarnation == incarnation
+                        && record.reads.iter().all(|(k, seen)| map.still_valid(k, txn, *seen))
+                };
+                let mut inner = sched.inner.lock().expect("scheduler poisoned");
+                inner.active -= 1;
+                inner.stats.validations += 1;
+                if !ok && inner.status[txn] == (Status::Executed { incarnation }) {
+                    // Abort: our writes become estimates, we re-execute,
+                    // and every later settled transaction revalidates.
+                    inner.stats.validation_fails += 1;
+                    inner.stats.waves += 1;
+                    let keys: Vec<K> = {
+                        let record = records[txn].lock().expect("record poisoned");
+                        record.writes.iter().map(|(k, _)| k.clone()).collect()
+                    };
+                    map.mark_estimates(txn, incarnation, &keys);
+                    inner.status[txn] = Status::Ready { incarnation: incarnation + 1 };
+                    inner.exec_queue.insert(txn);
+                    inner.revalidate_after(txn);
+                }
+                sched.wake.notify_all();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn cfg() -> BlockConfig {
+        BlockConfig::new(512, 8).expect("valid config")
+    }
+
+    /// A tiny counter workload: txn i reads key (i % keys), adds i+1, and
+    /// outputs what it read — heavy same-key conflicts by construction.
+    fn run_counters(
+        txns: usize,
+        keys: u64,
+        threads: usize,
+    ) -> (Vec<i64>, Vec<(u64, i64)>, BlockStats) {
+        let out = execute_block(
+            &cfg(),
+            txns,
+            threads,
+            |_k: &u64| Some(0i64),
+            |i, ctx| {
+                let key = i as u64 % keys;
+                let v = ctx.read(&key)?.unwrap_or(0);
+                Ok((vec![(key, v + i as i64 + 1)], v))
+            },
+        );
+        (out.outputs, out.final_writes, out.stats)
+    }
+
+    fn sequential_counters(txns: usize, keys: u64) -> (Vec<i64>, Vec<(u64, i64)>) {
+        let mut state = std::collections::BTreeMap::new();
+        let mut outputs = Vec::new();
+        for i in 0..txns {
+            let key = i as u64 % keys;
+            let v = *state.get(&key).unwrap_or(&0);
+            outputs.push(v);
+            state.insert(key, v + i as i64 + 1);
+        }
+        (outputs, state.into_iter().collect())
+    }
+
+    #[test]
+    fn empty_block_is_a_noop() {
+        let out = execute_block(&cfg(), 0, 4, |_: &u64| None::<i64>, |_, _| Ok((vec![], 0u8)));
+        assert!(out.outputs.is_empty() && out.final_writes.is_empty());
+        assert_eq!(out.stats, BlockStats::default());
+    }
+
+    #[test]
+    fn single_thread_matches_sequential_exactly() {
+        let (outputs, finals, stats) = run_counters(40, 4, 1);
+        let (want_out, want_fin) = sequential_counters(40, 4);
+        assert_eq!(outputs, want_out);
+        assert_eq!(finals, want_fin);
+        assert_eq!(stats.executions, 40 + stats.re_executions);
+        assert!(stats.waves >= 1);
+    }
+
+    #[test]
+    fn output_is_schedule_invariant_across_thread_counts() {
+        let (want_out, want_fin) = sequential_counters(96, 3);
+        for threads in [1, 2, 4, 8] {
+            let (outputs, finals, _) = run_counters(96, 3, threads);
+            assert_eq!(outputs, want_out, "outputs diverged at {threads} threads");
+            assert_eq!(finals, want_fin, "final writes diverged at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn disjoint_transactions_settle_without_conflicts() {
+        let out = execute_block(
+            &cfg(),
+            32,
+            4,
+            |_: &u64| Some(100i64),
+            |i, ctx| {
+                let key = i as u64; // every txn owns its key
+                let v = ctx.read(&key)?.unwrap();
+                Ok((vec![(key, v + 1)], v))
+            },
+        );
+        assert!(out.outputs.iter().all(|&v| v == 100));
+        assert_eq!(out.stats.re_executions, 0, "no conflicts, no re-executions");
+        assert_eq!(out.stats.validation_fails, 0);
+        assert_eq!(out.stats.waves, 1, "one validation wave suffices");
+        assert_eq!(out.final_writes.len(), 32);
+    }
+
+    #[test]
+    fn read_only_transactions_observe_earlier_writes() {
+        // txn 0 writes key 0; txns 1..8 only read it. Readers must see
+        // txn 0's write (sequential semantics), not the base value.
+        let out = execute_block(
+            &cfg(),
+            8,
+            4,
+            |_: &u64| Some(7i64),
+            |i, ctx| {
+                if i == 0 {
+                    Ok((vec![(0u64, 42i64)], -1))
+                } else {
+                    Ok((vec![], ctx.read(&0)?.unwrap()))
+                }
+            },
+        );
+        assert_eq!(out.outputs[0], -1);
+        assert!(out.outputs[1..].iter().all(|&v| v == 42), "readers see txn 0's write");
+        assert_eq!(out.final_writes, vec![(0, 42)]);
+        assert_eq!(out.txn_writes[0], vec![(0, 42)]);
+        assert!(out.txn_writes[1..].iter().all(|w| w.is_empty()));
+    }
+
+    #[test]
+    fn hot_key_chain_counts_reexecutions_and_stalls() {
+        // Every txn reads-modifies-writes the same key: worst case. Under
+        // >1 thread, later txns must be invalidated or stalled at least
+        // once; the outcome still matches sequential execution.
+        let (outputs, finals, stats) = run_counters(64, 1, 4);
+        let (want_out, want_fin) = sequential_counters(64, 1);
+        assert_eq!(outputs, want_out);
+        assert_eq!(finals, want_fin);
+        assert_eq!(stats.executions, 64 + stats.re_executions);
+        assert!(stats.validations >= 64, "every txn validates at least once");
+    }
+
+    /// The pooled path must be outcome-equivalent to the scoped path: same
+    /// pool reused across many contended blocks, each matching sequential
+    /// execution.
+    #[test]
+    fn pooled_blocks_match_sequential_across_reuse() {
+        let pool = BlockPool::new(4);
+        for round in 0..8u64 {
+            let txns = 48;
+            let keys = 1 + round % 3;
+            let out = execute_block_on(
+                &pool,
+                &cfg(),
+                txns,
+                move |_k: &u64| Some(0i64),
+                move |i, ctx| {
+                    let key = i as u64 % keys;
+                    let v = ctx.read(&key)?.unwrap_or(0);
+                    Ok((vec![(key, v + i as i64 + 1)], v))
+                },
+            );
+            let (want_out, want_fin) = sequential_counters(txns, keys);
+            assert_eq!(out.outputs, want_out, "round {round}");
+            assert_eq!(out.final_writes, want_fin, "round {round}");
+            assert_eq!(out.stats.executions, txns as u64 + out.stats.re_executions);
+        }
+    }
+
+    #[test]
+    fn pooled_empty_block_is_a_noop() {
+        let pool = BlockPool::new(2);
+        let out: BlockOutcome<u64, i64, u8> =
+            execute_block_on(&pool, &cfg(), 0, |_: &u64| None, |_, _| Ok((vec![], 0)));
+        assert!(out.outputs.is_empty());
+        assert_eq!(out.stats, BlockStats::default());
+    }
+
+    #[test]
+    fn base_state_fallback_distinguishes_missing_keys() {
+        let out = execute_block(
+            &cfg(),
+            2,
+            2,
+            |k: &u64| (*k < 5).then_some(1i64),
+            |i, ctx| {
+                let present = ctx.read(&(i as u64))?;
+                let missing = ctx.read(&99)?;
+                Ok((vec![], (present, missing)))
+            },
+        );
+        assert!(out.outputs.iter().all(|&(p, m)| p == Some(1) && m.is_none()));
+    }
+
+    #[test]
+    fn bodies_may_rerun_but_settle_once() {
+        // Count how often txn 1's body runs: re-executions are allowed,
+        // but its output must be recorded exactly once and reflect the
+        // final read.
+        let runs = AtomicU64::new(0);
+        let out = execute_block(
+            &cfg(),
+            2,
+            2,
+            |_: &u64| Some(0i64),
+            |i, ctx| {
+                if i == 1 {
+                    runs.fetch_add(1, Ordering::Relaxed);
+                }
+                let v = ctx.read(&0)?.unwrap();
+                Ok((vec![(0u64, v + 1)], v))
+            },
+        );
+        assert_eq!(out.outputs, vec![0, 1]);
+        assert!(runs.load(Ordering::Relaxed) >= 1);
+        assert_eq!(out.final_writes, vec![(0, 2)]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Ordered optimistic block execution (Block-STM style).
+//!
+//! Given a **block** of `n` transactions with a fixed serial order
+//! `0, 1, …, n-1`, the executor runs them speculatively in parallel over a
+//! per-batch multi-version map and guarantees the outcome — every
+//! transaction's output and the block's final write set — is **byte
+//! identical to executing the same transactions sequentially in block
+//! order**, at any worker-thread count. The serial order is fixed up
+//! front, so the commit order is not a race outcome: this is the ordered
+//! second half of the multi-version story (DESIGN.md §6h), and the reason
+//! block mode collapses cross-seed execution variance.
+//!
+//! ## How it works
+//!
+//! * Every transaction's writes go into a [`MvMap`](mvmap::MvMap): a
+//!   striped multi-version map keyed by `(key, writer index)`. A read by
+//!   transaction `i` resolves to the newest write by a transaction `j < i`
+//!   (or the caller's base state when no such write exists) and records
+//!   the observed `(writer, incarnation)` version in `i`'s read set.
+//! * An aborted transaction's writes become **estimates** (the
+//!   PENDING/ESTIMATE publish protocol): a later reader that hits an
+//!   estimate knows a conflicting earlier write is coming and suspends on
+//!   the writer instead of speculating through it.
+//! * A cooperative [scheduler](executor) drives execute/validate tasks:
+//!   transactions are validated in order, and a failed validation aborts
+//!   and re-executes **only** the invalidated transaction (plus, via
+//!   cascading revalidation, anything that read from it) — each cascade is
+//!   one *wave*, and the per-block [`BlockStats`] count waves,
+//!   re-executions, validation failures and dependency stalls.
+//!
+//! The executor is deliberately engine-agnostic: it knows nothing about
+//! TL2, lock tables or WALs. `gstm-serve` layers `ServeMode::Block` on
+//! top, committing each block's results through the real engine in block
+//! order (one commit sequence number per transaction) so the WAL stays
+//! gap-free.
+
+#![warn(missing_docs)]
+
+pub mod executor;
+pub mod mvmap;
+pub mod pool;
+
+pub use executor::{execute_block, execute_block_on, BlockOutcome, Blocked, TxnCtx};
+pub use pool::BlockPool;
+
+/// Knobs of one block execution, validated loudly at construction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockConfig {
+    /// Maximum transactions per block (callers chop longer sequences).
+    pub block_size: usize,
+    /// Stripes in the multi-version map — the `(txn, stripe)` granularity
+    /// at which dependency stalls are tracked.
+    pub parts: usize,
+}
+
+impl BlockConfig {
+    /// Hard cap on `parts`: beyond this, per-stripe mutexes cost more than
+    /// they save on any plausible block size.
+    pub const MAX_PARTS: usize = 4096;
+
+    /// Hard cap on `block_size`: a block is a latency batch, not a log.
+    pub const MAX_BLOCK_SIZE: usize = 1 << 20;
+
+    /// Builds a validated config.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when either knob is zero or exceeds
+    /// its cap — the loud-at-the-boundary alternative to a panic deep
+    /// inside stripe sizing.
+    pub fn new(block_size: usize, parts: usize) -> Result<Self, String> {
+        if block_size == 0 || block_size > Self::MAX_BLOCK_SIZE {
+            return Err(format!(
+                "block_size must be in 1..={}, got {block_size}",
+                Self::MAX_BLOCK_SIZE
+            ));
+        }
+        if parts == 0 || parts > Self::MAX_PARTS {
+            return Err(format!("parts must be in 1..={}, got {parts}", Self::MAX_PARTS));
+        }
+        Ok(BlockConfig { block_size, parts })
+    }
+}
+
+/// Counters of one (or, merged, many) block executions.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BlockStats {
+    /// Transaction executions, including the first run of each.
+    pub executions: u64,
+    /// Executions beyond each transaction's first (aborted or suspended
+    /// incarnations re-run).
+    pub re_executions: u64,
+    /// Validation passes performed.
+    pub validations: u64,
+    /// Validations that failed and aborted their transaction.
+    pub validation_fails: u64,
+    /// Reads that hit an estimate and suspended on the writer.
+    pub dependency_stalls: u64,
+    /// Revalidation cascades (1 + the number of times an abort or a
+    /// re-execution forced later transactions back into validation).
+    pub waves: u64,
+}
+
+impl BlockStats {
+    /// Accumulates another block's counters into this one.
+    pub fn merge(&mut self, other: &BlockStats) {
+        self.executions += other.executions;
+        self.re_executions += other.re_executions;
+        self.validations += other.validations;
+        self.validation_fails += other.validation_fails;
+        self.dependency_stalls += other.dependency_stalls;
+        self.waves += other.waves;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_rejects_degenerate_knobs_loudly() {
+        assert!(BlockConfig::new(64, 8).is_ok());
+        let err = BlockConfig::new(0, 8).unwrap_err();
+        assert!(err.contains("block_size"), "message names the knob: {err}");
+        let err = BlockConfig::new(64, 0).unwrap_err();
+        assert!(err.contains("parts"), "message names the knob: {err}");
+        assert!(BlockConfig::new(BlockConfig::MAX_BLOCK_SIZE + 1, 8).is_err());
+        assert!(BlockConfig::new(64, BlockConfig::MAX_PARTS + 1).is_err());
+    }
+
+    #[test]
+    fn stats_merge_is_fieldwise_sum() {
+        let mut a = BlockStats {
+            executions: 10,
+            re_executions: 2,
+            validations: 9,
+            validation_fails: 1,
+            dependency_stalls: 3,
+            waves: 2,
+        };
+        a.merge(&BlockStats {
+            executions: 5,
+            re_executions: 1,
+            validations: 4,
+            validation_fails: 0,
+            dependency_stalls: 1,
+            waves: 1,
+        });
+        assert_eq!(a.executions, 15);
+        assert_eq!(a.re_executions, 3);
+        assert_eq!(a.validations, 13);
+        assert_eq!(a.validation_fails, 1);
+        assert_eq!(a.dependency_stalls, 4);
+        assert_eq!(a.waves, 3);
+    }
+}

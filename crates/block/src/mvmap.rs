@@ -1,0 +1,310 @@
+//! The per-block multi-version map.
+//!
+//! One entry per `(key, writer index)`: transaction `i`'s write of `key`
+//! is visible only to transactions ordered after `i`, and a read by `i`
+//! resolves to the newest write by any `j < i` — the block-order analogue
+//! of TL2's "newest version `<= ts`" snapshot rule, with the transaction
+//! index playing the timestamp. Aborted writers leave **estimates**
+//! behind (the PENDING/ESTIMATE publish protocol): a reader that resolves
+//! to an estimate learns it would read a value that is about to change
+//! and suspends on the writer instead of speculating through it.
+//!
+//! The map is striped into `parts` mutex-protected shards by key hash —
+//! the `(txn, stripe)` granularity the executor tracks dependency stalls
+//! at. Striping only spreads lock contention; resolution is exact
+//! per key, so the stripe count never changes an outcome.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::{BTreeMap, HashMap};
+use std::hash::{Hash, Hasher};
+use std::sync::Mutex;
+
+/// What a transaction's slot for one key currently holds.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Version<V> {
+    /// The writer aborted (or is re-executing): the value is coming but
+    /// unknown. Readers must suspend on the writer.
+    Estimate {
+        /// Incarnation whose write was invalidated.
+        incarnation: u32,
+    },
+    /// A committed speculative value from the given incarnation.
+    Value {
+        /// The written value.
+        value: V,
+        /// Writer incarnation that produced it (read-set versions compare
+        /// this, so a re-executed writer invalidates old readers even
+        /// when it happens to write the same bytes).
+        incarnation: u32,
+    },
+}
+
+/// What a read observed, recorded into the reader's read set and
+/// re-checked at validation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReadVersion {
+    /// No earlier-ordered transaction wrote the key: the caller's base
+    /// state supplied the value.
+    Base,
+    /// The value came from `writer`'s speculative write.
+    Txn {
+        /// Block index of the writing transaction.
+        writer: usize,
+        /// Its incarnation at read time.
+        incarnation: u32,
+    },
+}
+
+/// Outcome of resolving a read for transaction `reader`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Resolution<V> {
+    /// Newest earlier-ordered write (and the version to record).
+    Speculative(V, ReadVersion),
+    /// No earlier-ordered write: read the base state.
+    FromBase,
+    /// The newest earlier-ordered write is an estimate by this writer.
+    Blocked(usize),
+}
+
+struct Stripe<K, V> {
+    entries: Mutex<HashMap<K, BTreeMap<usize, Version<V>>>>,
+}
+
+/// The striped multi-version map. `K` must hash and order; `V` is cloned
+/// out on every read (block values are small — serve stores a 16-byte
+/// entry).
+pub struct MvMap<K, V> {
+    stripes: Vec<Stripe<K, V>>,
+}
+
+impl<K: Hash + Eq + Ord + Clone, V: Clone> MvMap<K, V> {
+    /// An empty map with `parts` stripes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is zero (callers validate via
+    /// [`crate::BlockConfig::new`]).
+    pub fn new(parts: usize) -> Self {
+        assert!(parts > 0, "multi-version map needs at least one stripe");
+        MvMap {
+            stripes: (0..parts).map(|_| Stripe { entries: Mutex::new(HashMap::new()) }).collect(),
+        }
+    }
+
+    /// The stripe a key hashes to. `DefaultHasher::new()` is keyed with
+    /// zeros, so the mapping is stable across processes (outcomes never
+    /// depend on it, but perf reproducibility is nice to have).
+    pub fn stripe_of(&self, key: &K) -> usize {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        (h.finish() % self.stripes.len() as u64) as usize
+    }
+
+    fn lock(&self, key: &K) -> std::sync::MutexGuard<'_, HashMap<K, BTreeMap<usize, Version<V>>>> {
+        self.stripes[self.stripe_of(key)].entries.lock().expect("mvmap stripe poisoned")
+    }
+
+    /// Resolves a read of `key` by transaction `reader`: the newest write
+    /// by a transaction ordered strictly before it.
+    pub fn resolve(&self, key: &K, reader: usize) -> Resolution<V> {
+        let entries = self.lock(key);
+        let Some(versions) = entries.get(key) else { return Resolution::FromBase };
+        match versions.range(..reader).next_back() {
+            None => Resolution::FromBase,
+            Some((&writer, Version::Estimate { .. })) => Resolution::Blocked(writer),
+            Some((&writer, Version::Value { value, incarnation })) => Resolution::Speculative(
+                value.clone(),
+                ReadVersion::Txn { writer, incarnation: *incarnation },
+            ),
+        }
+    }
+
+    /// Re-checks a recorded read: does `key` still resolve to `observed`
+    /// for this reader? An estimate in the way fails conservatively.
+    pub fn still_valid(&self, key: &K, reader: usize, observed: ReadVersion) -> bool {
+        let entries = self.lock(key);
+        let current = entries
+            .get(key)
+            .and_then(|versions| versions.range(..reader).next_back())
+            .map(|(&writer, v)| (writer, v.clone()));
+        match (current, observed) {
+            (None, ReadVersion::Base) => true,
+            (
+                Some((w, Version::Value { incarnation, .. })),
+                ReadVersion::Txn { writer, incarnation: seen },
+            ) => w == writer && incarnation == seen,
+            _ => false,
+        }
+    }
+
+    /// Publishes transaction `writer`'s write set for its current
+    /// incarnation, replacing whatever the previous incarnation left
+    /// (values or estimates). Keys written by the previous incarnation
+    /// but absent from `writes` are removed. Returns whether any key is
+    /// **new** relative to `prev_keys` — the signal that later readers of
+    /// previously-untouched paths must be revalidated.
+    pub fn publish(
+        &self,
+        writer: usize,
+        incarnation: u32,
+        writes: &[(K, V)],
+        prev_keys: &[K],
+    ) -> bool {
+        let mut wrote_new = false;
+        for (key, value) in writes {
+            if !prev_keys.contains(key) {
+                wrote_new = true;
+            }
+            let mut entries = self.lock(key);
+            entries
+                .entry(key.clone())
+                .or_default()
+                .insert(writer, Version::Value { value: value.clone(), incarnation });
+        }
+        for key in prev_keys {
+            if writes.iter().any(|(k, _)| k == key) {
+                continue;
+            }
+            let mut entries = self.lock(key);
+            if let Some(versions) = entries.get_mut(key) {
+                versions.remove(&writer);
+                if versions.is_empty() {
+                    entries.remove(key);
+                }
+            }
+        }
+        wrote_new
+    }
+
+    /// Converts `writer`'s published writes into estimates — the abort
+    /// path. Later readers resolving these keys suspend until the next
+    /// incarnation republishes.
+    pub fn mark_estimates(&self, writer: usize, incarnation: u32, keys: &[K]) {
+        for key in keys {
+            let mut entries = self.lock(key);
+            if let Some(versions) = entries.get_mut(key) {
+                if let Some(slot) = versions.get_mut(&writer) {
+                    *slot = Version::Estimate { incarnation };
+                }
+            }
+        }
+    }
+
+    /// Drains the map into the block's final write set: for every key, the
+    /// highest-ordered writer's value, sorted by key. Call only after the
+    /// scheduler has quiesced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any estimate survives — the scheduler's termination
+    /// condition guarantees every transaction's last incarnation
+    /// republished real values.
+    pub fn into_final_writes(self) -> Vec<(K, V)> {
+        let mut out: Vec<(K, V)> = Vec::new();
+        for stripe in self.stripes {
+            let entries = stripe.entries.into_inner().expect("mvmap stripe poisoned");
+            for (key, versions) in entries {
+                let (_, last) =
+                    versions.into_iter().next_back().expect("non-empty by construction");
+                match last {
+                    Version::Value { value, .. } => out.push((key, value)),
+                    Version::Estimate { .. } => {
+                        panic!("estimate survived block completion: scheduler bug")
+                    }
+                }
+            }
+        }
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_resolve_to_newest_earlier_writer_only() {
+        let map: MvMap<u64, i64> = MvMap::new(4);
+        map.publish(2, 0, &[(7, 20)], &[]);
+        map.publish(5, 0, &[(7, 50)], &[]);
+        // Reader 1 precedes both writers: base state.
+        assert_eq!(map.resolve(&7, 1), Resolution::FromBase);
+        // Reader 4 sees writer 2, not writer 5.
+        assert_eq!(
+            map.resolve(&7, 4),
+            Resolution::Speculative(20, ReadVersion::Txn { writer: 2, incarnation: 0 })
+        );
+        // Reader 9 sees the newest earlier writer, 5.
+        assert_eq!(
+            map.resolve(&7, 9),
+            Resolution::Speculative(50, ReadVersion::Txn { writer: 5, incarnation: 0 })
+        );
+        // A writer never reads its own slot: writer 5 resolves to writer 2.
+        assert_eq!(
+            map.resolve(&7, 5),
+            Resolution::Speculative(20, ReadVersion::Txn { writer: 2, incarnation: 0 })
+        );
+    }
+
+    #[test]
+    fn estimates_block_later_readers() {
+        let map: MvMap<u64, i64> = MvMap::new(2);
+        map.publish(3, 0, &[(1, 30)], &[]);
+        map.mark_estimates(3, 0, &[1]);
+        assert_eq!(map.resolve(&1, 6), Resolution::Blocked(3));
+        // Earlier readers are unaffected.
+        assert_eq!(map.resolve(&1, 2), Resolution::FromBase);
+        // Republication (next incarnation) unblocks.
+        map.publish(3, 1, &[(1, 31)], &[1]);
+        assert_eq!(
+            map.resolve(&1, 6),
+            Resolution::Speculative(31, ReadVersion::Txn { writer: 3, incarnation: 1 })
+        );
+    }
+
+    #[test]
+    fn validation_compares_writer_and_incarnation() {
+        let map: MvMap<u64, i64> = MvMap::new(2);
+        assert!(map.still_valid(&9, 4, ReadVersion::Base));
+        map.publish(2, 0, &[(9, 1)], &[]);
+        assert!(!map.still_valid(&9, 4, ReadVersion::Base), "new write invalidates base read");
+        let seen = ReadVersion::Txn { writer: 2, incarnation: 0 };
+        assert!(map.still_valid(&9, 4, seen));
+        // Same key, same value bytes, new incarnation: still invalid.
+        map.publish(2, 1, &[(9, 1)], &[9]);
+        assert!(!map.still_valid(&9, 4, seen), "incarnation bump invalidates readers");
+        map.mark_estimates(2, 1, &[9]);
+        assert!(
+            !map.still_valid(&9, 4, ReadVersion::Txn { writer: 2, incarnation: 1 }),
+            "estimates fail validation conservatively"
+        );
+    }
+
+    #[test]
+    fn republication_diffs_write_sets() {
+        let map: MvMap<u64, i64> = MvMap::new(2);
+        assert!(map.publish(1, 0, &[(4, 40), (5, 50)], &[]), "first publish is all-new");
+        // Re-publish dropping key 5 and keeping 4: key 5 vanishes for readers.
+        assert!(!map.publish(1, 1, &[(4, 41)], &[4, 5]), "no new key");
+        assert_eq!(map.resolve(&5, 3), Resolution::FromBase, "dropped key no longer resolves");
+        assert!(map.publish(1, 2, &[(4, 42), (6, 60)], &[4]), "key 6 is a new path");
+    }
+
+    #[test]
+    fn final_writes_take_the_highest_writer_per_key() {
+        let map: MvMap<u64, i64> = MvMap::new(3);
+        map.publish(0, 0, &[(2, 1), (8, 2)], &[]);
+        map.publish(4, 0, &[(2, 9)], &[]);
+        assert_eq!(map.into_final_writes(), vec![(2, 9), (8, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "estimate survived")]
+    fn surviving_estimates_are_a_loud_bug() {
+        let map: MvMap<u64, i64> = MvMap::new(1);
+        map.publish(0, 0, &[(1, 1)], &[]);
+        map.mark_estimates(0, 0, &[1]);
+        let _ = map.into_final_writes();
+    }
+}

@@ -1,0 +1,215 @@
+//! A persistent worker pool for running many blocks without re-spawning
+//! OS threads.
+//!
+//! [`crate::execute_block`] spawns scoped workers per call, which is fine
+//! for a one-off block but dominates wall-clock when a serve run executes
+//! hundreds of small blocks (thread spawn costs tens of microseconds;
+//! block bodies are often cheaper than that). A [`BlockPool`] spawns its
+//! workers once; each [`BlockPool::run`] broadcasts one job closure to a
+//! subset of them and blocks until every participant finishes — exactly
+//! the join barrier the scoped version had, minus the spawns.
+//!
+//! The pool is deliberately dumb: it knows nothing about blocks. The job
+//! *is* the executor's worker loop, closed over a per-block scheduler
+//! (see [`crate::executor::execute_block_on`]).
+
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// One job broadcast to the pool: every participating worker calls the
+/// same closure once, concurrently.
+pub type Job = Arc<dyn Fn() + Send + Sync>;
+
+struct PoolState {
+    /// Bumped by every [`BlockPool::run`]; workers track the last
+    /// generation they saw so one notify can't run a job twice.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers the current generation still admits.
+    admitted: usize,
+    /// Workers currently inside the current job.
+    running: usize,
+    shutdown: bool,
+}
+
+struct PoolInner {
+    state: Mutex<PoolState>,
+    /// Workers park here between jobs.
+    work: Condvar,
+    /// The submitter parks here until `running` drains to zero.
+    done: Condvar,
+}
+
+/// A fixed set of persistent worker threads executing one broadcast job
+/// at a time. Dropping the pool shuts the workers down and joins them.
+pub struct BlockPool {
+    inner: Arc<PoolInner>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl BlockPool {
+    /// Spawns a pool of `threads` persistent workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(threads: usize) -> Self {
+        assert!(threads > 0, "a pool needs at least one worker");
+        let inner = Arc::new(PoolInner {
+            state: Mutex::new(PoolState {
+                generation: 0,
+                job: None,
+                admitted: 0,
+                running: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        });
+        let handles = (0..threads)
+            .map(|_| {
+                let inner = Arc::clone(&inner);
+                std::thread::spawn(move || worker(&inner))
+            })
+            .collect();
+        BlockPool { inner, handles }
+    }
+
+    /// Number of worker threads in the pool.
+    pub fn threads(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Runs `job` on `min(workers, threads())` pool workers concurrently
+    /// and returns once all of them have finished. Calls are serialized by
+    /// construction: the previous run's barrier completed before this one
+    /// can start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers` is zero or a pool worker panicked.
+    pub fn run(&self, workers: usize, job: Job) {
+        assert!(workers > 0, "a job needs at least one worker");
+        let n = workers.min(self.handles.len());
+        let mut state = self.inner.state.lock().expect("pool poisoned");
+        debug_assert_eq!(state.running, 0, "BlockPool::run is not reentrant");
+        state.generation += 1;
+        state.job = Some(job);
+        state.admitted = n;
+        state.running = n;
+        self.inner.work.notify_all();
+        while state.running > 0 {
+            state = self.inner.done.wait(state).expect("pool poisoned");
+        }
+        state.job = None;
+    }
+}
+
+impl Drop for BlockPool {
+    fn drop(&mut self) {
+        {
+            let mut state = self.inner.state.lock().expect("pool poisoned");
+            state.shutdown = true;
+        }
+        self.inner.work.notify_all();
+        for h in self.handles.drain(..) {
+            h.join().expect("pool worker panicked");
+        }
+    }
+}
+
+fn worker(inner: &PoolInner) {
+    let mut seen = 0u64;
+    loop {
+        let job = {
+            let mut state = inner.state.lock().expect("pool poisoned");
+            loop {
+                if state.shutdown {
+                    return;
+                }
+                if state.generation > seen {
+                    // New generation: join it if it still admits workers,
+                    // otherwise skip it entirely (a job for fewer workers
+                    // than the pool holds).
+                    seen = state.generation;
+                    if state.admitted > 0 {
+                        state.admitted -= 1;
+                        break Arc::clone(state.job.as_ref().expect("admitted job present"));
+                    }
+                }
+                state = inner.work.wait(state).expect("pool poisoned");
+            }
+        };
+        job();
+        // Drop our clone before signalling completion: once `run` returns,
+        // the submitter must hold the only references to whatever the job
+        // closed over (the executor unwraps an Arc on that promise).
+        drop(job);
+        let mut state = inner.state.lock().expect("pool poisoned");
+        state.running -= 1;
+        if state.running == 0 {
+            inner.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn every_admitted_worker_runs_the_job_exactly_once() {
+        let pool = BlockPool::new(4);
+        for round in 1..=10usize {
+            let calls = Arc::new(AtomicUsize::new(0));
+            let c = Arc::clone(&calls);
+            pool.run(
+                round.min(4),
+                Arc::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+            assert_eq!(calls.load(Ordering::SeqCst), round.min(4), "round {round}");
+        }
+    }
+
+    #[test]
+    fn oversubscribed_request_clamps_to_pool_size() {
+        let pool = BlockPool::new(2);
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c = Arc::clone(&calls);
+        pool.run(
+            64,
+            Arc::new(move || {
+                c.fetch_add(1, Ordering::SeqCst);
+            }),
+        );
+        assert_eq!(calls.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn runs_are_barriers() {
+        // If run() returned before all workers finished, the second job
+        // could observe a partial counter from the first.
+        let pool = BlockPool::new(4);
+        let counter = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let c = Arc::clone(&counter);
+            pool.run(
+                4,
+                Arc::new(move || {
+                    c.fetch_add(1, Ordering::SeqCst);
+                }),
+            );
+        }
+        assert_eq!(counter.load(Ordering::SeqCst), 200);
+    }
+
+    #[test]
+    fn drop_joins_idle_workers() {
+        let pool = BlockPool::new(3);
+        pool.run(3, Arc::new(|| {}));
+        drop(pool); // must not hang
+    }
+}

@@ -66,8 +66,12 @@ use std::fmt;
 
 use gstm_core::{Participant, TxEvent, VarId};
 
+pub mod block;
 pub mod recovery;
 
+pub use block::{
+    check_block_equivalence, check_conserved_total, BlockRecord, BlockReport, BlockViolation,
+};
 pub use recovery::{check_recovery, RecoveryReport, RecoveryViolation};
 
 /// One invariant violation found by [`check_history`].

@@ -271,6 +271,44 @@ impl StmConfig {
         self
     }
 
+    /// Checks every sizing knob against the limits the engine's guts
+    /// enforce, returning one loud message instead of letting an
+    /// out-of-range value panic deep inside `LockTable` or ring sizing.
+    ///
+    /// [`StmConfigBuilder::build`] runs this automatically; call it
+    /// directly when a config is assembled field-by-field (struct literal,
+    /// deserialization) rather than through the builder.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_threads == 0 || self.max_threads > u16::MAX as usize {
+            return Err(format!(
+                "max_threads must be in 1..={}, got {}",
+                u16::MAX,
+                self.max_threads
+            ));
+        }
+        if !(1..=24).contains(&self.log2_stripes) {
+            return Err(format!(
+                "log2_stripes must be in 1..=24 (the lock table allocates 1 << log2_stripes \
+                 stripes per partition), got {}",
+                self.log2_stripes
+            ));
+        }
+        if !(1..=64).contains(&self.table_shards) {
+            return Err(format!(
+                "table_shards must be in 1..=64 (partitions multiply the lock-table footprint), \
+                 got {}",
+                self.table_shards
+            ));
+        }
+        if self.version_ring_capacity == 0 {
+            return Err(
+                "version_ring_capacity must be at least 1 (a ring must hold the newest version)"
+                    .to_string(),
+            );
+        }
+        Ok(())
+    }
+
     /// The LibTM configuration the paper uses for SynQuake:
     /// fully-optimistic detection with abort-readers resolution.
     pub fn libtm(max_threads: usize) -> Self {
@@ -375,7 +413,17 @@ impl StmConfigBuilder {
     }
 
     /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`StmConfig::validate`] message if any sizing knob
+    /// is out of range — the error names the knob and its legal interval,
+    /// instead of an index panic later inside lock-table or ring
+    /// construction.
     pub fn build(self) -> StmConfig {
+        if let Err(msg) = self.cfg.validate() {
+            panic!("invalid StmConfig: {msg}");
+        }
         self.cfg
     }
 }
@@ -461,6 +509,54 @@ mod tests {
     #[should_panic]
     fn zero_ring_capacity_rejected() {
         let _ = StmConfig::builder(1).version_ring_capacity(0);
+    }
+
+    #[test]
+    fn validate_accepts_every_builder_reachable_config() {
+        assert_eq!(StmConfig::new(1).validate(), Ok(()));
+        assert_eq!(
+            StmConfig::builder(u16::MAX as usize)
+                .log2_stripes(24)
+                .table_shards(64)
+                .version_ring_capacity(1)
+                .build()
+                .validate(),
+            Ok(())
+        );
+    }
+
+    /// Out-of-range sizing knobs must fail at `build()` with a message
+    /// naming the knob and its legal interval — not as an index panic
+    /// deep inside lock-table construction.
+    #[test]
+    fn validate_names_the_offending_knob() {
+        let mut c = StmConfig::new(4);
+        c.log2_stripes = 25;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("log2_stripes") && msg.contains("1..=24"), "{msg}");
+
+        let mut c = StmConfig::new(4);
+        c.log2_stripes = 0;
+        assert!(c.validate().unwrap_err().contains("log2_stripes"));
+
+        let mut c = StmConfig::new(4);
+        c.table_shards = 65;
+        let msg = c.validate().unwrap_err();
+        assert!(msg.contains("table_shards") && msg.contains("1..=64"), "{msg}");
+
+        let mut c = StmConfig::new(4);
+        c.version_ring_capacity = 0;
+        assert!(c.validate().unwrap_err().contains("version_ring_capacity"));
+
+        let mut c = StmConfig::new(4);
+        c.max_threads = 0;
+        assert!(c.validate().unwrap_err().contains("max_threads"));
+    }
+
+    #[test]
+    #[should_panic(expected = "log2_stripes must be in 1..=24")]
+    fn build_rejects_oversized_stripe_exponent_loudly() {
+        let _ = StmConfig::builder(4).log2_stripes(31).build();
     }
 
     #[test]

@@ -535,6 +535,52 @@ mod tests {
         assert_eq!(read_i64(&cell, 10), None, "older versions GC'd once unreachable");
     }
 
+    /// The block executor's hazard case: a lagging re-execution holds a
+    /// snapshot timestamp from before the watermark advanced. Reads at or
+    /// above the watermark must resolve the pinned version; reads strictly
+    /// below the oldest retained version must come back `None` — a loud
+    /// registry-protocol violation, never a silently wrong newer value.
+    #[test]
+    fn lagging_reader_behind_the_watermark_is_refused_not_lied_to() {
+        let cell = VarCell::new(VarId::from_raw(1), val(0));
+        cell.push_version(3, val(30), 0, 8);
+        cell.push_version(7, val(70), 0, 8);
+        // Watermark jumps to 9: versions 0 and 3 are evictable (7 covers
+        // every legitimate reader), and the ring now starts at wv=7.
+        let out = cell.push_version(12, val(120), 9, 8);
+        assert_eq!(out.evicted, 2);
+        // At/above the watermark: the pinned version answers.
+        assert_eq!(read_i64(&cell, 9), Some((7, 70)));
+        assert_eq!(read_i64(&cell, 11), Some((7, 70)));
+        assert_eq!(read_i64(&cell, 12), Some((12, 120)));
+        // Behind the watermark — below the oldest retained wv: refused.
+        // A reader that somehow held ts=6 would otherwise observe wv=3's
+        // value, which GC just dropped; `None` turns the protocol bug
+        // into an immediate failure instead of a wrong answer.
+        assert_eq!(read_i64(&cell, 6), None);
+        assert_eq!(read_i64(&cell, 0), None);
+    }
+
+    /// GC is monotone under a ratcheting watermark: each advance evicts
+    /// exactly the versions strictly older than the newest one at or
+    /// below it, and eviction counts across pushes account for every
+    /// version that ever entered the ring.
+    #[test]
+    fn ring_gc_eviction_counts_account_for_all_versions() {
+        let cell = VarCell::new(VarId::from_raw(1), val(0));
+        let mut entered = 1u32; // the seed
+        let mut evicted = 0u32;
+        let mut last = PushOutcome::default();
+        for (wv, watermark) in [(2u64, 0u64), (4, 0), (6, 3), (8, 6), (10, 10)] {
+            last = cell.push_version(wv, val(wv as i64), watermark, 8);
+            entered += 1;
+            evicted += last.evicted;
+        }
+        assert_eq!(entered - evicted, last.len, "no version lost or double-counted");
+        assert_eq!(last.len, 1, "watermark caught up: only the newest survives");
+        assert_eq!(read_i64(&cell, 10), Some((10, 10)));
+    }
+
     #[test]
     fn ring_seeded_with_initial_value() {
         let cell = VarCell::new(VarId::from_raw(1), val(7));

@@ -59,6 +59,8 @@ pub const SUITE_MVCC: &str = "mvcc";
 /// Suite tag of the online-adaptive-guidance artifact
 /// (`BENCH_adaptive.json`).
 pub const SUITE_ADAPTIVE: &str = "adaptive";
+/// Suite tag of the ordered block-execution artifact (`BENCH_block.json`).
+pub const SUITE_BLOCK: &str = "block";
 
 /// Metric keys every valid hot-path artifact must contain (`bench-check`
 /// gates on presence, never on values).
@@ -171,6 +173,28 @@ pub const ADAPTIVE_REQUIRED_METRICS: &[&str] = &[
     "adaptive.loop.rejects",
     "adaptive.loop.stand_downs",
     "adaptive.gate.uniform_rejected",
+];
+
+/// Metric keys every valid block artifact must contain: the same
+/// read-mostly serve cell under interleaved TL2, interleaved snapshot
+/// reads, and ordered block execution (throughput and tail each), the
+/// block arm's speedup over TL2, the executor's counters, and the
+/// schedule-invariance verdict (1.0 = parallel output byte-identical to
+/// the sequential reference at every checked thread count).
+pub const BLOCK_REQUIRED_METRICS: &[&str] = &[
+    "block.tl2.req_per_sec",
+    "block.tl2.sojourn_p99_ticks",
+    "block.snapshot.req_per_sec",
+    "block.snapshot.sojourn_p99_ticks",
+    "block.block.req_per_sec",
+    "block.block.sojourn_p99_ticks",
+    "block.block.speedup_vs_tl2",
+    "block.block.blocks",
+    "block.block.re_executions",
+    "block.block.validation_fails",
+    "block.block.dependency_stalls",
+    "block.block.waves",
+    "block.block.determinism_ok",
 ];
 
 /// Harness parameters (iteration counts scale with the preset, repetition
@@ -688,6 +712,113 @@ pub fn run_mvcc_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String
     metrics
 }
 
+///// The block study's serve cell: the contended hot store shape under the
+/// read-mostly `mvcc_read` mix, offered well past service capacity
+/// (mean inter-arrival gap 8 ticks across 3 streams) — so every arm's
+/// throughput reflects how fast it drains requests, not the arrival
+/// rate. The interleaved arms (TL2, snapshot) pay per-read engine
+/// instrumentation and conflict aborts, and shed under the overload;
+/// the block arm executes the same requests speculatively over the
+/// per-batch multi-version map, pushes only precomputed write sets
+/// through the engine, and completes every request.
+fn block_spec(cfg: &BenchConfig) -> gstm_serve::ServeSpec {
+    let requests = (cfg.iters / 10).clamp(50, 1_000);
+    gstm_serve::ServeSpec::hot(requests)
+        .with_mix(gstm_serve::Mix::mvcc_read())
+        .with_arrival(gstm_serve::Arrival::Poisson { mean_gap: 8.0 })
+}
+
+/// One native serve cell. Returns best-of-reps `(req/sec, sojourn p99,
+/// block-mode report from the best rep)`.
+fn bench_block_serve(
+    cfg: &BenchConfig,
+    spec: &gstm_serve::ServeSpec,
+) -> (f64, f64, Option<gstm_serve::BlockModeReport>) {
+    let mut best_rate = 0.0f64;
+    let mut p99 = 0.0f64;
+    let mut block = None;
+    for _ in 0..cfg.reps {
+        let start = Instant::now();
+        let report = gstm_serve::run_native(spec, 3, 11, 50, 64);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        let rate = report.done as f64 / secs;
+        if rate > best_rate {
+            best_rate = rate;
+            p99 = report.sojourn.p(0.99);
+            block = report.block;
+        }
+    }
+    (best_rate, p99, block)
+}
+
+/// Runs the ordered block-execution suite: the read-mostly serve cell
+/// under interleaved TL2, interleaved snapshot reads, and
+/// `ServeMode::Block`, plus the schedule-invariance oracle (parallel
+/// block output vs the sequential reference at 1/2/4 worker threads).
+/// Returns the [`BLOCK_REQUIRED_METRICS`] map.
+pub fn run_block_suite(cfg: &BenchConfig, progress: &dyn Progress) -> Vec<(String, f64)> {
+    const BLOCK_SIZE: usize = 64;
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    let mut tl2_rate = f64::NAN;
+    let arms = [
+        ("tl2", block_spec(cfg)),
+        ("snapshot", block_spec(cfg).with_read_mode(ReadMode::Snapshot)),
+        ("block", block_spec(cfg).with_block_mode(BLOCK_SIZE)),
+    ];
+    for (label, spec) in arms {
+        let (rate, p99, block) = bench_block_serve(cfg, &spec);
+        progress.report(&format!("block.{label}: {rate:.0} req/s, p99 {p99:.0} ticks"));
+        metrics.push((format!("block.{label}.req_per_sec"), rate));
+        metrics.push((format!("block.{label}.sojourn_p99_ticks"), p99));
+        if label == "tl2" {
+            tl2_rate = rate;
+        }
+        if let Some(report) = block {
+            metrics.push(("block.block.speedup_vs_tl2".into(), rate / tl2_rate));
+            metrics.push(("block.block.blocks".into(), report.blocks as f64));
+            metrics.push(("block.block.re_executions".into(), report.stats.re_executions as f64));
+            metrics.push((
+                "block.block.validation_fails".into(),
+                report.stats.validation_fails as f64,
+            ));
+            metrics.push((
+                "block.block.dependency_stalls".into(),
+                report.stats.dependency_stalls as f64,
+            ));
+            metrics.push(("block.block.waves".into(), report.stats.waves as f64));
+            let gauges = gstm_telemetry::BlockGauges::new();
+            gstm_telemetry::BlockGauges::set(&gauges.blocks, report.blocks);
+            gstm_telemetry::BlockGauges::set(&gauges.executions, report.stats.executions);
+            gstm_telemetry::BlockGauges::set(&gauges.re_executions, report.stats.re_executions);
+            gstm_telemetry::BlockGauges::set(&gauges.validations, report.stats.validations);
+            gstm_telemetry::BlockGauges::set(
+                &gauges.validation_fails,
+                report.stats.validation_fails,
+            );
+            gstm_telemetry::BlockGauges::set(
+                &gauges.dependency_stalls,
+                report.stats.dependency_stalls,
+            );
+            gstm_telemetry::BlockGauges::set(&gauges.waves, report.stats.waves);
+            progress.report(&gauges.summary());
+        }
+    }
+    // Schedule invariance: the pure parallel runner (no engine, no clock)
+    // over the same traffic shape at several worker-thread counts, each
+    // compared byte-for-byte against the sequential reference.
+    let dspec = block_spec(cfg).with_block_mode(BLOCK_SIZE);
+    let reference = gstm_serve::run_block_reference(&dspec, 2, 11);
+    let parallel: Vec<(usize, gstm_check::BlockRecord)> = [1usize, 2, 4]
+        .into_iter()
+        .map(|t| (t, gstm_serve::execute_block_order(&dspec, 2, 11, t).0))
+        .collect();
+    let verdict = gstm_check::check_block_equivalence(&reference, &parallel);
+    let ok = verdict.ok() && !verdict.is_vacuous();
+    progress.report(&format!("block.determinism: {}", verdict.summary()));
+    metrics.push(("block.block.determinism_ok".into(), if ok { 1.0 } else { 0.0 }));
+    metrics
+}
+
 /// The adaptive suite's serve cell: the hot store shape with the study's
 /// drift applied, so the statically trained model goes stale mid-run.
 fn adaptive_bench_spec(cfg: &BenchConfig) -> gstm_serve::ServeSpec {
@@ -1009,6 +1140,7 @@ pub fn check_artifact(text: &str) -> Result<(), String> {
         Some(Ok(SUITE_SCALE)) => SCALE_REQUIRED_METRICS,
         Some(Ok(SUITE_MVCC)) => MVCC_REQUIRED_METRICS,
         Some(Ok(SUITE_ADAPTIVE)) => ADAPTIVE_REQUIRED_METRICS,
+        Some(Ok(SUITE_BLOCK)) => BLOCK_REQUIRED_METRICS,
         Some(other) => return Err(format!("unknown suite: {other:?}")),
     };
     let metrics = v.get("metrics").ok_or("missing \"metrics\" object")?;
@@ -1103,6 +1235,25 @@ mod tests {
         assert!(rate > 0.0);
         assert_eq!(ro_aborts, 0, "snapshot reads never abort");
         assert!(stats.snapshot_txns > 0, "the mvcc mix is read-mostly");
+    }
+
+    #[test]
+    fn block_suite_keys_and_full_run() {
+        let mut cfg = smoke_cfg();
+        cfg.suite = SUITE_BLOCK.to_string();
+        let shape: Vec<(String, f64)> =
+            BLOCK_REQUIRED_METRICS.iter().map(|k| (k.to_string(), 1.0)).collect();
+        check_artifact(&render_artifact(&cfg, &shape, None)).unwrap();
+        // The tiny suite end-to-end: every required key present, the
+        // invariance oracle non-vacuous and green.
+        let metrics = run_block_suite(&cfg, &crate::progress::NoProgress);
+        for key in BLOCK_REQUIRED_METRICS {
+            assert!(metrics.iter().any(|(k, _)| k == key), "missing {key}");
+        }
+        let get = |key: &str| metrics.iter().find(|(k, _)| k == key).unwrap().1;
+        assert_eq!(get("block.block.determinism_ok"), 1.0);
+        assert!(get("block.block.blocks") >= 1.0);
+        assert!(get("block.block.req_per_sec") > 0.0);
     }
 
     #[test]

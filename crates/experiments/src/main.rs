@@ -54,6 +54,18 @@
 //!                               the retrain/gate/hot-swap loop, loop
 //!                               counters, gate negative control ->
 //!                               BENCH_adaptive.json)
+//!   bench-block [--out PATH] [--preset tiny|default] [--smoke] [--profile NAME]
+//!                              (ordered block execution: the read-mostly
+//!                               serve cell under interleaved TL2 vs
+//!                               snapshot reads vs ServeMode::Block,
+//!                               executor counters, schedule-invariance
+//!                               verdict -> BENCH_block.json)
+//!   block-smoke [--threads N,N,..] [--requests N] [--seed N]
+//!                              (block determinism smoke: one ordered block
+//!                               workload executed at each worker-thread
+//!                               count, digests compared against the
+//!                               sequential reference; exits 1 on any
+//!                               divergence)
 //! ```
 //!
 //! Every study command resolves through the experiment pipeline: trained
@@ -85,7 +97,7 @@ fn usage() -> ! {
         "usage: experiments <table1|table2|table3|table4|table5|fig3..fig12|stamp|quake|serve|\
          serve-adaptive|all|\
          cell|train-model|inspect-model|sites|bench|bench-pipeline|bench-wal|bench-scale|\
-         bench-mvcc|bench-adaptive|bench-check|check|\
+         bench-mvcc|bench-adaptive|bench-block|block-smoke|bench-check|check|\
          recover|ablate-tfactor|ablate-k|ablate-cm|ablate-train|ablate-policy|ablate-detection> \
          [--fast|--tiny] [--bench NAME] [--metrics PATH] [--jobs N] \
          [--cache-dir PATH] [--no-cache]"
@@ -227,6 +239,98 @@ fn run_bench_mvcc(args: &[String]) -> ! {
     });
     progress.report(&format!("wrote {out}"));
     std::process::exit(0);
+}
+
+/// `bench-block`: run the ordered block-execution suite (the read-mostly
+/// serve cell under interleaved TL2 vs snapshot reads vs
+/// `ServeMode::Block`, plus the executor's counters and the
+/// schedule-invariance verdict) and write the JSON artifact.
+fn run_bench_block(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let out = flag("--out").map_or("BENCH_block.json", String::as_str);
+    let preset = flag("--preset").map_or("default", String::as_str);
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let mut cfg =
+        gstm_experiments::bench::BenchConfig::for_preset(preset, smoke).unwrap_or_else(|e| {
+            eprintln!("bench-block: {e}");
+            std::process::exit(2);
+        });
+    cfg.suite = gstm_experiments::bench::SUITE_BLOCK.to_string();
+    if let Some(profile) = flag("--profile") {
+        cfg.profile = profile.clone();
+    }
+    let progress = StderrProgress::new();
+    let metrics = gstm_experiments::bench::run_block_suite(&cfg, &progress);
+    let text = gstm_experiments::bench::render_artifact(&cfg, &metrics, None);
+    std::fs::write(out, &text).unwrap_or_else(|e| {
+        eprintln!("bench-block: cannot write {out}: {e}");
+        std::process::exit(2);
+    });
+    progress.report(&format!("wrote {out}"));
+    std::process::exit(0);
+}
+
+/// `block-smoke`: execute one ordered block workload at each requested
+/// worker-thread count and compare every run's output digests against the
+/// sequential same-order reference. Exits 0 with per-thread digests on
+/// success; exits 1 naming the first divergence otherwise. This is the CI
+/// gate for the executor's schedule-invariance guarantee.
+fn run_block_smoke(args: &[String]) -> ! {
+    let flag = |name: &str| -> Option<&String> {
+        args.iter().position(|a| a == name).and_then(|i| args.get(i + 1))
+    };
+    let parse = |name: &str, default: usize| -> usize {
+        flag(name).map_or(default, |s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("block-smoke: {name} wants a number, got {s:?}");
+                std::process::exit(2);
+            })
+        })
+    };
+    let requests = parse("--requests", 200);
+    let seed = parse("--seed", 11) as u64;
+    let threads: Vec<usize> = flag("--threads").map_or(vec![1, 2, 4, 8], |s| {
+        s.split(',')
+            .map(|part| {
+                part.trim().parse().unwrap_or_else(|_| {
+                    eprintln!("block-smoke: bad thread count {part:?} in {s:?}");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    });
+    // The contended ledger shape: transfer-dominated Zipf traffic over few
+    // accounts, so blocks carry real write-write dependency chains.
+    let spec = gstm_serve::ServeSpec::ledger(requests).with_block_mode(32);
+    let reference = gstm_serve::run_block_reference(&spec, 2, seed);
+    println!(
+        "block-smoke: {} txns, reference digest {:016x}",
+        reference.outputs.len(),
+        reference.final_digest
+    );
+    let parallel: Vec<(usize, gstm_check::BlockRecord)> = threads
+        .iter()
+        .map(|&t| {
+            let (record, stats) = gstm_serve::execute_block_order(&spec, 2, seed, t);
+            println!(
+                "block-smoke: threads={t} digest {:016x} (re-execs {}, stalls {}, waves {})",
+                record.final_digest, stats.re_executions, stats.dependency_stalls, stats.waves
+            );
+            (t, record)
+        })
+        .collect();
+    let report = gstm_check::check_block_equivalence(&reference, &parallel);
+    if report.ok() && !report.is_vacuous() {
+        println!("block-smoke: PASS ({})", report.summary());
+        std::process::exit(0);
+    }
+    eprintln!("block-smoke: FAIL ({})", report.summary());
+    for v in &report.violations {
+        eprintln!("block-smoke:   {v}");
+    }
+    std::process::exit(1);
 }
 
 /// `bench-adaptive`: run the online-adaptive-guidance suite (the drifting
@@ -440,6 +544,8 @@ fn main() {
         "bench-scale" => run_bench_scale(&args[1..]),
         "bench-mvcc" => run_bench_mvcc(&args[1..]),
         "bench-adaptive" => run_bench_adaptive(&args[1..]),
+        "bench-block" => run_bench_block(&args[1..]),
+        "block-smoke" => run_block_smoke(&args[1..]),
         "bench-check" => run_bench_check(&args[1..]),
         "check" => run_check(&args[1..]),
         "recover" => run_recover(&args[1..]),

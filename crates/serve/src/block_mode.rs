@@ -1,0 +1,560 @@
+//! Ordered block execution over the store ([`ServeMode::Block`],
+//! DESIGN.md §6h).
+//!
+//! The per-thread open-loop schedules are merged into one **global
+//! arrival order** (a pure function of `(spec, streams, seed)`), chopped
+//! into blocks, and each block runs through the `gstm-block` executor:
+//! speculative parallel execution whose outcome is byte-identical to
+//! sequential execution of the block order at any worker-thread count.
+//! The commit phase then walks the settled block in order, publishing
+//! each transaction's final write set through one engine transaction —
+//! one commit sequence number per transaction, read-only requests
+//! included, so a durable backend's WAL stays exactly as gap-free as
+//! under the interleaved loop.
+//!
+//! Three interpreters share [`apply_with`], the store semantics factored
+//! over an abstract read:
+//!
+//! * the **speculative** body (reads through the block's multi-version
+//!   map, may suspend on an estimate),
+//! * the **sequential reference** ([`run_block_reference`] — plain map,
+//!   no STM, no scheduler: the oracle's ground truth),
+//! * the **pure parallel runner** ([`execute_block_order`] — executor
+//!   without the engine, used by the determinism smoke to compare thread
+//!   counts cheaply).
+//!
+//! No request kind reads a key it has already written (transfers read
+//! both accounts before writing either), so own-write invisibility in
+//! the multi-version map cannot change any outcome — [`apply_with`]
+//! computes each write from the values it read, exactly like
+//! `ShardedStore::apply`.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, RwLock};
+
+use gstm_block::{execute_block, execute_block_on, BlockConfig, BlockPool, BlockStats};
+use gstm_check::BlockRecord;
+use gstm_core::cm::Aggressive;
+use gstm_core::{AdmitAll, RealGate, SiteStatsSink, Stm, ThreadId, TxnKind};
+use gstm_wal::fnv1a64;
+
+use crate::backend::{encode_state, store_digest, StoreBackend};
+use crate::service::{
+    spine_config, NativeReport, ServeClock, ServeMode, ServeSpec, ThreadLog, WallClock,
+};
+use crate::store::{Entry, Request, Response, ShardedStore, INITIAL_BALANCE, MAX_SCAN_LEN};
+use crate::traffic::{generate_schedule, ScheduledRequest};
+
+/// Block-mode extras carried in a [`NativeReport`]: the run's digests
+/// (comparable against [`run_block_reference`] by the schedule-invariance
+/// oracle) plus the executor's counters.
+#[derive(Clone, Debug)]
+pub struct BlockModeReport {
+    /// Per-transaction output digests and the final state digest.
+    pub record: BlockRecord,
+    /// Merged executor counters across all blocks.
+    pub stats: BlockStats,
+    /// Blocks executed.
+    pub blocks: u64,
+}
+
+/// Executes one request against an abstract read, returning the write set
+/// (final entries) and the response — the store's semantics with the read
+/// source factored out. Mirrors `ShardedStore::apply` exactly: same
+/// clamps, same missing-key behaviour, same conditional no-ops.
+///
+/// # Errors
+///
+/// Propagates the read's error (the speculative interpreter's
+/// `Blocked`); the sequential interpreters instantiate `E = Infallible`.
+pub fn apply_with<E>(
+    req: &Request,
+    keys: u64,
+    read: &mut dyn FnMut(u64) -> Result<Option<Entry>, E>,
+) -> Result<(Vec<(u64, Entry)>, Response), E> {
+    let mut writes: Vec<(u64, Entry)> = Vec::new();
+    let resp = match *req {
+        Request::Get { key } => Response::Value(read(key)?),
+        Request::Put { key, blob } => {
+            if let Some(mut e) = read(key)? {
+                e.blob = blob;
+                writes.push((key, e));
+            }
+            Response::Ok
+        }
+        Request::Cas { key, expect, update } => match read(key)? {
+            Some(mut e) if e.blob == expect => {
+                e.blob = update;
+                writes.push((key, e));
+                Response::Swapped(true)
+            }
+            _ => Response::Swapped(false),
+        },
+        Request::Transfer { from, to, amount } => {
+            if from == to {
+                Response::Transferred(false)
+            } else {
+                match (read(from)?, read(to)?) {
+                    (Some(mut f), Some(mut t)) => {
+                        f.balance -= amount;
+                        t.balance += amount;
+                        writes.push((from, f));
+                        writes.push((to, t));
+                        Response::Transferred(true)
+                    }
+                    _ => Response::Transferred(false),
+                }
+            }
+        }
+        Request::Scan { start, len } => {
+            let len = len.min(MAX_SCAN_LEN).min(keys);
+            let mut key = start % keys;
+            let mut sum = 0i64;
+            for _ in 0..len {
+                if let Some(e) = read(key)? {
+                    sum += e.balance;
+                }
+                key = ShardedStore::advance(key, 1, keys);
+            }
+            Response::ScanSum { count: len, sum }
+        }
+        Request::GetMany { start, stride, count } => {
+            let count = count.min(MAX_SCAN_LEN).min(keys);
+            let stride = stride.max(1) % keys;
+            let mut key = start % keys;
+            let (mut found, mut sum) = (0u32, 0i64);
+            for _ in 0..count {
+                if let Some(e) = read(key)? {
+                    found += 1;
+                    sum += e.balance;
+                }
+                key = ShardedStore::advance(key, stride, keys);
+            }
+            Response::Many { found, sum }
+        }
+    };
+    Ok((writes, resp))
+}
+
+/// Canonical response encoding for digesting: kind byte, a flag byte, two
+/// 8-byte words. Distinct responses encode distinctly.
+fn encode_response(resp: &Response) -> [u8; 18] {
+    let (kind, flag, a, b) = match *resp {
+        Response::Value(None) => (0u8, 0u8, 0u64, 0u64),
+        Response::Value(Some(e)) => (0, 1, e.balance as u64, e.blob),
+        Response::Ok => (1, 0, 0, 0),
+        Response::Swapped(s) => (2, s as u8, 0, 0),
+        Response::Transferred(t) => (3, t as u8, 0, 0),
+        Response::ScanSum { count, sum } => (4, 0, count, sum as u64),
+        Response::Many { found, sum } => (5, 0, u64::from(found), sum as u64),
+    };
+    let mut out = [0u8; 18];
+    out[0] = kind;
+    out[1] = flag;
+    out[2..10].copy_from_slice(&a.to_le_bytes());
+    out[10..18].copy_from_slice(&b.to_le_bytes());
+    out
+}
+
+/// FNV digest of a response's canonical encoding — the unit the block
+/// oracle compares.
+pub fn response_digest(resp: &Response) -> u64 {
+    fnv1a64(&encode_response(resp))
+}
+
+/// Merges `streams` per-thread schedules into the global block order:
+/// sorted by `(arrival tick, stream, position)`. A pure function of
+/// `(spec, streams, seed)` — the fixed serial order every execution of
+/// this traffic must reproduce.
+pub fn merge_block_order(spec: &ServeSpec, streams: usize, seed: u64) -> Vec<ScheduledRequest> {
+    let traffic = spec.traffic();
+    let mut tagged: Vec<(u64, usize, usize, Request)> = Vec::new();
+    for t in 0..streams {
+        for (i, sr) in generate_schedule(&traffic, seed, t).into_iter().enumerate() {
+            tagged.push((sr.at, t, i, sr.req));
+        }
+    }
+    tagged.sort_by_key(|&(at, t, i, _)| (at, t, i));
+    tagged.into_iter().map(|(at, _, _, req)| ScheduledRequest { at, req }).collect()
+}
+
+/// The multi-version map stripe count a spec implies: one stripe per
+/// store bucket (the spec's conflict granularity), clamped to the
+/// executor's cap.
+pub fn block_parts(spec: &ServeSpec) -> usize {
+    (spec.shards * spec.buckets_per_shard).clamp(1, BlockConfig::MAX_PARTS)
+}
+
+fn initial_state(keys: u64) -> BTreeMap<u64, Entry> {
+    (0..keys).map(|k| (k, Entry { balance: INITIAL_BALANCE, blob: 0 })).collect()
+}
+
+fn state_digest(state: &BTreeMap<u64, Entry>) -> u64 {
+    let entries: Vec<(u64, Entry)> = state.iter().map(|(&k, &e)| (k, e)).collect();
+    fnv1a64(&encode_state(&entries))
+}
+
+/// The sequential reference: executes the merged order one transaction at
+/// a time against a plain map — no STM, no scheduler, no speculation.
+/// This is the oracle's ground truth for schedule invariance.
+pub fn run_block_reference(spec: &ServeSpec, streams: usize, seed: u64) -> BlockRecord {
+    let order = merge_block_order(spec, streams, seed);
+    let mut state = initial_state(spec.keys);
+    let mut outputs = Vec::with_capacity(order.len());
+    for sr in &order {
+        let (writes, resp) = apply_with::<std::convert::Infallible>(&sr.req, spec.keys, &mut |k| {
+            Ok(state.get(&k).copied())
+        })
+        .expect("infallible read");
+        for (k, e) in writes {
+            state.insert(k, e);
+        }
+        outputs.push(response_digest(&resp));
+    }
+    BlockRecord { outputs, final_digest: state_digest(&state) }
+}
+
+/// The pure parallel runner: the block executor over the merged order,
+/// with no engine underneath — block by block, `exec_threads` workers.
+/// Used by the oracle test and the CI determinism smoke to compare thread
+/// counts without paying for STM commits.
+///
+/// # Panics
+///
+/// Panics if the spec's mode is not [`ServeMode::Block`].
+pub fn execute_block_order(
+    spec: &ServeSpec,
+    streams: usize,
+    seed: u64,
+    exec_threads: usize,
+) -> (BlockRecord, BlockStats) {
+    let ServeMode::Block { block_size } = spec.mode else {
+        panic!("execute_block_order needs a ServeMode::Block spec")
+    };
+    let cfg = BlockConfig::new(block_size, block_parts(spec))
+        .unwrap_or_else(|e| panic!("invalid block config: {e}"));
+    let order = merge_block_order(spec, streams, seed);
+    let mut state = initial_state(spec.keys);
+    let mut outputs = Vec::with_capacity(order.len());
+    let mut stats = BlockStats::default();
+    for chunk in order.chunks(block_size) {
+        let outcome = execute_block(
+            &cfg,
+            chunk.len(),
+            exec_threads,
+            |k: &u64| state.get(k).copied(),
+            |i, ctx| apply_with(&chunk[i].req, spec.keys, &mut |k| ctx.read(&k)),
+        );
+        stats.merge(&outcome.stats);
+        for (k, e) in outcome.final_writes {
+            state.insert(k, e);
+        }
+        outputs.extend(outcome.outputs.iter().map(response_digest));
+    }
+    (BlockRecord { outputs, final_digest: state_digest(&state) }, stats)
+}
+
+/// The native block-mode run behind [`crate::run_native`]: merged global
+/// order, open-loop block boundaries (a block executes once its last
+/// request has arrived), speculative parallel execution, then in-order
+/// serial commit through the engine — one commit sequence number per
+/// transaction, so a durable backend logs exactly what the interleaved
+/// loop would, in block order.
+///
+/// Backpressure shedding does not apply: the block boundary *is* the
+/// batching policy, and every admitted request gets its guaranteed slot
+/// in the serial order (`shed` is always 0).
+///
+/// # Panics
+///
+/// Panics if verification fails: conserved totals, and the speculative
+/// shadow state diverging from the committed store.
+pub(crate) fn run_native_block(
+    spec: &ServeSpec,
+    block_size: usize,
+    threads: usize,
+    seed: u64,
+    nanos_per_tick: u64,
+    yield_every: u32,
+    backend: Arc<dyn StoreBackend>,
+) -> NativeReport {
+    let cfg = BlockConfig::new(block_size, block_parts(spec))
+        .unwrap_or_else(|e| panic!("invalid block config: {e}"));
+    let order = merge_block_order(spec, threads, seed);
+    let sink = Arc::new(SiteStatsSink::new());
+    let stm = Stm::with_parts(
+        spine_config(spec, threads),
+        Arc::new(RealGate::new(yield_every)),
+        Arc::clone(&sink) as Arc<dyn gstm_core::EventSink>,
+        Arc::new(AdmitAll),
+        Arc::new(Aggressive),
+    );
+    let clock = WallClock::new(nanos_per_tick);
+    let store = backend.store();
+    let t0 = ThreadId::new(0);
+    // The shadow is the speculative base state: block N+1 reads block N's
+    // settled writes from here while the engine holds the same values
+    // transactionally. The two are compared at the end. It lives behind a
+    // lock because the pool's workers (which outlive any one block) read
+    // it while executing; the commit loop holds the only write access and
+    // only touches it between blocks.
+    let shadow: Arc<RwLock<BTreeMap<u64, Entry>>> = Arc::new(RwLock::new(initial_state(spec.keys)));
+    // One persistent worker pool for the whole run: spawning threads per
+    // block would cost more than executing a small block does.
+    let pool = BlockPool::new(threads);
+    let log = ThreadLog::default();
+    let mut outputs = Vec::with_capacity(order.len());
+    let mut stats = BlockStats::default();
+    let mut blocks = 0u64;
+    let chunks: Vec<Arc<[ScheduledRequest]>> =
+        order.chunks(block_size).map(|c| Arc::from(c.to_vec())).collect();
+    for chunk in &chunks {
+        clock.wait_until(t0, chunk.last().expect("chunks are non-empty").at);
+        let keys = spec.keys;
+        let block_shadow = Arc::clone(&shadow);
+        let block_chunk = Arc::clone(chunk);
+        let outcome = execute_block_on(
+            &pool,
+            &cfg,
+            chunk.len(),
+            move |k: &u64| block_shadow.read().expect("shadow poisoned").get(k).copied(),
+            move |i, ctx| apply_with(&block_chunk[i].req, keys, &mut |k| ctx.read(&k)),
+        );
+        blocks += 1;
+        stats.merge(&outcome.stats);
+        for (i, sr) in chunk.iter().enumerate() {
+            let writes = &outcome.txn_writes[i];
+            // Empty write sets (read-only requests) ride the engine's
+            // read-only commit fast path — which still claims a commit
+            // sequence number, keeping the WAL prefix dense.
+            stm.run(t0, sr.req.site(), |tx| {
+                tx.work(spec.work);
+                store.apply_writes(tx, writes)
+            });
+            backend.on_commit(stm.last_commit_seq(t0), &sr.req);
+            let sojourn = clock.now(t0).saturating_sub(sr.at);
+            log.sojourn.record(sojourn);
+            log.done.fetch_add(1, Ordering::Relaxed);
+            if sr.req.txn_kind() == TxnKind::ReadOnly {
+                log.sojourn_ro.record(sojourn);
+                log.done_ro.fetch_add(1, Ordering::Relaxed);
+            }
+            if !writes.is_empty() {
+                let mut s = shadow.write().expect("shadow poisoned");
+                for &(k, e) in writes {
+                    s.insert(k, e);
+                }
+            }
+        }
+        outputs.extend(outcome.outputs.iter().map(response_digest));
+    }
+    backend.flush();
+    let final_digest = state_digest(&shadow.read().expect("shadow poisoned"));
+    if let Err(v) =
+        gstm_check::check_conserved_total(store.total_balance_unlogged(), store.expected_total())
+    {
+        panic!("native block run failed verification: {v}");
+    }
+    assert_eq!(
+        final_digest,
+        store_digest(store),
+        "speculative shadow state diverged from the committed store"
+    );
+    NativeReport {
+        done: log.done.load(Ordering::Relaxed),
+        done_ro: log.done_ro.load(Ordering::Relaxed),
+        shed: 0,
+        sojourn: log.sojourn.snapshot(),
+        sojourn_ro: log.sojourn_ro.snapshot(),
+        elapsed_ticks: clock.now(t0),
+        mvcc: stm.mvcc_stats(),
+        sites: sink.snapshot(),
+        block: Some(BlockModeReport {
+            record: BlockRecord { outputs, final_digest },
+            stats,
+            blocks,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::DurableBackend;
+    use crate::service::run_native;
+    use crate::traffic::{Arrival, Mix};
+    use gstm_check::check_block_equivalence;
+    use gstm_wal::WalConfig;
+    use std::convert::Infallible;
+
+    fn block_spec(requests: usize, block_size: usize) -> ServeSpec {
+        ServeSpec::ledger(requests)
+            .with_arrival(Arrival::Poisson { mean_gap: 20.0 })
+            .with_block_mode(block_size)
+    }
+
+    fn infallible_read(
+        state: &BTreeMap<u64, Entry>,
+    ) -> impl FnMut(u64) -> Result<Option<Entry>, Infallible> + '_ {
+        move |k| Ok(state.get(&k).copied())
+    }
+
+    #[test]
+    fn apply_with_mirrors_store_apply_semantics() {
+        let mut state = initial_state(8);
+        state.get_mut(&3).unwrap().blob = 7;
+        let keys = 8;
+        let cases = [
+            (Request::get(3), Response::Value(Some(Entry { balance: 100, blob: 7 })), 0usize),
+            (Request::get(99), Response::Value(None), 0),
+            (Request::put(2, 5), Response::Ok, 1),
+            (Request::put(99, 5), Response::Ok, 0),
+            (Request::cas(3, 7, 9), Response::Swapped(true), 1),
+            (Request::cas(3, 8, 9), Response::Swapped(false), 0),
+            (Request::transfer(0, 1, 30), Response::Transferred(true), 2),
+            (Request::transfer(4, 4, 30), Response::Transferred(false), 0),
+            (Request::transfer(0, 99, 30), Response::Transferred(false), 0),
+            (Request::scan(6, 4), Response::ScanSum { count: 4, sum: 400 }, 0),
+            (Request::get_many(0, 2, 4), Response::Many { found: 4, sum: 400 }, 0),
+        ];
+        for (req, want_resp, want_writes) in cases {
+            let (writes, resp) =
+                apply_with(&req, keys, &mut infallible_read(&state)).expect("infallible");
+            assert_eq!(resp, want_resp, "response for {req:?}");
+            assert_eq!(writes.len(), want_writes, "write count for {req:?}");
+        }
+        // Extreme caller-supplied values reduce like the store's apply.
+        let (_, resp) = apply_with(&Request::scan(u64::MAX, 3), keys, &mut infallible_read(&state))
+            .expect("infallible");
+        assert_eq!(resp, Response::ScanSum { count: 3, sum: 300 });
+    }
+
+    #[test]
+    fn response_digests_distinguish_kinds_and_payloads() {
+        let responses = [
+            Response::Value(None),
+            Response::Value(Some(Entry { balance: 0, blob: 0 })),
+            Response::Ok,
+            Response::Swapped(false),
+            Response::Swapped(true),
+            Response::Transferred(false),
+            Response::Transferred(true),
+            Response::ScanSum { count: 0, sum: 0 },
+            Response::Many { found: 0, sum: 0 },
+        ];
+        let mut digests: Vec<u64> = responses.iter().map(response_digest).collect();
+        digests.sort_unstable();
+        digests.dedup();
+        assert_eq!(digests.len(), responses.len(), "all distinct responses digest distinctly");
+    }
+
+    #[test]
+    fn merged_order_is_sorted_deterministic_and_complete() {
+        let spec = block_spec(60, 16);
+        let a = merge_block_order(&spec, 3, 7);
+        assert_eq!(a, merge_block_order(&spec, 3, 7), "pure function of (spec, streams, seed)");
+        assert_eq!(a.len(), 3 * 60, "every stream's request is in the order");
+        assert!(a.windows(2).all(|w| w[0].at <= w[1].at), "global order is by arrival");
+        assert_ne!(a, merge_block_order(&spec, 3, 8), "seed changes the order");
+    }
+
+    /// The tentpole oracle: parallel block output is byte-identical to
+    /// sequential same-order execution at every thread count.
+    #[test]
+    fn block_execution_is_schedule_invariant_across_thread_counts() {
+        // The ledger shape maximizes write-write dependency chains; a
+        // tight mean gap packs conflicting transfers into every block.
+        let mut spec = block_spec(80, 32);
+        spec.keys = 16; // few accounts → dense conflicts
+        let reference = run_block_reference(&spec, 2, 11);
+        assert!(!reference.outputs.is_empty());
+        let parallel: Vec<(usize, BlockRecord)> = [1, 2, 4, 8]
+            .into_iter()
+            .map(|threads| (threads, execute_block_order(&spec, 2, 11, threads).0))
+            .collect();
+        let report = check_block_equivalence(&reference, &parallel);
+        assert!(report.ok(), "schedule invariance violated: {}", report.summary());
+        assert!(!report.is_vacuous());
+        // Whether re-executions actually fire here is timing-dependent
+        // (tiny bodies serialize on the scheduler lock); the conflict
+        // paths themselves are pinned down deterministically by the
+        // gstm-block unit tests.
+    }
+
+    #[test]
+    fn native_block_run_matches_the_sequential_reference() {
+        let spec = block_spec(50, 16);
+        let report = run_native(&spec, 2, 9, 50, 64);
+        assert_eq!(report.done, 2 * 50);
+        assert_eq!(report.shed, 0, "block mode never sheds");
+        assert!(report.done_ro > 0, "the ledger mix has balance checks");
+        let block = report.block.expect("block-mode report carries the record");
+        assert!(block.blocks >= (2 * 50 / 16) as u64);
+        assert_eq!(block.stats.executions, 2 * 50 + block.stats.re_executions);
+        let reference = run_block_reference(&spec, 2, 9);
+        let oracle = check_block_equivalence(&reference, &[(2, block.record)]);
+        assert!(oracle.ok(), "native run diverged from reference: {}", oracle.summary());
+    }
+
+    #[test]
+    fn durable_block_run_keeps_the_wal_prefix_dense() {
+        let spec = block_spec(40, 8);
+        let (backend, _log_dev, _snap_dev) = DurableBackend::in_memory(
+            ShardedStore::new(spec.shards, spec.buckets_per_shard, spec.keys),
+            WalConfig::new(),
+        );
+        let backend = Arc::new(backend);
+        let report =
+            run_native_block(&spec, 8, 2, 5, 1, 64, Arc::clone(&backend) as Arc<dyn StoreBackend>);
+        assert_eq!(report.done, 2 * 40);
+        let ledger = backend.ledger();
+        assert_eq!(ledger.len(), 2 * 40, "every commit (read-only included) was logged");
+        for (i, (seq, _)) in ledger.iter().enumerate() {
+            assert_eq!(*seq, i as u64 + 1, "commit sequence numbers are dense from 1");
+        }
+        // The logged order is the block order: replaying the ledger
+        // serially reproduces the committed store.
+        let mut m = crate::backend::Materializer::initial(spec.keys);
+        for (_, req) in ledger {
+            m.apply(&req);
+        }
+        assert_eq!(m.digest(), store_digest(backend.store()));
+    }
+
+    #[test]
+    fn read_mostly_block_runs_settle_in_one_wave_mostly() {
+        // A wide read-mostly shape: block execution should see almost no
+        // conflicts — waves stay near one per block.
+        let mut spec = ServeSpec::wide(40)
+            .with_mix(Mix::mvcc_read())
+            .with_arrival(Arrival::Poisson { mean_gap: 20.0 })
+            .with_block_mode(32);
+        spec.keys = 512;
+        let (record, stats) = execute_block_order(&spec, 2, 3, 4);
+        assert_eq!(record.outputs.len(), 2 * 40);
+        let blocks = (2 * 40usize).div_ceil(32) as u64;
+        assert!(stats.waves <= blocks * 3, "read-mostly traffic should cascade rarely: {stats:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "native-only")]
+    fn simulated_block_mode_is_rejected_loudly() {
+        let spec = block_spec(10, 4);
+        let _ = crate::service::ServeRun::new(spec, 2, 1);
+    }
+
+    #[test]
+    fn cache_key_gets_an_append_only_mode_suffix() {
+        let key = ServeSpec::ledger(100).cache_key();
+        assert!(!key.contains("mode="), "default key must be unchanged: {key}");
+        let block = ServeSpec::ledger(100).with_block_mode(64).cache_key();
+        assert!(block.ends_with(";mode=block(bs=64)"), "unexpected key: {block}");
+        assert_ne!(key, block);
+        assert_ne!(
+            block,
+            ServeSpec::ledger(100).with_block_mode(128).cache_key(),
+            "block size feeds the key"
+        );
+    }
+}

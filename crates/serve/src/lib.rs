@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod block_mode;
 pub mod service;
 pub mod store;
 pub mod traffic;
@@ -50,9 +51,13 @@ pub use backend::{
     decode_request, decode_state, encode_request, encode_state, recover_store, store_digest,
     BackendKind, DurableBackend, EphemeralBackend, Materializer, RecoveredStore, StoreBackend,
 };
+pub use block_mode::{
+    apply_with, block_parts, execute_block_order, merge_block_order, response_digest,
+    run_block_reference, BlockModeReport,
+};
 pub use service::{
     run_native, run_simulated, serve_schedule, spine_config, GateClock, NativeReport, ServeClock,
-    ServeRun, ServeSpec, ServeWorkload, SpineMode, ThreadLog, WallClock,
+    ServeMode, ServeRun, ServeSpec, ServeWorkload, SpineMode, ThreadLog, WallClock,
 };
 pub use store::{Entry, Request, Response, ShardedStore, INITIAL_BALANCE, MAX_SCAN_LEN};
 pub use traffic::{generate_schedule, Arrival, Drift, Mix, ScheduledRequest, TrafficSpec};

@@ -77,6 +77,39 @@ impl SpineMode {
     }
 }
 
+/// How requests are executed against the store (DESIGN.md §6h).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ServeMode {
+    /// The original open-loop worker loop: each thread serves its own
+    /// schedule, one STM transaction per request, commit order decided by
+    /// the race. The default — every pre-block spec, cache key and golden
+    /// is unchanged.
+    #[default]
+    Interleaved,
+    /// Ordered block execution: the per-thread schedules are merged into
+    /// one global arrival order, chopped into blocks of `block_size`, and
+    /// each block runs through the `gstm-block` executor — speculative
+    /// parallel execution, outcome byte-identical to sequential execution
+    /// in block order at any thread count. Commits claim one engine
+    /// sequence number per transaction in block order, so the WAL stays
+    /// gap-free. Native runs only; backpressure shedding does not apply
+    /// (the block boundary is the batching policy).
+    Block {
+        /// Transactions per block.
+        block_size: usize,
+    },
+}
+
+impl ServeMode {
+    /// Short tag used in cache keys and result tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ServeMode::Interleaved => "interleaved",
+            ServeMode::Block { .. } => "block",
+        }
+    }
+}
+
 /// Full description of one serve configuration — store shape, traffic, and
 /// service parameters. Everything that defines the offered load lives
 /// here, so a spec plus a seed fully determines a run's input.
@@ -116,6 +149,9 @@ pub struct ServeSpec {
     /// hotspot migration, DESIGN.md §6g). `None` — the default every
     /// pre-drift spec used — leaves schedules byte-identical.
     pub drift: Option<Drift>,
+    /// Execution mode: the default interleaved worker loop, or ordered
+    /// block execution (native runs only, DESIGN.md §6h).
+    pub mode: ServeMode,
 }
 
 impl ServeSpec {
@@ -138,6 +174,7 @@ impl ServeSpec {
             spine: SpineMode::Global,
             read_mode: ReadMode::Latest,
             drift: None,
+            mode: ServeMode::Interleaved,
         }
     }
 
@@ -160,6 +197,34 @@ impl ServeSpec {
             spine: SpineMode::Global,
             read_mode: ReadMode::Latest,
             drift: None,
+            mode: ServeMode::Interleaved,
+        }
+    }
+
+    /// The ledger shape: a mid-sized account space with strong Zipf skew
+    /// and the [`Mix::ledger`] transfer graph — 80% of traffic atomically
+    /// moves balance between two skewed accounts, so the conserved-total
+    /// oracle ([`gstm_check::check_conserved_total`]) covers essentially
+    /// all writes. This is the canonical block-executor workload: hot
+    /// accounts produce dense write-write dependency chains that ordered
+    /// re-execution resolves deterministically.
+    pub fn ledger(requests_per_thread: usize) -> Self {
+        ServeSpec {
+            shards: 4,
+            buckets_per_shard: 8,
+            keys: 256,
+            zipf_theta: 0.9,
+            arrival: Arrival::Poisson { mean_gap: 180.0 },
+            requests_per_thread,
+            max_queue_depth: 24,
+            work: 40,
+            scan_len: 8,
+            mix: Mix::ledger(),
+            backend: BackendKind::Ephemeral,
+            spine: SpineMode::Global,
+            read_mode: ReadMode::Latest,
+            drift: None,
+            mode: ServeMode::Interleaved,
         }
     }
 
@@ -196,6 +261,13 @@ impl ServeSpec {
     /// Installs a non-stationary traffic schedule.
     pub fn with_drift(mut self, drift: Drift) -> Self {
         self.drift = Some(drift);
+        self
+    }
+
+    /// Switches to ordered block execution with the given block size
+    /// (native runs only).
+    pub fn with_block_mode(mut self, block_size: usize) -> Self {
+        self.mode = ServeMode::Block { block_size };
         self
     }
 
@@ -247,10 +319,14 @@ impl ServeSpec {
                 d.theta_end, d.phases, d.hotspot_step
             ));
         }
+        // And for the execution mode: interleaved specs keep their keys.
+        if let ServeMode::Block { block_size } = self.mode {
+            key.push_str(&format!(";mode=block(bs={block_size})"));
+        }
         key
     }
 
-    fn traffic(&self) -> TrafficSpec {
+    pub(crate) fn traffic(&self) -> TrafficSpec {
         TrafficSpec {
             keys: self.keys,
             zipf_theta: self.zipf_theta,
@@ -462,6 +538,11 @@ impl ServeRun {
         threads: usize,
         seed: u64,
     ) -> Self {
+        assert!(
+            spec.mode == ServeMode::Interleaved,
+            "ServeMode::Block is native-only: the block executor runs OS worker threads, \
+             which the simulator's virtual cores cannot host — use run_native"
+        );
         let traffic = spec.traffic();
         ServeRun {
             backend,
@@ -511,11 +592,8 @@ impl ServeRun {
     fn check_conservation(&self) -> Result<(), String> {
         let got = self.backend.store().total_balance_unlogged();
         let want = self.backend.store().expected_total();
-        if got == want {
-            Ok(())
-        } else {
-            Err(format!("balance total {got} != expected {want}: transfers lost atomicity"))
-        }
+        gstm_check::check_conserved_total(got, want)
+            .map_err(|v| format!("{v}: transfers lost atomicity"))
     }
 }
 
@@ -688,6 +766,10 @@ pub struct NativeReport {
     /// the read-only sites' abort counts to prove the snapshot path's
     /// zero-abort claim.
     pub sites: BTreeMap<Participant, SiteStats>,
+    /// Block-mode extras: the run's output/state digests (for the
+    /// schedule-invariance oracle) and the executor's counters. `None`
+    /// under [`ServeMode::Interleaved`].
+    pub block: Option<crate::block_mode::BlockModeReport>,
 }
 
 impl NativeReport {
@@ -736,6 +818,24 @@ pub fn run_native(
             Arc::new(DurableBackend::new(store, Wal::new(WalConfig::new(), log, snap)))
         }
     };
+    if let ServeMode::Block { block_size } = spec.mode {
+        // Ordered block execution replaces the per-thread worker loop
+        // entirely; it shares the store, schedules, backend and clock
+        // mapping, so its report is comparable cell-for-cell.
+        let report = crate::block_mode::run_native_block(
+            spec,
+            block_size,
+            threads,
+            seed,
+            nanos_per_tick,
+            yield_every,
+            backend,
+        );
+        if let Some(dir) = wal_dir {
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+        return report;
+    }
     let run = ServeRun::with_backend(spec.clone(), backend, threads, seed);
     // Under the per-shard spine, home each worker thread on the core
     // nearest the shard partition its schedule touches most. On a host
@@ -796,6 +896,7 @@ pub fn run_native(
         elapsed_ticks: clock.now(ThreadId::new(0)),
         mvcc: stm.mvcc_stats(),
         sites: sink.snapshot(),
+        block: None,
     }
 }
 

@@ -351,6 +351,24 @@ impl ShardedStore {
         }
     }
 
+    /// Applies a block-executor write set inside the caller's transaction:
+    /// plain inserts of pre-computed entries, in key order. The block
+    /// executor already resolved every read against the block's
+    /// multi-version state, so commit only has to publish the final
+    /// values — this is what keeps the per-transaction commit cost of
+    /// `ServeMode::Block` independent of the request's read footprint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates STM conflicts (the caller's `Stm::run` retries; under
+    /// block mode's single committer this only happens on capacity aborts).
+    pub fn apply_writes(&self, tx: &mut Txn<'_>, writes: &[(u64, Entry)]) -> Result<(), Abort> {
+        for &(key, entry) in writes {
+            self.write_entry(tx, key, entry)?;
+        }
+        Ok(())
+    }
+
     /// `(key + step) % keys` without the intermediate sum `start + i *
     /// stride` risks: `Request` fields are public and caller-supplied, so
     /// the naive form overflows `u64` for large start/stride — panicking
@@ -358,7 +376,7 @@ impl ShardedStore {
     /// release. With `key < keys` and `step <= keys` one conditional wrap
     /// is exact.
     #[inline]
-    fn advance(key: u64, step: u64, keys: u64) -> u64 {
+    pub(crate) fn advance(key: u64, step: u64, keys: u64) -> u64 {
         debug_assert!(key < keys && step <= keys);
         if step >= keys - key {
             step - (keys - key)
@@ -526,6 +544,24 @@ mod tests {
         assert_eq!(Request::transfer(0, 1, 5).txn_kind(), TxnKind::Update);
         assert_eq!(Request::get(1), Request::Get { key: 1 });
         assert_eq!(Request::get_many(2, 3, 4), Request::GetMany { start: 2, stride: 3, count: 4 });
+    }
+
+    #[test]
+    fn apply_writes_publishes_precomputed_entries_atomically() {
+        let store = ShardedStore::new(3, 4, 9);
+        // A transfer's write set as the block executor would hand it over:
+        // final entries, both shards, one transaction.
+        let writes = [
+            (1u64, Entry { balance: INITIAL_BALANCE - 30, blob: 0 }),
+            (5u64, Entry { balance: INITIAL_BALANCE + 30, blob: 7 }),
+        ];
+        with_tx(&store, |tx| store.apply_writes(tx, &writes));
+        assert_eq!(store.total_balance_unlogged(), store.expected_total());
+        let resp = with_tx(&store, |tx| store.apply(tx, &Request::Get { key: 5 }));
+        assert_eq!(resp, Response::Value(Some(Entry { balance: INITIAL_BALANCE + 30, blob: 7 })));
+        // An empty write set (a read-only request's block commit) is a
+        // legal transaction.
+        with_tx(&store, |tx| store.apply_writes(tx, &[]));
     }
 
     #[test]

@@ -93,6 +93,16 @@ impl Mix {
         Mix([50, 10, 5, 5, 15, 15])
     }
 
+    /// The ledger mix: 80% transfers over a Zipf-skewed account graph,
+    /// 12% balance checks (`Get`) and 8% statement scans — every write
+    /// moves balance between two accounts, so the conserved-total oracle
+    /// covers essentially the whole write traffic. This is the canonical
+    /// block-executor workload: dense write-write conflicts on the hot
+    /// accounts, which ordered re-execution resolves without livelock.
+    pub fn ledger() -> Self {
+        Mix([12, 0, 0, 80, 8, 0])
+    }
+
     /// Fraction of the mix that draws read-only request kinds.
     pub fn read_only_fraction(&self) -> f64 {
         let ro = self.0[0] + self.0[4] + self.0[5];
@@ -387,6 +397,25 @@ mod tests {
                 sched.iter().all(|r| !matches!(r.req, Request::GetMany { .. })),
                 "zero-weight kind must never be drawn"
             );
+        }
+    }
+
+    #[test]
+    fn ledger_mix_is_transfer_dominated_and_golden_safe() {
+        let mix = Mix::ledger();
+        assert_eq!(mix.0[5], 0, "trailing zero weight keeps the legacy draw stream shape");
+        assert_eq!(mix.total(), 100);
+        assert!(mix.read_only_fraction() < 0.5, "the ledger is write-heavy");
+        let s = TrafficSpec { mix, ..spec(Arrival::Poisson { mean_gap: 10.0 }) };
+        let sched = generate_schedule(&s, 13, 0);
+        let transfers = sched.iter().filter(|r| matches!(r.req, Request::Transfer { .. })).count();
+        let frac = transfers as f64 / sched.len() as f64;
+        assert!((0.7..=0.9).contains(&frac), "transfer fraction {frac} far from 0.80");
+        for r in &sched {
+            if let Request::Transfer { from, to, .. } = r.req {
+                assert_ne!(from, to, "ledger transfers never self-loop");
+            }
+            assert!(!matches!(r.req, Request::Put { .. } | Request::Cas { .. }));
         }
     }
 

@@ -37,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+pub mod block;
 pub mod histogram;
 pub mod json;
 pub mod mvcc;
@@ -47,6 +48,7 @@ pub mod sink;
 pub mod snapshot;
 pub mod spine;
 
+pub use block::BlockGauges;
 pub use histogram::{HistogramSnapshot, LogHistogram};
 pub use json::JsonValue;
 pub use mvcc::MvccGauges;

@@ -140,6 +140,15 @@ echo "==> adaptive bench smoke: artifact must be well-formed"
     --out target/BENCH_adaptive_smoke.json
 ./target/release/experiments bench-check target/BENCH_adaptive_smoke.json
 
+echo "==> block determinism smoke: same block order must hash identically at 1/2/4/8 threads"
+./target/release/experiments block-smoke --threads 1,2,4,8 --requests 200 --seed 11 \
+    || { echo "block smoke: parallel block output diverged from the sequential reference"; exit 1; }
+
+echo "==> block bench smoke: artifact must be well-formed"
+./target/release/experiments bench-block --preset tiny --smoke --profile release \
+    --out target/BENCH_block_smoke.json
+./target/release/experiments bench-check target/BENCH_block_smoke.json
+
 echo "==> determinism goldens: default knobs must still pin the legacy spine"
 cargo test -q --offline --test determinism
 

@@ -9,12 +9,14 @@
 //! virtual-core machine, [`stamp`] and [`synquake`] for the workloads,
 //! [`stats`] for the metrics, [`telemetry`] for the sharded metric
 //! registries, flight recorder, and snapshot export, [`check`] for the
-//! offline opacity/serializability oracle, [`serve`] for the sharded
+//! offline opacity/serializability oracle, [`block`] for the ordered
+//! Block-STM-style batch executor, [`serve`] for the sharded
 //! transactional store service with open-loop traffic, and [`wal`] for the
 //! durable commit log with snapshot/recovery behind it.
 
 #![warn(missing_docs)]
 
+pub use gstm_block as block;
 pub use gstm_check as check;
 pub use gstm_collections as collections;
 pub use gstm_core as core;
